@@ -1,0 +1,56 @@
+"""Figure 3: single-atom-data communication vs process count.
+
+Paper claim: the directive translations (MPI and SHMEM targets) show
+*comparable* performance to the original pack/unpack code, across the
+process sweep.
+"""
+
+import pytest
+
+from repro.bench.harness import figure3, paper_pcounts
+
+
+@pytest.fixture(scope="module")
+def fig3_quick():
+    # t=2048 keeps the payloads bandwidth-dominated, as in the full
+    # experiment; far smaller payloads let per-message overheads
+    # differentiate the targets (SHMEM's small-message edge), which is
+    # Figure 4's regime, not Figure 3's.
+    return figure3(quick=True, t=2048, tc=8)
+
+
+def test_bench_figure3(once, fig3_quick):
+    """Benchmarks one additional sweep; asserts on the module fixture's."""
+    fig = once(figure3, quick=True, t=256, tc=4)
+    assert len(fig.series) == 3
+
+
+class TestShapeCriteria:
+    def test_three_series_present(self, fig3_quick):
+        assert set(fig3_quick.series) == {
+            "original", "MPI target / directive",
+            "SHMEM target / directive"}
+
+    def test_series_comparable_within_band(self, fig3_quick):
+        """All three within ~±30% of one another at every P."""
+        for i in range(len(fig3_quick.xs)):
+            values = [fig3_quick.series[s][i] for s in fig3_quick.series]
+            assert max(values) / min(values) < 1.3, \
+                f"series diverge at P={fig3_quick.xs[i]}: {values}"
+
+    def test_time_increases_with_processes(self, fig3_quick):
+        for label, ys in fig3_quick.series.items():
+            assert all(a < b for a, b in zip(ys, ys[1:])), \
+                f"{label} is not increasing: {ys}"
+
+    def test_growth_is_roughly_linear_in_instances(self, fig3_quick):
+        """Fig 3 grows linearly (the WL rank's serial deck distribution
+        dominates): time(M=12) ~ 6x time(M=2), well below quadratic."""
+        ys = fig3_quick.series["original"]
+        ms = [(p - 1) // 16 for p in fig3_quick.xs]
+        ratio = (ys[-1] / ys[0]) / (ms[-1] / ms[0])
+        assert 0.5 < ratio < 2.0
+
+    def test_paper_x_axis_default(self):
+        assert paper_pcounts()[0] == 33
+        assert paper_pcounts()[-1] == 337

@@ -1,0 +1,59 @@
+"""Figure 4: random-spin-configuration communication.
+
+Paper claims: directive-MPI ~4x faster than the original, directive-
+SHMEM ~38x; the text's ablation (original with one MPI_Waitall per
+loop) ~2.6x — leaving ~1.4x / ~14.5x residual for the two targets.
+"""
+
+import pytest
+
+from repro.bench.harness import figure4
+from repro.bench.report import mean_speedup
+
+ORIG = "original"
+ABLA = "original + Waitall (ablation)"
+DMPI = "MPI target / directive"
+D1S = "MPI 1-sided target / directive (extension)"
+DSHM = "SHMEM target / directive"
+
+
+@pytest.fixture(scope="module")
+def fig4_quick():
+    return figure4(quick=True, wl_steps=2)
+
+
+def test_bench_figure4(once):
+    fig = once(figure4, quick=True, wl_steps=1)
+    assert len(fig.series) == 5
+
+
+class TestShapeCriteria:
+    def test_strict_ordering_everywhere(self, fig4_quick):
+        """SHMEM > 1-sided > directive-MPI > Waitall ablation >
+        original, at every process count."""
+        for i in range(len(fig4_quick.xs)):
+            t = {s: fig4_quick.series[s][i] for s in fig4_quick.series}
+            assert t[ORIG] > t[ABLA] > t[DMPI] > t[D1S] > t[DSHM], \
+                f"ordering broken at P={fig4_quick.xs[i]}: {t}"
+
+    def test_mpi_speedup_band(self, fig4_quick):
+        """Paper: ~4x. Accept 3-5x."""
+        up = mean_speedup(fig4_quick, ORIG, DMPI)
+        assert 3.0 <= up <= 5.0, f"MPI directive speedup {up:.2f}x"
+
+    def test_shmem_speedup_band(self, fig4_quick):
+        """Paper: ~38x. Accept 25-50x."""
+        up = mean_speedup(fig4_quick, ORIG, DSHM)
+        assert 25.0 <= up <= 50.0, f"SHMEM directive speedup {up:.2f}x"
+
+    def test_waitall_ablation_band(self, fig4_quick):
+        """Paper: ~2.6x. Accept 2-3.5x."""
+        up = mean_speedup(fig4_quick, ORIG, ABLA)
+        assert 2.0 <= up <= 3.5, f"Waitall ablation speedup {up:.2f}x"
+
+    def test_residual_factors(self, fig4_quick):
+        """Paper: 1.4x MPI and 14.5x SHMEM over the ablation."""
+        mpi_res = mean_speedup(fig4_quick, ABLA, DMPI)
+        shm_res = mean_speedup(fig4_quick, ABLA, DSHM)
+        assert 1.15 <= mpi_res <= 1.8, f"MPI residual {mpi_res:.2f}x"
+        assert 8.0 <= shm_res <= 20.0, f"SHMEM residual {shm_res:.2f}x"

@@ -1,0 +1,79 @@
+"""Figure 5: communication/computation overlap under 10x compute.
+
+Paper claims: with the energy-value calculation accelerated ~10x (the
+projected GPU port), overlapping the spin-configuration communication
+with the spin-independent computation reduces execution time; the
+improvement is bounded by the communication time (compute dominates at
+19:1 before acceleration).
+"""
+
+import pytest
+
+from repro.bench.harness import figure5, figure5_speedup_sweep
+
+PLAIN = "original comm + optimized computation"
+OVER = "directive overlap + optimized computation"
+
+
+@pytest.fixture(scope="module")
+def fig5_quick():
+    return figure5(quick=True, wl_steps=2)
+
+
+def test_bench_figure5(once):
+    fig = once(figure5, quick=True, wl_steps=1)
+    assert len(fig.series) == 2
+
+
+class TestShapeCriteria:
+    def test_overlap_wins_everywhere(self, fig5_quick):
+        for i in range(len(fig5_quick.xs)):
+            assert (fig5_quick.series[OVER][i]
+                    < fig5_quick.series[PLAIN][i]), \
+                f"overlap loses at P={fig5_quick.xs[i]}"
+
+    def test_benefit_bounded_by_comm_time(self, fig5_quick):
+        """The saved time can never exceed the communication time."""
+        benefits = [p - o for p, o in zip(fig5_quick.series[PLAIN],
+                                          fig5_quick.series[OVER])]
+        # Under 10x compute the comm phase is ~10-25% of the plain
+        # total; the benefit must sit below that fraction.
+        for b, total in zip(benefits, fig5_quick.series[PLAIN]):
+            assert 0 < b < 0.5 * total
+
+    def test_unaccelerated_compute_shows_marginal_benefit(self):
+        """With the 19:1 ratio unscaled, compute dominates: overlap
+        saves only a few percent; the projected 10x GPU speedup is what
+        makes the hidden communication significant (the paper's point
+        in introducing Fig. 5)."""
+        fig1 = figure5(quick=True, wl_steps=2, gpu_speedup=1.0)
+        fig10 = figure5(quick=True, wl_steps=2, gpu_speedup=10.0)
+        for i in range(len(fig1.xs)):
+            frac1 = ((fig1.series[PLAIN][i] - fig1.series[OVER][i])
+                     / fig1.series[PLAIN][i])
+            frac10 = ((fig10.series[PLAIN][i] - fig10.series[OVER][i])
+                      / fig10.series[PLAIN][i])
+            assert frac1 < 0.05
+            assert frac1 < frac10
+
+
+class TestSpeedupSweep:
+    """Extension: the relative saving grows monotonically with the
+    compute acceleration, bounded by the comm fraction."""
+
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return figure5_speedup_sweep(wl_steps=1)
+
+    def test_overlap_always_wins(self, sweep):
+        for p, o in zip(sweep.series["no overlap"],
+                        sweep.series["directive overlap"]):
+            assert o < p
+
+    def test_relative_saving_monotone_in_speedup(self, sweep):
+        fracs = [(p - o) / p
+                 for p, o in zip(sweep.series["no overlap"],
+                                 sweep.series["directive overlap"])]
+        assert all(a <= b + 1e-9 for a, b in zip(fracs, fracs[1:]))
+        assert fracs[0] < 0.05    # 19:1 compute-dominated
+        assert fracs[-1] > 0.2    # communication-visible at 50x

@@ -1,0 +1,84 @@
+"""Message-size sweep: where the SHMEM advantage lives.
+
+Section IV-B (citing [13], [14]): MPI-vs-SHMEM differences "are most
+prominent when transferring small messages (8 to 256 bytes)". This
+bench sweeps the directive's payload from 8 B to 256 KiB under both
+targets and asserts the advantage profile: large factors in the small-
+message window, converging toward parity as bandwidth dominates.
+"""
+
+import numpy as np
+import pytest
+
+from repro import mpi, shmem
+from repro.core import comm_p2p, comm_parameters
+from repro.netmodel import gemini_model
+from repro.sim import Engine
+
+SIZES = [8, 64, 256, 4096, 65536, 262144]
+N_MSGS = 8
+
+
+def _sweep(target):
+    """Sender busy time per message for each payload size."""
+    model = gemini_model()
+    out = {}
+    for size in SIZES:
+        eng = Engine(2)
+        elems = max(size // 8, 1)
+
+        def main(env, _elems=elems):
+            mpi.init(env, model)
+            srcs = [np.zeros(_elems) for _ in range(N_MSGS)]
+            if target == "TARGET_COMM_SHMEM":
+                sh = shmem.init(env)
+                dsts = [sh.malloc(_elems) for _ in range(N_MSGS)]
+            else:
+                dsts = [np.zeros(_elems) for _ in range(N_MSGS)]
+            t0 = env.now
+            with comm_parameters(env, sender=0, receiver=1,
+                                 sendwhen=env.rank == 0,
+                                 receivewhen=env.rank == 1,
+                                 target=target):
+                for i in range(N_MSGS):
+                    with comm_p2p(env, sbuf=srcs[i], rbuf=dsts[i]):
+                        pass
+            return (env.now - t0) / N_MSGS
+
+        res = eng.run(main)
+        out[size] = res.values[0]  # sender side
+    return out
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {
+        "mpi": _sweep("TARGET_COMM_MPI_2SIDE"),
+        "shmem": _sweep("TARGET_COMM_SHMEM"),
+    }
+
+
+def test_bench_size_sweep(once):
+    res = once(_sweep, "TARGET_COMM_MPI_2SIDE")
+    assert len(res) == len(SIZES)
+
+
+class TestCrossoverShape:
+    def test_shmem_wins_small_window(self, sweep):
+        """8-256 B: the paper's 'most prominent' window."""
+        for size in (8, 64, 256):
+            ratio = sweep["mpi"][size] / sweep["shmem"][size]
+            assert ratio > 3.0, f"{size}B: only {ratio:.2f}x"
+
+    def test_advantage_decays_with_size(self, sweep):
+        ratios = [sweep["mpi"][s] / sweep["shmem"][s] for s in SIZES]
+        # Monotone non-increasing from the small-message peak on.
+        assert all(a >= b * 0.95 for a, b in zip(ratios, ratios[1:]))
+
+    def test_near_parity_for_large_messages(self, sweep):
+        ratio = sweep["mpi"][SIZES[-1]] / sweep["shmem"][SIZES[-1]]
+        assert ratio < 2.0
+
+    def test_all_sizes_deliver_positive_time(self, sweep):
+        for variant in sweep.values():
+            assert all(t > 0 for t in variant.values())

@@ -1,0 +1,31 @@
+"""Benchmark-suite configuration.
+
+Each benchmark runs a *reduced* version of a paper experiment (three
+process counts, small payloads) under pytest-benchmark, and asserts the
+paper's shape criteria on the modelled (virtual) times — wall time of
+the simulation is what pytest-benchmark reports; the scientific
+quantity is the virtual time, which the assertions check and the
+``python -m repro.bench`` harness prints in full.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the workload exactly once per measurement round.
+
+    Simulation runs are seconds-scale; default calibration would loop
+    them dozens of times.
+    """
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+    return _run

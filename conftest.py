@@ -1,0 +1,14 @@
+"""Ensure the in-tree sources are importable even without installation.
+
+The benchmark environment has no network and no `wheel` package, so
+`pip install -e .` (PEP 660) cannot build an editable wheel; `python
+setup.py develop` is the supported offline install. This shim makes
+`pytest` work from a clean checkout either way.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

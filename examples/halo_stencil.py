@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Halo-exchange stencil: a real solver on the directive layer.
+
+Solves the 1-D heat equation by explicit finite differences across
+simulated ranks, exchanging boundary halos every step with the
+directive layer (two comm_p2p in one comm_parameters region, one
+consolidated sync) and overlapping the interior update with the halo
+transfers — the structured-communication payoff the paper argues for,
+on a workload its introduction motivates.
+
+Verifies the parallel result against a single-rank reference and
+reports modelled times with and without overlap.
+
+Run:  python examples/halo_stencil.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np
+
+from repro import mpi
+from repro.core import comm_p2p, comm_parameters
+from repro.netmodel import gemini_model
+from repro.sim import Engine
+
+NX = 4_000          # global grid points
+STEPS = 25
+ALPHA = 0.4         # diffusion number (stable: <= 0.5)
+HALO = 1
+
+
+def initial(nx: int) -> np.ndarray:
+    x = np.linspace(0.0, 1.0, nx)
+    return np.exp(-200.0 * (x - 0.35) ** 2) + 0.5 * (x > 0.8)
+
+
+def reference(nx: int, steps: int) -> np.ndarray:
+    u = initial(nx)
+    for _ in range(steps):
+        un = u.copy()
+        un[1:-1] = u[1:-1] + ALPHA * (u[2:] - 2 * u[1:-1] + u[:-2])
+        u = un
+    return u
+
+
+def run_parallel(nprocs: int, *, overlap: bool) -> tuple[np.ndarray, float]:
+    model = gemini_model()
+    eng = Engine(nprocs)
+    chunk = NX // nprocs
+
+    def program(env):
+        comm = mpi.init(env, model)
+        rank, size = env.rank, env.size
+        lo, hi = rank * chunk, (rank + 1) * chunk if rank < size - 1 \
+            else NX
+        u = initial(NX)[lo:hi].copy()
+        left_halo = np.zeros(HALO)
+        right_halo = np.zeros(HALO)
+        # Modelled per-step interior-update cost (5 flops/point at a
+        # notional 1 GF/s effective rate).
+        interior_cost = 5.0 * (hi - lo) * 1e-9
+
+        for _ in range(STEPS):
+            left_edge = np.ascontiguousarray(u[:HALO])
+            right_edge = np.ascontiguousarray(u[-HALO:])
+            with comm_parameters(env):
+                with comm_p2p(env,
+                              sender=max(rank - 1, 0),
+                              receiver=min(rank + 1, size - 1),
+                              sendwhen=rank < size - 1,
+                              receivewhen=rank > 0,
+                              sbuf=right_edge, rbuf=left_halo):
+                    if overlap:
+                        # Interior points do not touch the halos:
+                        # legal to compute while halos fly.
+                        env.compute(interior_cost)
+                with comm_p2p(env,
+                              sender=min(rank + 1, size - 1),
+                              receiver=max(rank - 1, 0),
+                              sendwhen=rank > 0,
+                              receivewhen=rank < size - 1,
+                              sbuf=left_edge, rbuf=right_halo):
+                    pass
+            if not overlap:
+                env.compute(interior_cost)
+            ext = np.concatenate([
+                left_halo if rank > 0 else u[:1],
+                u,
+                right_halo if rank < size - 1 else u[-1:],
+            ])
+            new_u = ext[1:-1] + ALPHA * (ext[2:] - 2 * ext[1:-1]
+                                         + ext[:-2])
+            # Global Dirichlet boundaries stay fixed (as the serial
+            # reference's un[1:-1] update leaves them).
+            if rank == 0:
+                new_u[0] = u[0]
+            if rank == size - 1:
+                new_u[-1] = u[-1]
+            u = new_u
+        return u
+
+    res = eng.run(program)
+    assembled = np.concatenate(res.values)
+    return assembled, res.makespan
+
+
+def main() -> None:
+    ref = reference(NX, STEPS)
+    for nprocs in (4, 8):
+        solution, makespan = run_parallel(nprocs, overlap=False)
+        _, makespan_ov = run_parallel(nprocs, overlap=True)
+        err = float(np.abs(solution - ref).max())
+        print(f"{nprocs} ranks: max|parallel - serial| = {err:.2e}  "
+              f"(must be ~1e-15)")
+        print(f"   modelled time/step: plain "
+              f"{makespan / STEPS * 1e6:7.2f} us, overlapped "
+              f"{makespan_ov / STEPS * 1e6:7.2f} us "
+              f"({makespan / makespan_ov:.2f}x)")
+        assert err < 1e-12
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's Listings 1-3 as runnable programs.
+
+Runs three directive programs on the simulated machine:
+
+1. a ring exchange using only the four required clauses (Listing 1);
+2. even->odd pairing via sendwhen/receivewhen (Listing 2);
+3. a comm_parameters region wrapping a loop of per-element comm_p2p
+   directives with one consolidated synchronization (Listing 3);
+
+and prints the delivered data, the modelled virtual times, and the
+synchronization counts that show the consolidation at work.
+
+Run:  python examples/quickstart.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np
+
+from repro import mpi
+from repro.core import comm_p2p, comm_parameters
+from repro.netmodel import gemini_model
+from repro.sim import Engine
+
+
+def listing1_ring(nprocs: int = 5) -> None:
+    print(f"-- Listing 1: ring pattern on {nprocs} ranks")
+    model = gemini_model()
+    eng = Engine(nprocs)
+
+    def program(env):
+        mpi.init(env, model)
+        prev = (env.rank - 1 + env.size) % env.size
+        nxt = (env.rank + 1) % env.size
+        buf1 = np.full(4, float(env.rank))
+        buf2 = np.zeros(4)
+        with comm_p2p(env, sender=prev, receiver=nxt,
+                      sbuf=buf1, rbuf=buf2):
+            pass
+        return buf2[0]
+
+    res = eng.run(program)
+    for rank, got in enumerate(res.values):
+        print(f"   rank {rank} received {got:.0f} "
+              f"(from rank {(rank - 1) % nprocs})")
+    print(f"   virtual makespan: {res.makespan * 1e6:.2f} us")
+
+
+def listing2_evenodd(nprocs: int = 6) -> None:
+    print(f"\n-- Listing 2: even ranks send to the next odd rank")
+    model = gemini_model()
+    eng = Engine(nprocs)
+
+    def program(env):
+        mpi.init(env, model)
+        buf1 = np.full(2, float(env.rank * 10))
+        buf2 = np.zeros(2)
+        with comm_p2p(env, sbuf=buf1, rbuf=buf2,
+                      sender=env.rank - 1, receiver=env.rank + 1,
+                      sendwhen=env.rank % 2 == 0,
+                      receivewhen=env.rank % 2 == 1):
+            pass
+        return buf2[0]
+
+    res = eng.run(program)
+    for rank, got in enumerate(res.values):
+        role = "received" if rank % 2 else "sent; buffer untouched ="
+        print(f"   rank {rank} ({'odd' if rank % 2 else 'even'}) "
+              f"{role} {got:.0f}")
+
+
+def listing3_region(nprocs: int = 2, n: int = 8) -> None:
+    print(f"\n-- Listing 3: region with {n} per-element directives")
+    model = gemini_model()
+    eng = Engine(nprocs)
+
+    def program(env):
+        mpi.init(env, model)
+        buf1 = np.arange(float(n))
+        buf2 = np.zeros(n)
+        with comm_parameters(env, sender=env.rank - 1,
+                             receiver=env.rank + 1,
+                             sendwhen=env.rank % 2 == 0,
+                             receivewhen=env.rank % 2 == 1,
+                             count=1, max_comm_iter=n,
+                             place_sync="END_PARAM_REGION"):
+            for p in range(n):
+                with comm_p2p(env, sbuf=buf1[p:p + 1],
+                              rbuf=buf2[p:p + 1]):
+                    pass
+        return buf2.tolist()
+
+    res = eng.run(program)
+    print(f"   rank 1 received: {res.values[1]}")
+    waits = eng.stats.sync_calls["wait"]
+    waitalls = eng.stats.sync_calls["waitall"]
+    print(f"   synchronization generated: {waitalls} MPI_Waitall, "
+          f"{waits} MPI_Wait")
+    print(f"   ({n} transfers per rank consolidated into ONE "
+          "synchronization call each — Section III-A)")
+
+
+if __name__ == "__main__":
+    listing1_ring()
+    listing2_evenodd()
+    listing3_region()

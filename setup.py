@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+The execution environment has no `wheel` package and no network, so
+PEP-660 editable installs fail; this shim lets `pip install -e .
+--no-build-isolation` take the `setup.py develop` path. All project
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

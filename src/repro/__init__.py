@@ -1,0 +1,21 @@
+"""repro — reproduction of "Toward Abstracting the Communication Intent
+in Applications to Improve Portability and Productivity" (IPDPSW 2013).
+
+Top-level layout (see README.md for the full map):
+
+* :mod:`repro.core` — the paper's contribution: the ``comm_parameters``
+  / ``comm_p2p`` directives, their analyses and translations;
+* :mod:`repro.sim` — the deterministic virtual-time SPMD simulator;
+* :mod:`repro.mpi`, :mod:`repro.shmem` — the simulated communication
+  libraries the directives target;
+* :mod:`repro.netmodel` — machine cost models (calibrated Gemini);
+* :mod:`repro.dtypes` — the datatype engine;
+* :mod:`repro.patterns` — recurring point-to-point patterns;
+* :mod:`repro.apps.wllsms` — the WL-LSMS evaluation application;
+* :mod:`repro.bench` — figure-regeneration harness
+  (``python -m repro.bench all``).
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

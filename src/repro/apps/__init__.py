@@ -1,0 +1,1 @@
+"""Mini-applications used by the paper's evaluation."""

@@ -1,0 +1,37 @@
+"""Mini WL-LSMS: the paper's evaluation application (Section IV).
+
+WL-LSMS couples a Wang-Landau Monte-Carlo driver (one rank) with M
+instances of LSMS (N ranks each); inside every LSMS a *privileged*
+rank communicates with the non-privileged ranks of its local
+interaction zone (LIZ). This mini-app preserves exactly the structure
+the paper's experiments exercise:
+
+* the process topology of Fig. 1/2 (:mod:`~repro.apps.wllsms.liz`);
+* the single-atom-data distribution of Listing 4 (hand-written
+  ``MPI_Pack``/``Send``/``Recv``/``Unpack``) and its directive
+  replacement of Listing 5 (:mod:`~repro.apps.wllsms.distribute`);
+* the random-spin-configuration transfer of Listing 6 (``MPI_Isend`` +
+  per-request ``MPI_Wait`` loops), the paper's ``Waitall`` ablation,
+  and the directive version of Listing 7 with communication/
+  computation overlap (:mod:`~repro.apps.wllsms.setevec`);
+* a real (toy Heisenberg) energy model so the Wang-Landau loop
+  computes checkable numbers (:mod:`~repro.apps.wllsms.wanglandau`,
+  :mod:`~repro.apps.wllsms.corestates`).
+
+The physics is deliberately miniature; the communication — message
+sizes, counts, roles, synchronization structure — is the paper's.
+"""
+
+from repro.apps.wllsms.atom import ATOM_SCALARS, AtomData, make_atoms
+from repro.apps.wllsms.liz import Topology
+from repro.apps.wllsms.app import AppConfig, PhaseTimes, run_app
+
+__all__ = [
+    "ATOM_SCALARS",
+    "AtomData",
+    "make_atoms",
+    "Topology",
+    "AppConfig",
+    "PhaseTimes",
+    "run_app",
+]

@@ -1,0 +1,153 @@
+"""Per-atom data: the exact payload of the paper's Listing 4.
+
+Each atom carries the scalar block the original code packs field by
+field (local_id, jmt, jws, xstart, rmt, header[80], alat, efermi,
+vdif, ztotss, zcorss, evec[3], nspin, numc) plus the matrices it ships
+as contiguous runs: the potential ``vr`` and charge density ``rhotot``
+(each ``2*t`` doubles for ``t = vr.n_row()``), and the core-state
+arrays ``ec`` (doubles) and ``nc``/``lc``/``kc`` (ints), each ``2*tc``
+elements.
+
+The directive version (Listing 5) groups the scalars into a single
+composite — :data:`ATOM_SCALARS` — whose MPI struct the compiler
+generates automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dtypes import CompositeType, extract_composite
+from repro.util.rng import rank_rng
+
+#: The scalar block as one composite type (directive version's
+#: ``scalaratomdata``). Field order follows Listing 4's pack sequence.
+ATOM_SCALARS: CompositeType = extract_composite("AtomScalars", {
+    "local_id": "int",
+    "jmt": "int",
+    "jws": "int",
+    "xstart": "double",
+    "rmt": "double",
+    "header": ("char", 80),
+    "alat": "double",
+    "efermi": "double",
+    "vdif": "double",
+    "ztotss": "double",
+    "zcorss": "double",
+    "evec": ("double", 3),
+    "nspin": "int",
+    "numc": "int",
+})
+
+
+@dataclass
+class AtomData:
+    """One atom's communicated state."""
+
+    scalars: np.ndarray          # shape (1,), dtype ATOM_SCALARS
+    vr: np.ndarray               # (t, 2) float64 — potential
+    rhotot: np.ndarray           # (t, 2) float64 — charge density
+    ec: np.ndarray               # (tc, 2) float64 — core energies
+    nc: np.ndarray               # (tc, 2) int32 — principal q. numbers
+    lc: np.ndarray               # (tc, 2) int32 — angular momenta
+    kc: np.ndarray               # (tc, 2) int32 — kappa q. numbers
+
+    @property
+    def t(self) -> int:
+        """Radial-grid rows of ``vr``/``rhotot``."""
+        return self.vr.shape[0]
+
+    @property
+    def tc(self) -> int:
+        """Core-state rows of ``ec``/``nc``/``lc``/``kc``."""
+        return self.ec.shape[0]
+
+    @property
+    def payload_bytes(self) -> int:
+        """Total communicated bytes for this atom."""
+        return (self.scalars.nbytes + self.vr.nbytes + self.rhotot.nbytes
+                + self.ec.nbytes + self.nc.nbytes + self.lc.nbytes
+                + self.kc.nbytes)
+
+    @classmethod
+    def empty(cls, t: int, tc: int) -> "AtomData":
+        """Zeroed receive-side storage with the declared extents."""
+        return cls(
+            scalars=ATOM_SCALARS.zeros(1),
+            vr=np.zeros((t, 2)),
+            rhotot=np.zeros((t, 2)),
+            ec=np.zeros((tc, 2)),
+            nc=np.zeros((tc, 2), dtype=np.int32),
+            lc=np.zeros((tc, 2), dtype=np.int32),
+            kc=np.zeros((tc, 2), dtype=np.int32),
+        )
+
+    def resize_potential(self, t: int) -> None:
+        """Grow the potential arrays (Listing 4's resizePotential)."""
+        if t > self.vr.shape[0]:
+            self.vr = np.zeros((t, 2))
+            self.rhotot = np.zeros((t, 2))
+
+    def resize_core(self, tc: int) -> None:
+        """Grow the core-state arrays (Listing 4's resizeCore)."""
+        if tc > self.ec.shape[0]:
+            self.ec = np.zeros((tc, 2))
+            self.nc = np.zeros((tc, 2), dtype=np.int32)
+            self.lc = np.zeros((tc, 2), dtype=np.int32)
+            self.kc = np.zeros((tc, 2), dtype=np.int32)
+
+    def equals(self, other: "AtomData") -> bool:
+        """Field-by-field equality (tests use this after transfers)."""
+        return (np.array_equal(self.scalars, other.scalars)
+                and np.array_equal(self.vr, other.vr)
+                and np.array_equal(self.rhotot, other.rhotot)
+                and np.array_equal(self.ec, other.ec)
+                and np.array_equal(self.nc, other.nc)
+                and np.array_equal(self.lc, other.lc)
+                and np.array_equal(self.kc, other.kc))
+
+
+def make_atom(rng: np.random.Generator, local_id: int, t: int,
+              tc: int, z: float = 26.0) -> AtomData:
+    """A synthetic Fe-like atom with plausible field contents."""
+    atom = AtomData.empty(t, tc)
+    s = atom.scalars
+    s["local_id"] = local_id
+    s["jmt"] = t
+    s["jws"] = t - t // 8
+    s["xstart"] = -11.13
+    s["rmt"] = 2.26
+    header = f"Fe atom {local_id} (synthetic, Z={z})".encode()[:80]
+    s["header"][0, :len(header)] = np.frombuffer(header, dtype=np.int8)
+    s["alat"] = 5.42
+    s["efermi"] = 0.63
+    s["vdif"] = 0.0
+    s["ztotss"] = z
+    s["zcorss"] = z - 8.0
+    evec = rng.normal(size=3)
+    s["evec"][0] = evec / np.linalg.norm(evec)
+    s["nspin"] = 2
+    s["numc"] = tc
+    # Radial grids: a screened-Coulomb-ish potential and a decaying
+    # density; two spin channels as the two columns.
+    r = np.linspace(1e-3, float(s["rmt"][0]), t)
+    for spin in range(2):
+        atom.vr[:, spin] = -2.0 * z * np.exp(-r) / r * (1 + 0.01 * spin)
+        atom.rhotot[:, spin] = z * np.exp(-2.0 * r) * (1 + 0.02 * spin)
+    # Core states: (n, l, kappa) ladders with hydrogenic-ish energies.
+    ns = 1 + np.arange(tc)
+    for spin in range(2):
+        atom.ec[:, spin] = -z * z / (2.0 * ns ** 2) * (1 + 1e-3 * spin)
+        atom.nc[:, spin] = ns
+        atom.lc[:, spin] = np.maximum(ns - 1, 0)
+        atom.kc[:, spin] = -(np.maximum(ns - 1, 0) + 1)
+    return atom
+
+
+def make_atoms(seed: int, count: int, t: int = 512,
+               tc: int = 8) -> list[AtomData]:
+    """The synthetic input deck (the paper used sixteen iron atoms)."""
+    rng = rank_rng(seed, 0)
+    return [make_atom(rng, i, t, tc) for i in range(count)]

@@ -1,0 +1,76 @@
+"""``calculateCoreStates``: the energy kernel the paper overlaps.
+
+The real WL-LSMS solves the Dirac equation for the core electrons; we
+substitute a miniature-but-real computation (a spin-coupled sum over
+the core-state ladder) plus a modelled cost so the compute:
+communication ratio can be set to the paper's measured 19:1 — and
+scaled by the projected 10x GPU speedup Fig. 5 assumes.
+
+The paper notes the *first* part of the computation does not depend on
+the random spin configurations, which is what makes overlapping it
+with the spin-configuration communication legal. We expose that split:
+``phase1_energy`` uses only the atom's own data (overlappable),
+``phase2_energy`` couples to the received spin vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.wllsms.atom import AtomData
+from repro.core.buffers import array_of
+from repro.sim.process import Env
+
+
+def phase1_energy(env: Env, atom: AtomData, *,
+                  cost_seconds: float) -> float:
+    """Spin-independent core-state preparation (overlappable).
+
+    Charges ``cost_seconds`` of modelled compute and returns the
+    spin-independent part of the atom's core energy.
+    """
+    ec = array_of(atom.ec)
+    nc = array_of(atom.nc)
+    vr = array_of(atom.vr)
+    env.compute(cost_seconds, label="calculateCoreStates.phase1")
+    # Sum of occupied core levels, weighted by degeneracy 2(2l+1)-ish,
+    # plus a potential-well correction from the radial grid.
+    degeneracy = 2.0 * (2.0 * np.abs(array_of(atom.lc)) + 1.0)
+    well = float(vr[:, 0].mean()) * 1e-3
+    return float((ec * degeneracy).sum() / max(nc.max(), 1)) + well
+
+
+def phase2_energy(env: Env, atom: AtomData, spin: np.ndarray, *,
+                  cost_seconds: float) -> float:
+    """Spin-coupled correction (must wait for the received evec)."""
+    env.compute(cost_seconds, label="calculateCoreStates.phase2")
+    s = array_of(atom.scalars)
+    vdif = float(s["vdif"][0])
+    zcor = float(s["zcorss"][0])
+    moment = float(np.clip(spin[2], -1.0, 1.0))  # z-projection coupling
+    return -0.5 * zcor * moment + vdif
+
+
+def core_state_energy(env: Env, atom: AtomData, spin: np.ndarray, *,
+                      phase1_seconds: float,
+                      phase2_seconds: float) -> float:
+    """Full ``calculateCoreStates`` for one atom."""
+    return (phase1_energy(env, atom, cost_seconds=phase1_seconds)
+            + phase2_energy(env, atom, spin, cost_seconds=phase2_seconds))
+
+
+def calibrated_cost(model, group_size: int, *, ratio: float = 19.0,
+                    gpu_speedup: float = 1.0) -> float:
+    """Per-rank core-state compute seconds for one WL step.
+
+    Section IV-B: the overall compute:communication ratio in WL-LSMS is
+    19:1, so the kernel cost is set to ``ratio`` times the estimated
+    original spin-configuration communication time (the privileged
+    rank's serialized per-message software path), divided by the
+    assumed accelerator speedup (Fig. 5 projects 10x).
+    """
+    tp = model.transport("mpi2s")
+    per_message = (tp.send_overhead(24) + model.request_alloc_overhead
+                   + model.wait_overhead)
+    comm_time = (group_size - 1) * per_message
+    return ratio * comm_time / gpu_speedup

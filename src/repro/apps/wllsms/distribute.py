@@ -1,0 +1,221 @@
+"""Single-atom-data distribution: Listing 4 vs Listing 5.
+
+Stage A (common to all variants): the Wang-Landau rank sends each LSMS
+instance's input deck to its privileged rank, serially — the stage that
+makes total distribution time grow with the number of instances.
+
+Stage B (the part the paper rewrote): inside each LIZ the privileged
+rank sends every non-privileged member its atom:
+
+* ``original`` — the Listing 4 transcription: a field-by-field
+  ``MPI_Pack`` sequence into one ``MPI_PACKED`` buffer, a blocking
+  send, and the mirrored ``MPI_Unpack`` sequence with the
+  ``resizePotential``/``resizeCore`` underflow handling;
+* ``directive`` — the Listing 5 transcription: one ``comm_parameters``
+  region holding three ``comm_p2p`` instances (the scalar composite,
+  the ``vr``/``rhotot`` pair, the ``ec``/``nc``/``lc``/``kc`` group),
+  re-targetable to MPI or SHMEM.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import mpi
+from repro.apps.wllsms.atom import AtomData
+from repro.apps.wllsms.liz import Topology
+from repro.core import comm_p2p, comm_parameters
+from repro.sim.process import Env
+
+
+def atom_packed_size(t: int, tc: int) -> int:
+    """Staging-buffer size for one packed atom (Listing 4's ``s``)."""
+    scalar_bytes = 4 * 5 + 8 * 9 + 80  # 5 ints, 6 doubles + evec[3], header
+    return (scalar_bytes + 2 * 4  # two length prefixes
+            + 2 * (2 * t * 8)     # vr, rhotot
+            + 2 * tc * 8          # ec
+            + 3 * (2 * tc * 4)    # nc, lc, kc
+            + 64)                 # slack, as the original over-allocates
+
+
+def pack_atom(comm: mpi.Comm, atom: AtomData, buf: bytearray) -> int:
+    """The sender half of Listing 4 (lines 4-32). Returns the size."""
+    s = atom.scalars
+    pos = 0
+    pos = mpi.Pack(comm, s["local_id"], buf, pos)
+    pos = mpi.Pack(comm, s["jmt"], buf, pos)
+    pos = mpi.Pack(comm, s["jws"], buf, pos)
+    pos = mpi.Pack(comm, s["xstart"], buf, pos)
+    pos = mpi.Pack(comm, s["rmt"], buf, pos)
+    pos = mpi.Pack(comm, s["header"][0], buf, pos)
+    pos = mpi.Pack(comm, s["alat"], buf, pos)
+    pos = mpi.Pack(comm, s["efermi"], buf, pos)
+    pos = mpi.Pack(comm, s["vdif"], buf, pos)
+    pos = mpi.Pack(comm, s["ztotss"], buf, pos)
+    pos = mpi.Pack(comm, s["zcorss"], buf, pos)
+    pos = mpi.Pack(comm, s["evec"][0], buf, pos)
+    pos = mpi.Pack(comm, s["nspin"], buf, pos)
+    pos = mpi.Pack(comm, s["numc"], buf, pos)
+    t = np.array([atom.vr.shape[0]], dtype=np.int32)
+    pos = mpi.Pack(comm, t, buf, pos)
+    pos = mpi.Pack(comm, atom.vr, buf, pos)
+    pos = mpi.Pack(comm, atom.rhotot, buf, pos)
+    tc = np.array([atom.ec.shape[0]], dtype=np.int32)
+    pos = mpi.Pack(comm, tc, buf, pos)
+    pos = mpi.Pack(comm, atom.ec, buf, pos)
+    pos = mpi.Pack(comm, atom.nc, buf, pos)
+    pos = mpi.Pack(comm, atom.lc, buf, pos)
+    pos = mpi.Pack(comm, atom.kc, buf, pos)
+    return pos
+
+
+def unpack_atom(comm: mpi.Comm, data: bytes, atom: AtomData) -> None:
+    """The receiver half of Listing 4 (lines 41-73), in place."""
+    s = atom.scalars
+    pos = 0
+    for name in ("local_id", "jmt", "jws"):
+        pos = mpi.Unpack(comm, data, pos, s[name])
+    for name in ("xstart", "rmt"):
+        pos = mpi.Unpack(comm, data, pos, s[name])
+    pos = mpi.Unpack(comm, data, pos, s["header"][0])
+    for name in ("alat", "efermi", "vdif", "ztotss", "zcorss"):
+        pos = mpi.Unpack(comm, data, pos, s[name])
+    pos = mpi.Unpack(comm, data, pos, s["evec"][0])
+    for name in ("nspin", "numc"):
+        pos = mpi.Unpack(comm, data, pos, s[name])
+    t = np.zeros(1, dtype=np.int32)
+    pos = mpi.Unpack(comm, data, pos, t)
+    if int(t[0]) > atom.vr.shape[0]:
+        atom.resize_potential(int(t[0]) + 50)
+    pos = mpi.Unpack(comm, data, pos, atom.vr[:int(t[0])])
+    pos = mpi.Unpack(comm, data, pos, atom.rhotot[:int(t[0])])
+    tc = np.zeros(1, dtype=np.int32)
+    pos = mpi.Unpack(comm, data, pos, tc)
+    if int(tc[0]) > atom.nc.shape[0]:
+        atom.resize_core(int(tc[0]))
+    pos = mpi.Unpack(comm, data, pos, atom.ec[:int(tc[0])])
+    pos = mpi.Unpack(comm, data, pos, atom.nc[:int(tc[0])])
+    pos = mpi.Unpack(comm, data, pos, atom.lc[:int(tc[0])])
+    pos = mpi.Unpack(comm, data, pos, atom.kc[:int(tc[0])])
+
+
+# ---------------------------------------------------------------------------
+# Stage A: WL rank -> privileged ranks (common to every variant)
+
+
+def stage_a_send_decks(comm: mpi.Comm, topo: Topology,
+                       atoms: list[AtomData]) -> None:
+    """The WL rank ships the whole deck to each privileged rank."""
+    buf = bytearray(atom_packed_size(atoms[0].t, atoms[0].tc))
+    for g in range(topo.n_lsms):
+        priv = topo.privileged_rank_of(g)
+        for atom in atoms:
+            size = pack_atom(comm, atom, buf)
+            raw = np.frombuffer(bytes(buf), dtype=np.uint8)
+            comm.Send((raw, size, mpi.PACKED), dest=priv, tag=7)
+
+
+def stage_a_recv_deck(comm: mpi.Comm, topo: Topology, t: int,
+                      tc: int) -> list[AtomData]:
+    """A privileged rank receives its instance's deck."""
+    deck = []
+    raw = np.zeros(atom_packed_size(t, tc), dtype=np.uint8)
+    for _ in range(topo.atoms_per_group()):
+        st = mpi.Status()
+        comm.Recv(raw, source=topo.wl_rank, tag=7, status=st)
+        atom = AtomData.empty(t, tc)
+        unpack_atom(comm, raw.tobytes(), atom)
+        deck.append(atom)
+    return deck
+
+
+# ---------------------------------------------------------------------------
+# Stage B, original: Listing 4 per (privileged -> member) transfer
+
+
+def distribute_original(comm: mpi.Comm, topo: Topology, env: Env,
+                        deck: list[AtomData] | None, my_atom: AtomData,
+                        ) -> None:
+    """Listing 4: pack/send on the privileged rank, recv/unpack on the
+    non-privileged ones. ``deck`` is non-None on privileged ranks."""
+    rank = env.rank
+    if topo.is_wl(rank):
+        return
+    g = topo.group_of(rank)
+    if topo.is_privileged(rank):
+        assert deck is not None
+        buf = bytearray(atom_packed_size(deck[0].t, deck[0].tc))
+        for idx, member in enumerate(topo.members_of(g)):
+            if member == rank:
+                copy_atom(deck[idx], my_atom)
+                continue
+            size = pack_atom(comm, deck[idx], buf)
+            raw = np.frombuffer(bytes(buf), dtype=np.uint8)
+            comm.Send((raw, size, mpi.PACKED), dest=member, tag=0)
+    else:
+        raw = np.zeros(atom_packed_size(my_atom.t, my_atom.tc),
+                       dtype=np.uint8)
+        st = mpi.Status()
+        comm.Recv(raw, source=topo.privileged_rank_of(g), tag=0,
+                  status=st)
+        unpack_atom(comm, raw.tobytes(), my_atom)
+
+
+def copy_atom(src: AtomData, dst: AtomData) -> None:
+    """Local copy (the privileged rank keeps its own atom).
+
+    Either side's arrays may be symmetric handles (SHMEM variant).
+    """
+    from repro.core.buffers import array_of
+    for field in ("scalars", "vr", "rhotot", "ec", "nc", "lc", "kc"):
+        array_of(getattr(dst, field))[...] = array_of(getattr(src, field))
+
+
+# ---------------------------------------------------------------------------
+# Stage B, directive: Listing 5
+
+
+def distribute_directive(env: Env, topo: Topology,
+                         deck: list[AtomData] | None, my_atom: AtomData,
+                         target: str = "TARGET_COMM_MPI_2SIDE") -> None:
+    """Listing 5: three comm_p2p instances in one comm_parameters
+    region per (privileged -> member) pair.
+
+    ``my_atom``'s arrays are the receive buffers; for the SHMEM target
+    they must be symmetric (the app allocates them so).
+    """
+    rank = env.rank
+    if topo.is_wl(rank):
+        return
+    g = topo.group_of(rank)
+    from_rank = topo.privileged_rank_of(g)
+    deck_t = deck[0].t if deck is not None else my_atom.t
+    members = topo.members_of(g)
+    for idx, to_rank in enumerate(members):
+        if to_rank == from_rank:
+            if rank == from_rank:
+                copy_atom(deck[idx], my_atom)
+            continue
+        if rank == from_rank:
+            send_atom = deck[idx]
+        else:
+            send_atom = my_atom  # unused unless this rank sends
+        with comm_parameters(env,
+                             sendwhen=rank == from_rank,
+                             receivewhen=rank == to_rank,
+                             sender=from_rank, receiver=to_rank,
+                             target=target):
+            with comm_p2p(env, sbuf=send_atom.scalars,
+                          rbuf=my_atom.scalars, count=1):
+                pass
+            with comm_p2p(env, sbuf=[send_atom.vr, send_atom.rhotot],
+                          rbuf=[my_atom.vr, my_atom.rhotot],
+                          count=2 * deck_t):
+                pass
+            with comm_p2p(env,
+                          sbuf=[send_atom.ec, send_atom.nc,
+                                send_atom.lc, send_atom.kc],
+                          rbuf=[my_atom.ec, my_atom.nc,
+                                my_atom.lc, my_atom.kc],
+                          count=2 * my_atom.tc):
+                pass

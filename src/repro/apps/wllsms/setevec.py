@@ -1,0 +1,126 @@
+"""Random-spin-configuration transfer: Listing 6 / ablation / Listing 7.
+
+Within one LSMS instance the privileged rank holds the new spin
+configuration for all ``num_types`` atoms (3 doubles each, 24-byte
+messages) and delivers each atom's vector to its owner:
+
+* :func:`set_evec_original` — Listing 6: a loop of ``MPI_Isend`` with
+  user-managed request arrays, completed by a *loop of* ``MPI_Wait``;
+  receivers mirror with ``MPI_Irecv`` + wait loops.
+* :func:`set_evec_waitall` — the paper's ablation: identical except a
+  single ``MPI_Waitall`` per side ("about 2.6x over the original").
+* :func:`set_evec_directive` — Listing 7: ``comm_p2p`` per atom inside
+  one ``comm_parameters`` region (``count(3)``,
+  ``max_comm_iter(num_types)``, sync at ``END_PARAM_REGION``),
+  re-targetable to MPI or SHMEM, with an optional overlapped body
+  (the core-state computation of Fig. 5).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro import mpi
+from repro.apps.wllsms.liz import Topology
+from repro.core import comm_p2p, comm_parameters
+from repro.core.buffers import array_of
+from repro.sim.process import Env
+
+
+def _group_comm(env: Env, topo: Topology) -> mpi.Comm:
+    """The LSMS instance's communicator (privileged = local rank 0)."""
+    world = mpi.init(env)
+    g = topo.group_of(env.rank)
+    group = world.world.group_for(tuple(topo.members_of(g)))
+    return mpi.Comm(world.world, group, env)
+
+
+def set_evec_original(env: Env, topo: Topology, ev: np.ndarray | None,
+                      my_evec: np.ndarray) -> None:
+    """Listing 6 transcription over the instance communicator."""
+    comm = _group_comm(env, topo)
+    num_types = topo.atoms_per_group()
+    if comm.rank == 0:
+        requests = []
+        for p in range(num_types):
+            if p == 0:
+                array_of(my_evec)[...] = ev[3 * p:3 * p + 3]
+                continue
+            requests.append(
+                comm.Isend(ev[3 * p:3 * p + 3], dest=p, tag=p))
+        for req in requests:
+            comm.Wait(req)
+    else:
+        num_local = 1
+        requests = []
+        for _ in range(num_local):
+            requests.append(
+                comm.Irecv(array_of(my_evec), source=0, tag=comm.rank))
+        for req in requests:
+            comm.Wait(req)
+
+
+def set_evec_waitall(env: Env, topo: Topology, ev: np.ndarray | None,
+                     my_evec: np.ndarray) -> None:
+    """The ablation: Listing 6 with one MPI_Waitall per loop."""
+    comm = _group_comm(env, topo)
+    num_types = topo.atoms_per_group()
+    if comm.rank == 0:
+        requests = []
+        for p in range(num_types):
+            if p == 0:
+                array_of(my_evec)[...] = ev[3 * p:3 * p + 3]
+                continue
+            requests.append(
+                comm.Isend(ev[3 * p:3 * p + 3], dest=p, tag=p))
+        comm.Waitall(requests)
+    else:
+        requests = [comm.Irecv(array_of(my_evec), source=0,
+                               tag=comm.rank)]
+        comm.Waitall(requests)
+
+
+def set_evec_directive(env: Env, topo: Topology, ev: np.ndarray | None,
+                       my_evec, *,
+                       target: str = "TARGET_COMM_MPI_2SIDE",
+                       overlap_body: Callable[[Env, int], None] | None
+                       = None) -> None:
+    """Listing 7 transcription.
+
+    ``overlap_body(env, p)``, when given, is the computation overlapped
+    with the in-flight transfers (legal because it is the
+    spin-independent phase; see :mod:`repro.apps.wllsms.corestates`).
+    On receiving ranks it runs inside each instance's body; on the
+    privileged sender it runs once *after* all sends are posted (still
+    inside the region, so it overlaps the sends) — computing before
+    posting would delay every receiver.
+    """
+    rank = env.rank
+    g = topo.group_of(rank)
+    priv = topo.privileged_rank_of(g)
+    members = topo.members_of(g)
+    num_types = topo.atoms_per_group()
+    if rank == priv:
+        array_of(my_evec)[...] = ev[0:3]
+    with comm_parameters(env,
+                         sendwhen=rank == priv,
+                         receivewhen=rank != priv,
+                         sender=priv,
+                         count=3,
+                         max_comm_iter=num_types,
+                         place_sync="END_PARAM_REGION",
+                         target=target):
+        for p in range(1, num_types):
+            owner = members[p]
+            sb = (ev[3 * p:3 * p + 3] if rank == priv
+                  else array_of(my_evec))
+            with comm_p2p(env, receiver=owner,
+                          sendwhen=rank == priv,
+                          receivewhen=rank == owner,
+                          sbuf=sb, rbuf=my_evec):
+                if overlap_body is not None and rank != priv:
+                    overlap_body(env, p)
+        if overlap_body is not None and rank == priv:
+            overlap_body(env, 0)

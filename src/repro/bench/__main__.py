@@ -1,0 +1,89 @@
+"""CLI: regenerate the paper's figures.
+
+Usage::
+
+    python -m repro.bench fig3 [--quick]
+    python -m repro.bench fig4 [--quick]
+    python -m repro.bench fig5 [--quick]
+    python -m repro.bench loc
+    python -m repro.bench all [--quick]
+
+``--quick`` runs three process counts instead of the paper's twenty.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.harness import figure3, figure4, figure5, productivity
+from repro.bench.report import mean_speedup, render_figure, render_speedups
+
+
+def _fig3(quick: bool) -> None:
+    fig = figure3(quick=quick)
+    print(render_figure(fig))
+    print()
+    print(render_speedups(fig, "original"))
+
+
+def _fig4(quick: bool) -> None:
+    fig = figure4(quick=quick)
+    print(render_figure(fig, float_fmt=".4g"))
+    print()
+    print(render_speedups(fig, "original"))
+    mpi_up = mean_speedup(fig, "original", "MPI target / directive")
+    shm_up = mean_speedup(fig, "original", "SHMEM target / directive")
+    abl_up = mean_speedup(fig, "original",
+                          "original + Waitall (ablation)")
+    print()
+    print(f"paper: MPI ~4x, SHMEM ~38x, Waitall ablation ~2.6x")
+    print(f"measured: MPI {mpi_up:.2f}x, SHMEM {shm_up:.2f}x, "
+          f"Waitall {abl_up:.2f}x")
+
+
+def _fig5(quick: bool) -> None:
+    fig = figure5(quick=quick)
+    print(render_figure(fig, float_fmt=".4g"))
+    print()
+    print(render_speedups(fig,
+                          "original comm + optimized computation"))
+
+
+def _loc(_quick: bool) -> None:
+    result = productivity()
+    print("Listing 4 vs Listing 5 (productivity)")
+    print(f"  original (pack/unpack) source lines: "
+          f"{result['original_loc']}")
+    print(f"  directive source lines:              "
+          f"{result['directive_loc']}")
+    print(f"  reduction factor:                    "
+          f"{result['reduction_factor']:.1f}x")
+    print(f"  static translation of Listing 5 generates: "
+          f"{result['generated_isend_calls']} MPI_Isend, "
+          f"{result['generated_waitall_calls']} MPI_Waitall, "
+          f"{result['generated_struct_creations']} struct creation(s)")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation figures.")
+    parser.add_argument("figure",
+                        choices=["fig3", "fig4", "fig5", "loc", "all"])
+    parser.add_argument("--quick", action="store_true",
+                        help="three process counts instead of twenty")
+    args = parser.parse_args(argv)
+    runners = {"fig3": _fig3, "fig4": _fig4, "fig5": _fig5, "loc": _loc}
+    if args.figure == "all":
+        for name in ("fig3", "fig4", "fig5", "loc"):
+            print(f"=== {name} ===")
+            runners[name](args.quick)
+            print()
+    else:
+        runners[args.figure](args.quick)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Plain-text rendering of figure series and speedup tables."""
+
+from __future__ import annotations
+
+from repro.bench.harness import FigureSeries
+from repro.util.tables import Table
+
+
+def render_figure(fig: FigureSeries, *, float_fmt: str = ".4g") -> str:
+    """The figure as an aligned table: one row per x, one column per
+    series (the same rows the paper's plots show)."""
+    headers = [fig.xlabel] + list(fig.series)
+    table = Table(headers, float_fmt=float_fmt)
+    for i, x in enumerate(fig.xs):
+        table.add_row([x] + [fig.series[s][i] for s in fig.series])
+    return f"{fig.name}  ({fig.ylabel})\n{table.render()}"
+
+
+def render_speedups(fig: FigureSeries, baseline: str,
+                    *, float_fmt: str = ".3g") -> str:
+    """Per-x speedups of every series relative to ``baseline``."""
+    others = [s for s in fig.series if s != baseline]
+    table = Table([fig.xlabel] + [f"{s} speedup" for s in others],
+                  float_fmt=float_fmt)
+    for i, x in enumerate(fig.xs):
+        base = fig.series[baseline][i]
+        table.add_row([x] + [base / fig.series[s][i] for s in others])
+    avg = Table(["series", "average speedup"], float_fmt=float_fmt)
+    for s in others:
+        ratios = fig.ratio(baseline, s)
+        avg.add_row([s, sum(ratios) / len(ratios)])
+    return (f"Speedups vs {baseline!r}\n{table.render()}\n\n"
+            f"{avg.render()}")
+
+
+def mean_speedup(fig: FigureSeries, baseline: str, series: str) -> float:
+    """Average of ``baseline / series`` across the sweep."""
+    ratios = fig.ratio(baseline, series)
+    return sum(ratios) / len(ratios)

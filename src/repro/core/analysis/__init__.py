@@ -1,0 +1,46 @@
+"""Compiler analyses over the directive IR (and runtime helpers).
+
+These implement the "automatic analysis and optimization" story of the
+paper: buffer-independence of adjacent directives, synchronization
+consolidation/placement, count and datatype inference, SPMD dataflow
+(send/receive sets per rank), and overlap legality.
+"""
+
+from repro.core.analysis.independence import (
+    arrays_independent,
+    buffer_names,
+    names_independent,
+)
+from repro.core.analysis.infer import (
+    infer_count_static,
+    infer_element_type,
+)
+from repro.core.analysis.syncopt import SyncPlan, plan_synchronization
+from repro.core.analysis.dataflow import (
+    CommGraph,
+    MatchingIssue,
+    classify_pattern,
+    comm_graph,
+    validate_matching,
+)
+from repro.core.analysis.overlap import overlap_legal
+from repro.core.analysis.lint import Diagnostic, LintReport, lint_program
+
+__all__ = [
+    "Diagnostic",
+    "LintReport",
+    "lint_program",
+    "arrays_independent",
+    "buffer_names",
+    "names_independent",
+    "infer_count_static",
+    "infer_element_type",
+    "SyncPlan",
+    "plan_synchronization",
+    "CommGraph",
+    "MatchingIssue",
+    "classify_pattern",
+    "comm_graph",
+    "validate_matching",
+    "overlap_legal",
+]

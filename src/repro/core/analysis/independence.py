@@ -1,0 +1,90 @@
+"""Buffer-independence of adjacent directives.
+
+Section III-A: "For every set of adjacent comm_p2p directives with
+independent buffers, synchronization is consolidated and reduced in
+most cases to one call at the end of all the adjacent communication."
+
+Two granularities:
+
+* **static** — by buffer *name*: adjacent instances are independent
+  when their sbuf/rbuf name sets are disjoint (a conservative symbolic
+  check; aliasing through pointers defeats it, which is exactly why the
+  paper prohibits pointers inside composite types);
+* **runtime** — by *memory*: ``numpy.shares_memory`` between the actual
+  arrays, used by the directive runtime before joining a consolidated
+  sync group.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.core.ir import ClauseExprs, P2PNode
+
+
+def buffer_names(clauses: ClauseExprs) -> set[str]:
+    """The base buffer identifiers a directive references.
+
+    ``&buf[i]``/``buf[i]`` expressions reduce to ``buf``; plain names
+    stay as-is. This is the symbol-level view a compiler gets from the
+    pragma's argument list.
+    """
+    names: set[str] = set()
+    for expr in (*clauses.sbuf, *clauses.rbuf):
+        names.add(base_identifier(expr))
+    return names
+
+
+def base_identifier(buffer_expr: str) -> str:
+    """Strip address-of, indexing and member access to the base name."""
+    e = buffer_expr.strip().lstrip("&").strip()
+    for sep in ("[", "(", ".", "->"):
+        idx = e.find(sep)
+        if idx != -1:
+            e = e[:idx]
+    return e.strip()
+
+
+def names_independent(a: ClauseExprs | set[str],
+                      b: ClauseExprs | set[str]) -> bool:
+    """Symbolic independence: no shared base buffer identifiers."""
+    sa = a if isinstance(a, set) else buffer_names(a)
+    sb = b if isinstance(b, set) else buffer_names(b)
+    return sa.isdisjoint(sb)
+
+
+def arrays_independent(a: Iterable[np.ndarray],
+                       b: Iterable[np.ndarray]) -> bool:
+    """Runtime independence: no pair of arrays shares memory."""
+    bl = list(b)
+    for x in a:
+        for y in bl:
+            if np.shares_memory(x, y):
+                return False
+    return True
+
+
+def independent_groups(instances: list[P2PNode]) -> list[list[P2PNode]]:
+    """Partition adjacent instances into maximal consolidatable groups.
+
+    Scanning in order, an instance joins the current group while its
+    buffer names are disjoint from every name already in the group;
+    a dependent instance closes the group (its sync must precede the
+    dependent communication) and starts a new one.
+    """
+    groups: list[list[P2PNode]] = []
+    current: list[P2PNode] = []
+    seen: set[str] = set()
+    for node in instances:
+        names = buffer_names(node.clauses)
+        if current and not names.isdisjoint(seen):
+            groups.append(current)
+            current = []
+            seen = set()
+        current.append(node)
+        seen |= names
+    if current:
+        groups.append(current)
+    return groups

@@ -1,0 +1,97 @@
+"""Static count and datatype inference for directives.
+
+Section III-B: ``count`` may be omitted if a buffer in ``sbuf``/``rbuf``
+is an array — the generated message size is the array size, or the
+*smallest* size when several buffers are arrays. Section III-A: buffer
+types map to MPI basic types (primitives) or generated MPI structs
+(composites); for SHMEM the element storage size selects the call name.
+"""
+
+from __future__ import annotations
+
+from repro.core.analysis.independence import base_identifier
+from repro.core.ir import BufferDecl, ClauseExprs
+from repro.dtypes.composite import CompositeType
+from repro.dtypes.primitives import PrimitiveType
+from repro.errors import ClauseError
+
+
+def _decl_of(expr: str, decls: dict[str, BufferDecl]) -> BufferDecl:
+    name = base_identifier(expr)
+    decl = decls.get(name)
+    if decl is None:
+        raise ClauseError(
+            f"buffer {expr!r} (base {name!r}) has no visible declaration")
+    return decl
+
+
+def infer_count_static(clauses: ClauseExprs,
+                       decls: dict[str, BufferDecl]) -> str:
+    """The count *expression* the generated code should use.
+
+    An explicit ``count`` clause wins. Otherwise the smallest declared
+    array length among the listed buffers becomes a literal count; if
+    no buffer is an array (all pointers), the directive is rejected.
+    Indexed buffer expressions (``&buf[p]``) count as single elements of
+    the base array, matching the paper's Listing 3 usage with an
+    explicit count.
+    """
+    if "count" in clauses.exprs:
+        return clauses.exprs["count"]
+    lengths = []
+    for expr in (*clauses.sbuf, *clauses.rbuf):
+        decl = _decl_of(expr, decls)
+        if decl.is_array:
+            lengths.append(decl.length)
+    if not lengths:
+        raise ClauseError(
+            "count omitted but no buffer in sbuf/rbuf is a declared "
+            "array (Section III-B requires one)")
+    return str(min(lengths))
+
+
+def infer_element_type(clauses: ClauseExprs,
+                       decls: dict[str, BufferDecl]
+                       ) -> "PrimitiveType | CompositeType":
+    """The (single) element type of a directive's buffers.
+
+    All listed buffers must agree on their element type — the generated
+    transfer uses one MPI datatype / one SHMEM call name per directive.
+    """
+    types: list[PrimitiveType | CompositeType] = []
+    for expr in (*clauses.sbuf, *clauses.rbuf):
+        types.append(_decl_of(expr, decls).ctype)
+    first = types[0]
+    for t in types[1:]:
+        same = (t is first or t == first
+                or (isinstance(t, PrimitiveType)
+                    and isinstance(first, PrimitiveType)
+                    and t.size == first.size))
+        if not same:
+            raise ClauseError(
+                f"buffers mix element types ({_type_name(first)} vs "
+                f"{_type_name(t)}); one datatype per directive")
+    return first
+
+
+def _type_name(t: "PrimitiveType | CompositeType") -> str:
+    return t.c_name if isinstance(t, PrimitiveType) else t.name
+
+
+def shmem_call_for(ctype: "PrimitiveType | CompositeType") -> str:
+    """The SHMEM put call name matched to a buffer's storage size.
+
+    Section III-A: "communication calls that match the data type and
+    storage size of the buffers are generated."
+    """
+    if isinstance(ctype, CompositeType):
+        return "shmem_putmem"
+    if ctype.c_name == "double":
+        return "shmem_double_put"
+    if ctype.c_name == "float":
+        return "shmem_float_put"
+    if ctype.size == 8:
+        return "shmem_put64"
+    if ctype.size == 4:
+        return "shmem_put32"
+    return "shmem_putmem"

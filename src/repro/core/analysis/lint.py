@@ -1,0 +1,125 @@
+"""Whole-program directive linting.
+
+Bundles the static analyses into one diagnostic pass over a parsed
+:class:`~repro.core.ir.Program` — the "automated analysis" the paper
+argues directives enable that raw MPI defeats. Produces structured
+:class:`Diagnostic` records a tool (or the CLI's ``--analyze``) can
+render.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.analysis.dataflow import (
+    classify_pattern,
+    comm_graph,
+    validate_matching,
+)
+from repro.core.analysis.infer import infer_count_static
+from repro.core.analysis.overlap import overlap_legal
+from repro.core.analysis.syncopt import plan_synchronization
+from repro.core.ir import P2PNode, Program
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding about one directive (or the whole program)."""
+
+    severity: str        # "error" | "warning" | "info"
+    line: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.severity}: line {self.line}: {self.message}"
+
+
+@dataclass
+class LintReport:
+    """All findings plus the headline numbers."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    n_directives: int = 0
+    n_regions: int = 0
+    sync_calls: int = 0
+    sync_reduction: float = 1.0
+    patterns: dict[int, str] = field(default_factory=dict)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        """Findings that make the program untranslatable."""
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        """Findings worth fixing but not fatal."""
+        return [d for d in self.diagnostics if d.severity == "warning"]
+
+    def render(self) -> str:
+        """Human-readable report text."""
+        lines = [
+            f"{self.n_directives} comm_p2p in {self.n_regions} "
+            f"region(s); {self.sync_calls} synchronization call(s) "
+            f"({self.sync_reduction:.1f}x consolidation)",
+        ]
+        for line_no, pattern in sorted(self.patterns.items()):
+            lines.append(f"info: line {line_no}: pattern = {pattern}")
+        lines.extend(str(d) for d in self.diagnostics)
+        return "\n".join(lines)
+
+
+def lint_program(program: Program, nprocs: int = 8,
+                 extra_vars: dict | None = None) -> LintReport:
+    """Run every static analysis over a parsed program."""
+    report = LintReport()
+    report.n_directives = len(program.all_p2p())
+    report.n_regions = len(program.regions())
+    plan = plan_synchronization(program)
+    report.sync_calls = plan.total_sync_calls
+    report.sync_reduction = plan.reduction_factor(program)
+
+    for region_id, splits in plan.forced_splits.items():
+        region = next(r for r in program.regions()
+                      if id(r) == region_id)
+        report.diagnostics.append(Diagnostic(
+            "warning", region.line,
+            f"region has {splits} dependent buffer split(s); "
+            "synchronization cannot fully consolidate"))
+
+    for node in program.all_p2p():
+        _lint_directive(program, node, nprocs, extra_vars, report)
+    return report
+
+
+def _lint_directive(program: Program, node: P2PNode, nprocs: int,
+                    extra_vars: dict | None, report: LintReport) -> None:
+    region = next((r for r in program.regions()
+                   if node in r.p2p_instances()), None)
+    clauses = (region.clauses.merged_into(node.clauses)
+               if region is not None else node.clauses)
+    try:
+        clauses.require_complete()
+    except ReproError as exc:
+        report.diagnostics.append(Diagnostic("error", node.line,
+                                             str(exc)))
+        return
+    try:
+        infer_count_static(clauses, program.decls)
+    except ReproError as exc:
+        report.diagnostics.append(Diagnostic("error", node.line,
+                                             str(exc)))
+    try:
+        graph = comm_graph(clauses, nprocs, extra_vars)
+        report.patterns[node.line] = classify_pattern(graph)
+        for issue in validate_matching(graph):
+            report.diagnostics.append(Diagnostic(
+                "warning", node.line, str(issue)))
+    except ReproError as exc:
+        report.diagnostics.append(Diagnostic(
+            "info", node.line,
+            f"pattern not statically evaluable: {exc}"))
+    verdict = overlap_legal(node)
+    if not verdict.legal:
+        report.diagnostics.append(Diagnostic(
+            "error", node.line, f"illegal overlap: {verdict.reason}"))

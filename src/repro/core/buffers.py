@@ -1,0 +1,107 @@
+"""Runtime buffer handling for the directives.
+
+The ``sbuf``/``rbuf`` clauses accept "a list of buffers ... pointers or
+arrays of primitive or composite type" (Section III-B). At runtime a
+buffer is a ``numpy`` array (a structured dtype is a composite type) or,
+for the SHMEM target, a :class:`repro.shmem.SymArray`. This module
+normalizes clause values to buffer lists, infers the message size when
+``count`` is omitted, and enforces the paper's allocation rule for
+SHMEM ("the buffers ... must also be symmetric data objects").
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.clauses import ClauseSet, Target
+from repro.errors import ClauseError, SymmetryError
+from repro.shmem.symheap import SymArray
+
+
+def as_buffer_list(value: Any, clause: str) -> list:
+    """Normalize a clause value to a non-empty list of buffers."""
+    if isinstance(value, (np.ndarray, SymArray)):
+        items = [value]
+    elif isinstance(value, (list, tuple)):
+        items = list(value)
+    else:
+        raise ClauseError(
+            f"{clause} must be a buffer or a list of buffers; "
+            f"got {type(value).__name__}")
+    if not items:
+        raise ClauseError(f"{clause} must list at least one buffer")
+    for b in items:
+        if not isinstance(b, (np.ndarray, SymArray)):
+            raise ClauseError(
+                f"{clause} entries must be numpy arrays (or symmetric "
+                f"arrays for the SHMEM target); got {type(b).__name__}")
+    return items
+
+
+def array_of(buf: np.ndarray | SymArray) -> np.ndarray:
+    """The local ndarray behind a buffer handle."""
+    return buf.data if isinstance(buf, SymArray) else buf
+
+
+def element_size(buf: np.ndarray | SymArray) -> int:
+    """Element storage size (bytes) of a buffer."""
+    return array_of(buf).dtype.itemsize
+
+
+def length_of(buf: np.ndarray | SymArray) -> int:
+    """Element count of a buffer."""
+    return array_of(buf).size
+
+
+def infer_count(clauses: ClauseSet, sbufs: list, rbufs: list) -> int:
+    """The directive's per-buffer element count.
+
+    If ``count`` is present, use it. Otherwise at least one buffer must
+    be an array (size > 1 or explicitly shaped); the inferred size is
+    the *smallest* array length among all listed buffers
+    (Section III-B: "If more than one of the buffers is an array, the
+    message size will be the size of the smallest array").
+    """
+    if clauses.has("count"):
+        return clauses.count
+    lengths = [length_of(b) for b in sbufs + rbufs]
+    arrays = [n for n in lengths if n >= 1]
+    if not arrays:
+        raise ClauseError(
+            "count was omitted but no buffer in sbuf/rbuf is an array; "
+            "provide count explicitly")
+    return min(arrays)
+
+
+def check_target_buffers(target: Target, sbufs: list, rbufs: list) -> None:
+    """Enforce per-target allocation requirements on buffer lists."""
+    if target is Target.SHMEM:
+        bad = [i for i, b in enumerate(rbufs) if not isinstance(b, SymArray)]
+        if bad:
+            raise SymmetryError(
+                "TARGET_COMM_SHMEM requires every rbuf entry to be a "
+                f"symmetric data object (shmem.malloc); entries {bad} "
+                "are plain arrays (Section III-B)")
+    if len(sbufs) != len(rbufs):
+        raise ClauseError(
+            f"sbuf and rbuf must list the same number of buffers "
+            f"(payloads pair up positionally); got {len(sbufs)} vs "
+            f"{len(rbufs)}")
+    for i, (s, r) in enumerate(zip(sbufs, rbufs)):
+        if element_size(s) != element_size(r):
+            raise ClauseError(
+                f"buffer pair {i}: element sizes differ "
+                f"({element_size(s)} vs {element_size(r)} bytes); "
+                "the generated transfer would reinterpret elements")
+
+
+def check_count_fits(count: int, sbufs: list, rbufs: list) -> None:
+    """A transfer of ``count`` elements must fit every buffer it touches."""
+    for name, bufs in (("sbuf", sbufs), ("rbuf", rbufs)):
+        for i, b in enumerate(bufs):
+            if count > length_of(b):
+                raise ClauseError(
+                    f"count {count} exceeds {name}[{i}] "
+                    f"({length_of(b)} elements)")

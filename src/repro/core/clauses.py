@@ -1,0 +1,220 @@
+"""The ten directive clauses and their validation rules.
+
+Section III-B of the paper defines ten clauses. Four are required —
+``sender``, ``receiver``, ``sbuf``, ``rbuf``; six are optional —
+``sendwhen``, ``receivewhen``, ``target``, ``count``, ``place_sync``,
+``max_comm_iter`` — and the last two may only be used with
+``comm_parameters``. The validation rules implemented here are the
+paper's:
+
+* ``sendwhen`` and ``receivewhen`` must both be present or both absent;
+* ``place_sync``/``max_comm_iter`` are rejected on ``comm_p2p``;
+* ``target`` accepts the three ``TARGET_COMM_*`` keywords, defaulting
+  to two-sided non-blocking MPI;
+* ``count`` may be omitted only when at least one listed buffer is an
+  array — the inferred message size is the *smallest* array length;
+* a ``comm_parameters`` region's clauses apply to every ``comm_p2p``
+  inside it, with instance clauses overriding.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, fields, replace
+from typing import Any
+
+from repro.errors import ClauseError
+
+
+class Target(enum.Enum):
+    """Keywords accepted by the ``target`` clause."""
+
+    MPI_1SIDE = "TARGET_COMM_MPI_1SIDE"
+    MPI_2SIDE = "TARGET_COMM_MPI_2SIDE"
+    SHMEM = "TARGET_COMM_SHMEM"
+
+    @classmethod
+    def parse(cls, value: "Target | str") -> "Target":
+        """Accept the enum member or its keyword spelling."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            raise ClauseError(
+                f"target clause accepts "
+                f"{[t.value for t in cls]}; got {value!r}") from None
+
+
+#: The default translation when no ``target`` clause is present
+#: (Section III-B: "the default library calls that are generated are
+#: MPI non-blocking send and receive").
+DEFAULT_TARGET = Target.MPI_2SIDE
+
+
+class SyncPlacement(enum.Enum):
+    """Keywords accepted by the ``place_sync`` clause."""
+
+    END_PARAM_REGION = "END_PARAM_REGION"
+    BEGIN_NEXT_PARAM_REGION = "BEGIN_NEXT_PARAM_REGION"
+    END_ADJ_PARAM_REGIONS = "END_ADJ_PARAM_REGIONS"
+
+    @classmethod
+    def parse(cls, value: "SyncPlacement | str") -> "SyncPlacement":
+        """Accept the enum member or its keyword spelling."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            raise ClauseError(
+                f"place_sync clause accepts "
+                f"{[p.value for p in cls]}; got {value!r}") from None
+
+
+#: Sentinel distinguishing "clause absent" from explicit ``None``.
+_ABSENT = object()
+
+#: Clause names legal only on ``comm_parameters``.
+PARAMETERS_ONLY = ("place_sync", "max_comm_iter")
+
+#: The four required clauses of a fully resolved ``comm_p2p`` instance.
+REQUIRED = ("sender", "receiver", "sbuf", "rbuf")
+
+
+@dataclass(frozen=True)
+class ClauseSet:
+    """One directive's clauses (values already evaluated on this rank).
+
+    In the paper the clause arguments are C expressions evaluated per
+    process (``sender(rank-1)``); in the runtime DSL the caller passes
+    the evaluated values. ``sbuf``/``rbuf`` are buffer *lists* (a single
+    buffer may be passed bare). ``sender``/``receiver`` are world ranks.
+    """
+
+    sender: Any = _ABSENT
+    receiver: Any = _ABSENT
+    sbuf: Any = _ABSENT
+    rbuf: Any = _ABSENT
+    sendwhen: Any = _ABSENT
+    receivewhen: Any = _ABSENT
+    target: Any = _ABSENT
+    count: Any = _ABSENT
+    place_sync: Any = _ABSENT
+    max_comm_iter: Any = _ABSENT
+
+    # -- presence ---------------------------------------------------------
+
+    def has(self, name: str) -> bool:
+        """True when the clause was given (explicit None counts)."""
+        return getattr(self, name) is not _ABSENT
+
+    def present(self) -> dict[str, Any]:
+        """Clauses that were given, as a dict."""
+        return {f.name: getattr(self, f.name) for f in fields(self)
+                if getattr(self, f.name) is not _ABSENT}
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def build(cls, *, directive: str, **kwargs: Any) -> "ClauseSet":
+        """Validate keyword clauses for a ``comm_parameters`` (``directive
+        = "parameters"``) or ``comm_p2p`` (``"p2p"``) directive."""
+        legal = {f.name for f in fields(cls)}
+        unknown = set(kwargs) - legal
+        if unknown:
+            raise ClauseError(
+                f"unknown clause(s) {sorted(unknown)}; the directives "
+                f"accept {sorted(legal)}")
+        if directive == "p2p":
+            illegal = [n for n in PARAMETERS_ONLY if n in kwargs]
+            if illegal:
+                raise ClauseError(
+                    f"clause(s) {illegal} may only be used with "
+                    "comm_parameters (Section III-B)")
+        elif directive != "parameters":
+            raise ClauseError(f"unknown directive kind {directive!r}")
+        cs = cls(**kwargs)
+        cs._check_pairing()
+        cs._normalize_keywords()
+        return cs
+
+    def _check_pairing(self) -> None:
+        if self.has("sendwhen") != self.has("receivewhen"):
+            raise ClauseError(
+                "sendwhen and receivewhen must both be present or both "
+                "be omitted (Section III-B)")
+
+    def _normalize_keywords(self) -> None:
+        # frozen dataclass: use object.__setattr__ for normalization.
+        if self.has("target"):
+            object.__setattr__(self, "target", Target.parse(self.target))
+        if self.has("place_sync"):
+            object.__setattr__(self, "place_sync",
+                               SyncPlacement.parse(self.place_sync))
+        if self.has("count"):
+            count = self.count
+            if not isinstance(count, int) or isinstance(count, bool) \
+                    or count < 0:
+                raise ClauseError(
+                    f"count must evaluate to a non-negative integer, "
+                    f"got {count!r}")
+        if self.has("max_comm_iter"):
+            m = self.max_comm_iter
+            if not isinstance(m, int) or isinstance(m, bool) or m < 1:
+                raise ClauseError(
+                    f"max_comm_iter must evaluate to a positive integer, "
+                    f"got {m!r}")
+
+    # -- region/instance merging ------------------------------------------
+
+    def merged_into(self, instance: "ClauseSet") -> "ClauseSet":
+        """Apply this region's clauses to a ``comm_p2p`` instance.
+
+        Region assertions apply to all instances in scope; the instance
+        "may provide additional assertions" which override
+        (Section III-A).
+        """
+        updates = {}
+        for f in fields(self):
+            if f.name in PARAMETERS_ONLY:
+                continue  # region-level only; never merged down
+            if instance.has(f.name):
+                updates[f.name] = getattr(instance, f.name)
+            elif self.has(f.name):
+                updates[f.name] = getattr(self, f.name)
+        merged = ClauseSet(**updates)
+        merged._check_pairing()
+        return merged
+
+    # -- final validation of a resolvable p2p instance --------------------
+
+    def require_p2p_complete(self) -> None:
+        """Check the four required clauses of a resolved instance."""
+        missing = [n for n in REQUIRED if not self.has(n)]
+        if missing:
+            raise ClauseError(
+                f"comm_p2p is missing required clause(s) {missing} "
+                "(not provided by the directive or its enclosing "
+                "comm_parameters region)")
+
+    # -- convenience accessors with defaults -------------------------------
+
+    @property
+    def effective_target(self) -> Target:
+        """The target clause, defaulted per Section III-B."""
+        return self.target if self.has("target") else DEFAULT_TARGET
+
+    @property
+    def effective_sendwhen(self) -> bool:
+        """Absent sendwhen: all processes reaching the directive send."""
+        return bool(self.sendwhen) if self.has("sendwhen") else True
+
+    @property
+    def effective_receivewhen(self) -> bool:
+        """Absent receivewhen: all processes reaching it receive."""
+        return bool(self.receivewhen) if self.has("receivewhen") else True
+
+    def with_clauses(self, **kwargs: Any) -> "ClauseSet":
+        """A copy with additional/overridden clauses (for tooling)."""
+        return replace(self, **kwargs)

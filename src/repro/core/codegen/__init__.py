@@ -1,0 +1,16 @@
+"""Static back end: emit translated source from directive IR.
+
+Reproduces the paper's translation step as text-to-text: a parsed
+annotated program (:mod:`repro.core.pragma`) comes out as C with the
+pragmas replaced by generated MPI two-sided, MPI one-sided or SHMEM
+calls — including derived-datatype creation for composite buffers and
+consolidated synchronization per the
+:mod:`repro.core.analysis.syncopt` plan. A Fortran generator emits the
+communication skeleton for the same IR (the paper targets C, C++ and
+Fortran).
+"""
+
+from repro.core.codegen.c_mpi import generate_c
+from repro.core.codegen.fortran import generate_fortran
+
+__all__ = ["generate_c", "generate_fortran"]

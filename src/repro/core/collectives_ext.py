@@ -1,0 +1,157 @@
+"""Future-work extension: collective communication intent.
+
+Section V: "we are working to extend the directives to express groups
+of processes, and their collective communication/synchronization in a
+variety of many-to-one, one-to-many and all-to-all patterns". This
+module implements that extension over the same clause machinery:
+
+``comm_collective(env, pattern=..., root=..., buf=..., ...)`` expresses
+the *intent* (which pattern, whose data) and is lowered per target:
+
+* MPI two-sided: the library's tree collectives (``Bcast``/``Gather``/
+  ``Alltoall``);
+* SHMEM: the root puts to every member + barrier (one-to-many), or
+  members put to root slots + notify (many-to-one).
+
+``group`` selects a subset of world ranks (default: all); every member
+must reach the directive, as with MPI collectives.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+import numpy as np
+
+from repro import mpi, shmem
+from repro.core.buffers import array_of
+from repro.core.clauses import Target
+from repro.errors import ClauseError, LoweringError
+from repro.shmem.symheap import SymArray
+from repro.sim.process import Env
+
+
+class CollectivePattern(enum.Enum):
+    """The three pattern keywords of the paper's future-work section."""
+
+    ONE_TO_MANY = "PATTERN_ONE_TO_MANY"
+    MANY_TO_ONE = "PATTERN_MANY_TO_ONE"
+    ALL_TO_ALL = "PATTERN_ALL_TO_ALL"
+
+    @classmethod
+    def parse(cls, value: "CollectivePattern | str") -> "CollectivePattern":
+        """Accept the enum member or its keyword spelling."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            raise ClauseError(
+                f"pattern accepts {[p.value for p in cls]}; "
+                f"got {value!r}") from None
+
+
+def comm_collective(env: Env, *, pattern: "CollectivePattern | str",
+                    buf: Any, root: int = 0,
+                    group: list[int] | None = None,
+                    target: "Target | str | None" = None) -> None:
+    """Execute one collective-intent directive (blocking).
+
+    ``buf`` semantics per pattern (mirroring the MPI collectives):
+
+    * ``ONE_TO_MANY``: in place everywhere; root's content wins.
+    * ``MANY_TO_ONE``: each member contributes ``buf``; the root's
+      ``buf`` must have a leading axis of the group size and receives
+      member ``i``'s contribution in slot ``i``.
+    * ``ALL_TO_ALL``: leading axis of group size on every member;
+      slot ``j`` goes to member ``j``'s slot ``i``.
+    """
+    pattern = CollectivePattern.parse(pattern)
+    tgt = Target.parse(target) if target is not None else Target.MPI_2SIDE
+    members = list(range(env.size)) if group is None else list(group)
+    if env.rank not in members:
+        raise ClauseError(
+            f"rank {env.rank} reached a comm_collective whose group "
+            f"{members} does not contain it")
+    if root not in members:
+        raise ClauseError(f"root {root} is not in the group {members}")
+
+    if tgt is Target.SHMEM:
+        _lower_shmem(env, pattern, buf, root, members)
+    elif tgt is Target.MPI_2SIDE:
+        _lower_mpi(env, pattern, buf, root, members)
+    else:
+        raise LoweringError(
+            f"comm_collective supports TARGET_COMM_MPI_2SIDE and "
+            f"TARGET_COMM_SHMEM; got {tgt.value}")
+
+
+def _subcomm(env: Env, members: list[int]) -> "mpi.Comm":
+    # Deterministic, non-collective group resolution: only the group's
+    # members reach the directive, so a world-collective Split would
+    # deadlock against non-members.
+    world = mpi.init(env)
+    group = world.world.group_for(tuple(members))
+    return mpi.Comm(world.world, group, env)
+
+
+def _lower_mpi(env: Env, pattern: CollectivePattern, buf: Any,
+               root: int, members: list[int]) -> None:
+    comm = _subcomm(env, members)
+    arr = array_of(buf) if isinstance(buf, SymArray) else buf
+    local_root = members.index(root)
+    if pattern is CollectivePattern.ONE_TO_MANY:
+        comm.Bcast(arr, root=local_root)
+    elif pattern is CollectivePattern.MANY_TO_ONE:
+        # Each member contributes its own slot buf[i]; they assemble in
+        # the root's buf.
+        idx = members.index(env.rank)
+        contribution = np.ascontiguousarray(arr[idx])
+        comm.Gather(contribution,
+                    arr if comm.rank == local_root else None,
+                    root=local_root)
+    else:  # ALL_TO_ALL
+        out = np.empty_like(arr)
+        comm.Alltoall(np.ascontiguousarray(arr), out)
+        arr[...] = out
+
+
+def _lower_shmem(env: Env, pattern: CollectivePattern, buf: Any,
+                 root: int, members: list[int]) -> None:
+    if not isinstance(buf, SymArray):
+        raise ClauseError(
+            "TARGET_COMM_SHMEM collectives require a symmetric buffer")
+    sh = shmem.init(env)
+    if pattern is CollectivePattern.ONE_TO_MANY:
+        if env.rank == root:
+            for pe in members:
+                if pe != root:
+                    sh.put(buf, buf.data, pe)
+            sh.quiet()
+        sh.barrier(members)
+    elif pattern is CollectivePattern.MANY_TO_ONE:
+        # Member i's slot-i block lands in the root's slot i.
+        idx = members.index(env.rank)
+        block = buf.data[idx]
+        if env.rank != root:
+            sh.put(buf, np.asarray(block).reshape(-1), root,
+                   offset=idx * np.asarray(block).size)
+            sh.quiet()
+        sh.barrier(members)
+    else:  # ALL_TO_ALL
+        idx = members.index(env.rank)
+        flat = buf.data.reshape(len(members), -1)
+        # Snapshot the outgoing blocks and synchronize BEFORE anyone
+        # puts: an in-place exchange races incoming puts against the
+        # snapshot otherwise (true on real SHMEM hardware as well).
+        outgoing = flat.copy()
+        sh.barrier(members)
+        for j, pe in enumerate(members):
+            if pe == env.rank:
+                flat[idx] = outgoing[idx]
+            else:
+                sh.put(buf, outgoing[j], pe,
+                       offset=idx * outgoing.shape[1])
+        sh.quiet()
+        sh.barrier(members)

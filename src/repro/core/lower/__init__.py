@@ -1,0 +1,19 @@
+"""Lowering: directives -> executable communication on a chosen target.
+
+Each :class:`~repro.core.lower.base.Backend` implements the translation
+of one ``target`` keyword:
+
+* :class:`~repro.core.lower.mpi2s.Mpi2sBackend` —
+  ``TARGET_COMM_MPI_2SIDE`` (default): non-blocking ``MPI_Isend`` /
+  ``MPI_Irecv`` pairs, consolidated into one ``MPI_Waitall``;
+* :class:`~repro.core.lower.mpi1s.Mpi1sBackend` —
+  ``TARGET_COMM_MPI_1SIDE``: ``MPI_Put`` into dynamically exposed
+  target memory, flush + notification at synchronization points;
+* :class:`~repro.core.lower.shmemtgt.ShmemBackend` —
+  ``TARGET_COMM_SHMEM``: size-matched typed ``shmem_put`` calls into
+  symmetric buffers, ``shmem_quiet`` + notification.
+"""
+
+from repro.core.lower.base import Backend, RecvHandle, SendHandle, get_backend
+
+__all__ = ["Backend", "RecvHandle", "SendHandle", "get_backend"]

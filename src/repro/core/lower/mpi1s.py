@@ -1,0 +1,78 @@
+"""``TARGET_COMM_MPI_1SIDE``: MPI_Put + flush/notify synchronization.
+
+Each directive message becomes an ``MPI_Put`` of the send buffer into
+the receiver's exposed ``rbuf``. Window collectivity is avoided by the
+dynamic-exposure model of :mod:`repro.core.lower.notify`: the receiver
+registers its buffer when it reaches the directive; an origin arriving
+first waits for the exposure (the access-epoch ordering a real window
+imposes). Synchronization flushes the origin's outstanding puts and
+posts one notify per message; the receiver's synchronization waits for
+the notifies of everything it expects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.buffers import array_of
+from repro.core.clauses import Target
+from repro.core.lower.base import Backend, RecvHandle, SendHandle
+from repro.core.lower.notify import ExposureService
+from repro.errors import LoweringError
+from repro.netmodel.base import MPI_1SIDED
+
+
+class Mpi1sBackend(Backend):
+    target = Target.MPI_1SIDE
+
+    def __init__(self, env):
+        super().__init__(env)
+        # Reuse the MPI world's model if one exists so directive targets
+        # are compared under identical machine assumptions.
+        from repro import mpi
+        self.comm = mpi.init(env)
+        self.model = self.comm.world.model
+        self.tp = self.model.transport(MPI_1SIDED)
+        self.svc = ExposureService.attach(env.engine)
+
+    def post_send(self, dest: int, sbuf, rbuf, count: int) -> SendHandle:
+        src = array_of(sbuf)
+        nbytes = count * src.dtype.itemsize
+        seq = self.svc.next_send_seq(self.env.rank, dest)
+        target_arr = self.svc.await_exposure(self.env, self.env.rank,
+                                             dest, seq)
+        if target_arr.nbytes < nbytes:
+            raise LoweringError(
+                f"MPI_Put of {nbytes} bytes exceeds the exposed "
+                f"{target_arr.nbytes}-byte target buffer")
+        self.env.advance(self.tp.send_overhead(nbytes))
+        dst_bytes = target_arr.reshape(-1).view(np.uint8)
+        src_bytes = np.ascontiguousarray(src).reshape(-1).view(np.uint8)
+        dst_bytes[:nbytes] = src_bytes[:nbytes]
+        completion = self.env.now + self.tp.wire_time(nbytes)
+        self.comm.world.stats.count_message(MPI_1SIDED, nbytes)
+        self.env.trace("dir.mpi1s.put", dest=dest, nbytes=nbytes)
+        return SendHandle(backend=self, dest=dest, seq=seq, nbytes=nbytes,
+                          payload=completion)
+
+    def post_recv(self, source: int, rbuf, count: int) -> RecvHandle:
+        arr = array_of(rbuf)
+        seq = self.svc.next_recv_seq(source, self.env.rank)
+        self.svc.expose(self.env, source, self.env.rank, seq, arr)
+        return RecvHandle(backend=self, source=source, seq=seq,
+                          nbytes=count * arr.dtype.itemsize)
+
+    def sync(self, sends: list[SendHandle], recvs: list[RecvHandle]) -> None:
+        env = self.env
+        if sends:
+            # Local flush of the access epoch, then one notify per
+            # message (the flag put the generated code pairs with data).
+            env.advance(self.model.fence_overhead)
+            self.comm.world.stats.count_sync("flush")
+            env.advance_to(max(h.payload for h in sends))
+            notify_visible = env.now + self.tp.wire_time(8)
+            for h in sends:
+                self.svc.notify(env, env.rank, h.dest, h.seq,
+                                notify_visible)
+        for h in recvs:
+            self.svc.await_notify(env, h.source, env.rank, h.seq)

@@ -1,0 +1,75 @@
+"""``TARGET_COMM_SHMEM``: typed shmem_put + quiet/notify.
+
+Each directive message becomes a typed ``shmem_put`` whose variant is
+chosen by the buffers' element storage size — the call-name/type
+matching the paper's compiler performs ("data type selection is tightly
+coupled with the communication call, in that the data type is embedded
+in the name of the library call", Section III-A). The receive buffer
+must be a symmetric data object; :func:`repro.core.buffers.
+check_target_buffers` enforced that before lowering.
+
+Synchronization: the origin's ``shmem_quiet`` completes its outstanding
+puts, followed by one flag notify per message; receivers wait on their
+notifies (the ``shmem_wait_until`` idiom of generated code).
+"""
+
+from __future__ import annotations
+
+from repro import shmem
+from repro.core.buffers import array_of
+from repro.core.clauses import Target
+from repro.core.lower.base import Backend, RecvHandle, SendHandle
+from repro.core.lower.notify import ExposureService
+from repro.errors import LoweringError
+from repro.shmem.symheap import SymArray
+
+
+class ShmemBackend(Backend):
+    target = Target.SHMEM
+
+    def __init__(self, env):
+        super().__init__(env)
+        self.sh = shmem.init(env)
+        self.svc = ExposureService.attach(env.engine)
+
+    def _typed_put(self, rbuf: SymArray, data, dest: int) -> float:
+        """Dispatch to the size-matched typed put (compile-time matching)."""
+        size = data.dtype.itemsize
+        if size == 8:
+            if data.dtype.kind == "f":
+                return self.sh.put_double(rbuf, data, pe=dest)
+            return self.sh.put64(rbuf, data, pe=dest)
+        if size == 4:
+            if data.dtype.kind == "f":
+                return self.sh.put_float(rbuf, data, pe=dest)
+            return self.sh.put32(rbuf, data, pe=dest)
+        # Composite or odd-width payloads move as raw bytes (putmem).
+        return self.sh.putmem(rbuf, data, pe=dest)
+
+    def post_send(self, dest: int, sbuf, rbuf, count: int) -> SendHandle:
+        if not isinstance(rbuf, SymArray):
+            raise LoweringError(
+                "SHMEM target requires symmetric receive buffers")
+        src = array_of(sbuf).reshape(-1)[:count]
+        seq = self.svc.next_send_seq(self.env.rank, dest)
+        completion = self._typed_put(rbuf, src, dest)
+        return SendHandle(backend=self, dest=dest, seq=seq,
+                          nbytes=count * src.dtype.itemsize,
+                          payload=completion)
+
+    def post_recv(self, source: int, rbuf, count: int) -> RecvHandle:
+        arr = array_of(rbuf)
+        seq = self.svc.next_recv_seq(source, self.env.rank)
+        return RecvHandle(backend=self, source=source, seq=seq,
+                          nbytes=count * arr.dtype.itemsize)
+
+    def sync(self, sends: list[SendHandle], recvs: list[RecvHandle]) -> None:
+        env = self.env
+        if sends:
+            self.sh.quiet()
+            notify_visible = env.now + self.sh._tp.wire_time(8)
+            for h in sends:
+                self.svc.notify(env, env.rank, h.dest, h.seq,
+                                notify_visible)
+        for h in recvs:
+            self.svc.await_notify(env, h.source, env.rank, h.seq)

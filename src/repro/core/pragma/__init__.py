@@ -1,0 +1,19 @@
+"""Static front end: parse ``#pragma comm_*``-annotated C-like source.
+
+This is the reproduction's stand-in for the paper's Open64
+implementation: it turns annotated source text into the directive IR
+(:mod:`repro.core.ir`), which the analyses examine and the code
+generators (:mod:`repro.core.codegen`) translate into MPI or SHMEM
+source — the Listing 4 -> Listing 5 workflow run in reverse
+(directives in, library calls out).
+
+Scope: a pragmatic C subset sufficient for the paper's listings —
+struct definitions, scalar/array/pointer declarations of primitive and
+struct types, ``for``/``while`` headers, and the two pragmas with their
+ten clauses (possibly spanning lines).
+"""
+
+from repro.core.pragma.decls import scan_declarations
+from repro.core.pragma.parser import parse_program
+
+__all__ = ["parse_program", "scan_declarations"]

@@ -1,0 +1,130 @@
+"""Declaration scanning: recover buffer types and lengths from source.
+
+Count inference and datatype generation need to know, for each buffer
+named in an ``sbuf``/``rbuf`` clause, its element type and (for arrays)
+its length — information a real compiler reads from its symbol table.
+This scanner recovers it from the C-like source with regexes: struct
+definitions first (including ``typedef struct {...} Name;``), then
+variable declarations of primitive or struct type, as scalars, fixed
+arrays or pointers. Pointers are legal buffers ("buffers must be
+pointers or arrays", Section III-B) but contribute no length.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.ir import BufferDecl
+from repro.dtypes.composite import CompositeType
+from repro.dtypes.extract import extract_composite
+from repro.dtypes.primitives import PRIMITIVES
+from repro.errors import PragmaSyntaxError
+
+_STRUCT_DEF = re.compile(
+    r"(?:typedef\s+)?struct\s+(?P<name1>\w+)?\s*\{(?P<body>[^{}]*)\}"
+    r"\s*(?P<name2>\w+)?\s*;",
+    re.DOTALL,
+)
+
+_FIELD = re.compile(
+    r"^\s*(?P<type>unsigned\s+char|signed\s+char|unsigned\s+short|"
+    r"unsigned\s+long|long\s+long|unsigned|char|short|int|long|float|"
+    r"double|[A-Za-z_]\w*)\s+"
+    r"(?P<ptr>\*\s*)?(?P<name>\w+)\s*(?:\[(?P<len>\d+)\])?\s*$",
+)
+
+_DECL = re.compile(
+    r"^\s*(?:struct\s+)?(?P<type>(?:unsigned\s+|signed\s+)?[A-Za-z_]\w*"
+    r"(?:\s+long)?)\s+(?P<rest>[^;()=]*);",
+)
+
+_VAR = re.compile(
+    r"\s*(?P<ptr>\*\s*)?(?P<name>\w+)\s*(?:\[(?P<len>\d+)\])?\s*$",
+)
+
+#: C keywords that start statements, never declarations we care about.
+_KEYWORDS = {"return", "if", "else", "for", "while", "do", "switch",
+             "case", "break", "continue", "goto", "typedef", "struct"}
+
+
+def _normalize_type(text: str) -> str:
+    return " ".join(text.split())
+
+
+def scan_declarations(source: str) -> tuple[dict[str, CompositeType],
+                                            dict[str, BufferDecl]]:
+    """Extract struct types and buffer declarations from source text.
+
+    Returns ``(structs, decls)``; ``decls`` maps variable name to
+    :class:`~repro.core.ir.BufferDecl`.
+    """
+    structs = _scan_structs(source)
+    decls: dict[str, BufferDecl] = {}
+    statements = []
+    for raw_line in source.splitlines():
+        line = raw_line.strip()
+        if line.startswith("#") or line.startswith("//"):
+            continue
+        statements.extend(seg.strip() + ";" for seg in line.split(";")
+                          if seg.strip())
+    for line in statements:
+        m = _DECL.match(line)
+        if not m:
+            continue
+        type_name = _normalize_type(m.group("type"))
+        if type_name in _KEYWORDS:
+            continue
+        ctype: CompositeType | None
+        if type_name in PRIMITIVES:
+            ctype = PRIMITIVES[type_name]
+        elif type_name in structs:
+            ctype = structs[type_name]
+        else:
+            continue  # unknown type: not a buffer declaration we track
+        for var in m.group("rest").split(","):
+            vm = _VAR.match(var)
+            if not vm:
+                continue
+            name = vm.group("name")
+            if name in _KEYWORDS:
+                continue
+            length = int(vm.group("len")) if vm.group("len") else None
+            decls[name] = BufferDecl(
+                name=name,
+                ctype=ctype,
+                length=length,
+                is_pointer=vm.group("ptr") is not None,
+            )
+    return structs, decls
+
+
+def _scan_structs(source: str) -> dict[str, CompositeType]:
+    structs: dict[str, CompositeType] = {}
+    for m in _STRUCT_DEF.finditer(source):
+        name = m.group("name2") or m.group("name1")
+        if name is None:
+            raise PragmaSyntaxError("anonymous struct definition")
+        definition: dict[str, object] = {}
+        for field_src in m.group("body").split(";"):
+            field_src = field_src.strip()
+            if not field_src or field_src.startswith("//"):
+                continue
+            fm = _FIELD.match(field_src)
+            if not fm:
+                raise PragmaSyntaxError(
+                    f"cannot parse struct field {field_src!r} in "
+                    f"struct {name}")
+            ftype = _normalize_type(fm.group("type"))
+            if fm.group("ptr"):
+                # Preserved as a pointer spec so extract_composite
+                # raises the paper's prohibition.
+                spec: object = ftype + "*"
+            elif ftype in structs:
+                spec = structs[ftype]
+            else:
+                spec = ftype
+            if fm.group("len"):
+                spec = (spec, int(fm.group("len")))
+            definition[fm.group("name")] = spec
+        structs[name] = extract_composite(name, definition)
+    return structs

@@ -1,0 +1,281 @@
+"""Recursive-descent parser for pragma-annotated C-like source.
+
+Produces a :class:`repro.core.ir.Program`. The parser understands just
+enough C structure to carve the source into raw code and directive
+nodes:
+
+* ``#pragma comm_parameters`` / ``#pragma comm_p2p`` followed by
+  clauses ``name(args)`` that may span lines (parentheses balanced);
+* a directive's body: the ``{...}`` block that follows, or — for
+  ``comm_parameters`` — a single following statement (a ``for``/
+  ``while`` loop or another pragma), matching the paper's Listing 3;
+* everything else passes through as :class:`~repro.core.ir.RawCode`.
+"""
+
+from __future__ import annotations
+
+from repro.core.clauses import SyncPlacement, Target
+from repro.core.ir import (
+    ClauseExprs,
+    Node,
+    P2PNode,
+    ParamRegionNode,
+    Program,
+    RawCode,
+)
+from repro.core.pragma.decls import scan_declarations
+from repro.errors import PragmaSyntaxError
+
+_CLAUSE_NAMES = {
+    "sender", "receiver", "sbuf", "rbuf", "sendwhen", "receivewhen",
+    "target", "count", "place_sync", "max_comm_iter",
+}
+
+_PARAMETERS_ONLY = {"place_sync", "max_comm_iter"}
+
+
+class _Scanner:
+    """Character scanner with line tracking."""
+
+    def __init__(self, text: str, line_offset: int = 0):
+        self.text = text
+        self.pos = 0
+        self.line_offset = line_offset
+
+    def line_at(self, pos: int) -> int:
+        return self.line_offset + self.text.count("\n", 0, pos) + 1
+
+    @property
+    def line(self) -> int:
+        return self.line_at(self.pos)
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def skip_ws(self) -> None:
+        while not self.eof() and self.text[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def peek(self, n: int = 1) -> str:
+        return self.text[self.pos:self.pos + n]
+
+    def match_ident(self) -> str | None:
+        i = self.pos
+        t = self.text
+        if i < len(t) and (t[i].isalpha() or t[i] == "_"):
+            j = i + 1
+            while j < len(t) and (t[j].isalnum() or t[j] == "_"):
+                j += 1
+            return t[i:j]
+        return None
+
+    def read_balanced(self, open_ch: str, close_ch: str) -> str:
+        """Read a balanced group starting at the current position
+        (which must be ``open_ch``); returns the *inner* text."""
+        if self.peek() != open_ch:
+            raise PragmaSyntaxError(
+                f"expected {open_ch!r}", line=self.line)
+        depth = 0
+        start = self.pos + 1
+        while not self.eof():
+            c = self.text[self.pos]
+            if c == open_ch:
+                depth += 1
+            elif c == close_ch:
+                depth -= 1
+                if depth == 0:
+                    inner = self.text[start:self.pos]
+                    self.pos += 1
+                    return inner
+            self.pos += 1
+        raise PragmaSyntaxError(
+            f"unbalanced {open_ch!r} group", line=self.line_at(start))
+
+
+def parse_program(source: str) -> Program:
+    """Parse annotated source into a :class:`Program`."""
+    structs, decls = scan_declarations(source)
+    sc = _Scanner(source)
+    nodes = _parse_nodes(sc)
+    return Program(decls=decls, structs=structs, nodes=nodes)
+
+
+def _parse_nodes(sc: _Scanner) -> list[Node]:
+    """Parse nodes until end of the scanner's text."""
+    nodes: list[Node] = []
+    raw_start = sc.pos
+    while not sc.eof():
+        idx = sc.text.find("#pragma", sc.pos)
+        if idx == -1:
+            break
+        probe = _Scanner(sc.text, sc.line_offset)
+        probe.pos = idx + len("#pragma")
+        probe.skip_ws()
+        kind = probe.match_ident()
+        if kind not in ("comm_parameters", "comm_p2p"):
+            sc.pos = idx + len("#pragma")
+            continue
+        _flush_raw(nodes, sc.text[raw_start:idx], sc.line_at(raw_start))
+        probe.pos += len(kind)
+        node = _parse_directive(probe, kind)
+        nodes.append(node)
+        sc.pos = probe.pos
+        raw_start = sc.pos
+    _flush_raw(nodes, sc.text[raw_start:], sc.line_at(raw_start))
+    return nodes
+
+
+def _flush_raw(nodes: list[Node], text: str, line: int) -> None:
+    if not text.strip():
+        return
+    lines = text.splitlines()
+    while lines and not lines[0].strip():
+        lines.pop(0)
+        line += 1
+    while lines and not lines[-1].strip():
+        lines.pop()
+    nodes.append(RawCode(lines=lines, line=line))
+
+
+def _parse_directive(sc: _Scanner, kind: str) -> Node:
+    line = sc.line
+    clauses = _parse_clauses(sc, kind)
+    body = _parse_body(sc, kind)
+    if kind == "comm_parameters":
+        return ParamRegionNode(clauses=clauses, body=body, line=line)
+    return P2PNode(clauses=clauses, body=body, line=line)
+
+
+def _parse_clauses(sc: _Scanner, kind: str) -> ClauseExprs:
+    out = ClauseExprs()
+    while True:
+        save = sc.pos
+        sc.skip_ws()
+        ident = sc.match_ident()
+        if ident is None or ident not in _CLAUSE_NAMES:
+            sc.pos = save
+            break
+        sc.pos += len(ident)
+        sc.skip_ws()
+        if sc.peek() != "(":
+            raise PragmaSyntaxError(
+                f"clause {ident!r} needs a parenthesized argument",
+                line=sc.line)
+        args = sc.read_balanced("(", ")").strip()
+        _store_clause(out, ident, args, kind, sc.line)
+    _validate(out, kind, sc.line)
+    return out
+
+
+def _store_clause(out: ClauseExprs, name: str, args: str, kind: str,
+                  line: int) -> None:
+    if name in _PARAMETERS_ONLY and kind != "comm_parameters":
+        raise PragmaSyntaxError(
+            f"clause {name!r} may only be used with comm_parameters",
+            line=line)
+    if out.has(name):
+        raise PragmaSyntaxError(f"duplicate clause {name!r}", line=line)
+    if name in ("sbuf", "rbuf"):
+        bufs = [b.strip() for b in _split_top_commas(args)]
+        if not all(bufs):
+            raise PragmaSyntaxError(
+                f"empty buffer name in {name}({args})", line=line)
+        setattr(out, name, bufs)
+    elif name == "target":
+        try:
+            out.target = Target(args)
+        except ValueError:
+            raise PragmaSyntaxError(
+                f"unknown target keyword {args!r}", line=line) from None
+    elif name == "place_sync":
+        try:
+            out.place_sync = SyncPlacement(args)
+        except ValueError:
+            raise PragmaSyntaxError(
+                f"unknown place_sync keyword {args!r}", line=line) from None
+    else:
+        if not args:
+            raise PragmaSyntaxError(
+                f"clause {name!r} needs an expression", line=line)
+        out.exprs[name] = args
+
+
+def _validate(out: ClauseExprs, kind: str, line: int) -> None:
+    if ("sendwhen" in out.exprs) != ("receivewhen" in out.exprs):
+        raise PragmaSyntaxError(
+            "sendwhen and receivewhen must both be present or both be "
+            "omitted", line=line)
+
+
+def _split_top_commas(text: str) -> list[str]:
+    parts: list[str] = []
+    depth = 0
+    cur: list[str] = []
+    for c in text:
+        if c in "([":
+            depth += 1
+        elif c in ")]":
+            depth -= 1
+        if c == "," and depth == 0:
+            parts.append("".join(cur))
+            cur = []
+        else:
+            cur.append(c)
+    parts.append("".join(cur))
+    return parts
+
+
+def _parse_body(sc: _Scanner, kind: str) -> list[Node]:
+    save = sc.pos
+    sc.skip_ws()
+    if sc.peek() == "{":
+        line0 = sc.line
+        inner = sc.read_balanced("{", "}")
+        inner_sc = _Scanner(inner, line_offset=line0 - 1)
+        return _parse_nodes(inner_sc)
+    # No block. comm_p2p stands alone; comm_parameters captures the
+    # next statement (the Listing 3 for-loop shape).
+    if kind == "comm_p2p":
+        sc.pos = save
+        return []
+    return _parse_statement(sc)
+
+
+def _parse_statement(sc: _Scanner) -> list[Node]:
+    """One C statement: loop, nested pragma, block, or simple ';'."""
+    sc.skip_ws()
+    if sc.eof():
+        return []
+    if sc.peek(7) == "#pragma":
+        probe = _Scanner(sc.text, sc.line_offset)
+        probe.pos = sc.pos + len("#pragma")
+        probe.skip_ws()
+        kind = probe.match_ident()
+        if kind in ("comm_parameters", "comm_p2p"):
+            probe.pos += len(kind)
+            node = _parse_directive(probe, kind)
+            sc.pos = probe.pos
+            return [node]
+    ident = sc.match_ident()
+    if ident in ("for", "while"):
+        start = sc.pos
+        line = sc.line
+        sc.pos += len(ident)
+        sc.skip_ws()
+        header_inner = sc.read_balanced("(", ")")
+        header = f"{ident} ({header_inner})"
+        body = _parse_statement(sc)
+        return [RawCode(lines=[header], line=line), *body]
+    if sc.peek() == "{":
+        line0 = sc.line
+        inner = sc.read_balanced("{", "}")
+        inner_sc = _Scanner(inner, line_offset=line0 - 1)
+        return _parse_nodes(inner_sc)
+    # Simple statement: up to the next ';'.
+    end = sc.text.find(";", sc.pos)
+    if end == -1:
+        end = len(sc.text) - 1
+    stmt = sc.text[sc.pos:end + 1]
+    line = sc.line
+    sc.pos = end + 1
+    return [RawCode(lines=[stmt], line=line)]

@@ -1,0 +1,213 @@
+"""Composite (struct) types with C layout and MPI-struct flattening.
+
+A :class:`CompositeType` mirrors a C struct: ordered fields, each a
+primitive (or another composite) with a block length. Displacements
+follow the C rules — each field is aligned to its type's alignment and
+the struct is tail-padded to its own alignment — so a composite's layout
+matches what ``numpy.dtype(..., align=True)`` produces and what a real
+compiler would hand to ``MPI_Type_create_struct``.
+
+:meth:`CompositeType.triples` performs the paper's extraction: "for each
+element in the composite type, its displacement within the type, block
+length and correlating MPI basic type are accumulated into corresponding
+arrays" (Section III-A). Nested (non-recursive) composites are flattened
+into their primitive elements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dtypes.primitives import PrimitiveType
+from repro.errors import CompositeTypeError
+
+
+@dataclass(frozen=True)
+class Field:
+    """One struct field: a named block of ``count`` elements."""
+
+    name: str
+    type: "PrimitiveType | CompositeType"
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise CompositeTypeError(
+                f"field {self.name!r}: count must be >= 1, got {self.count}")
+        if not self.name.isidentifier():
+            raise CompositeTypeError(
+                f"field name {self.name!r} is not a valid identifier")
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes of the field's block."""
+        return self.type.size * self.count
+
+
+@dataclass(frozen=True)
+class StructTriples:
+    """The three parallel arrays handed to ``MPI_Type_create_struct``."""
+
+    displacements: tuple[int, ...]
+    blocklengths: tuple[int, ...]
+    mpi_types: tuple[PrimitiveType, ...]
+
+    def __len__(self) -> int:
+        return len(self.displacements)
+
+    def __iter__(self):
+        return iter(zip(self.displacements, self.blocklengths, self.mpi_types))
+
+
+def _align_up(offset: int, alignment: int) -> int:
+    return (offset + alignment - 1) // alignment * alignment
+
+
+class CompositeType:
+    """An ordered-field struct type with C layout.
+
+    Parameters
+    ----------
+    name:
+        The struct's name (used in generated code and error messages).
+    fields:
+        Ordered :class:`Field` list. Duplicate names are rejected.
+        Composite-typed fields are allowed but recursion is not —
+        enforcement happens in :mod:`repro.dtypes.extract`, which is the
+        only place user-defined types enter the system; here we also
+        guard directly against a composite containing itself.
+    """
+
+    def __init__(self, name: str, fields: list[Field] | tuple[Field, ...]):
+        if not fields:
+            raise CompositeTypeError(f"composite {name!r} has no fields")
+        names = [f.name for f in fields]
+        if len(set(names)) != len(names):
+            raise CompositeTypeError(
+                f"composite {name!r} has duplicate field names: {names}")
+        for f in fields:
+            if f.type is self or (isinstance(f.type, CompositeType)
+                                  and self in f.type.nested_composites()):
+                raise CompositeTypeError(
+                    f"composite {name!r} recursively contains itself "
+                    f"via field {f.name!r}")
+        self.name = name
+        self.fields = tuple(fields)
+        self._layout()
+
+    def _layout(self) -> None:
+        offset = 0
+        max_align = 1
+        displacements = []
+        for f in self.fields:
+            align = f.type.alignment
+            max_align = max(max_align, align)
+            offset = _align_up(offset, align)
+            displacements.append(offset)
+            offset += f.nbytes
+        self._field_displacements = tuple(displacements)
+        self._alignment = max_align
+        self._size = _align_up(offset, max_align)
+
+    # -- layout properties ------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Total struct size in bytes, including tail padding."""
+        return self._size
+
+    @property
+    def alignment(self) -> int:
+        """The struct's own alignment (max of field alignments)."""
+        return self._alignment
+
+    @property
+    def field_displacements(self) -> tuple[int, ...]:
+        """Byte offset of each field, in declaration order."""
+        return self._field_displacements
+
+    def displacement_of(self, field_name: str) -> int:
+        """Byte offset of a field, by name."""
+        for f, d in zip(self.fields, self._field_displacements):
+            if f.name == field_name:
+                return d
+        raise CompositeTypeError(
+            f"composite {self.name!r} has no field {field_name!r}")
+
+    def nested_composites(self) -> list["CompositeType"]:
+        """All composite types reachable through fields (recursively)."""
+        out: list[CompositeType] = []
+        for f in self.fields:
+            if isinstance(f.type, CompositeType):
+                out.append(f.type)
+                out.extend(f.type.nested_composites())
+        return out
+
+    # -- the paper's extraction -------------------------------------------
+
+    def triples(self) -> StructTriples:
+        """Flatten to ``(displacement, blocklength, MPI basic type)``.
+
+        Nested composites contribute their own flattened triples at
+        shifted displacements, repeated per array element when the
+        nested field has ``count > 1``.
+        """
+        disps: list[int] = []
+        blocks: list[int] = []
+        types: list[PrimitiveType] = []
+
+        def emit(ctype: CompositeType, base: int) -> None:
+            for f, d in zip(ctype.fields, ctype._field_displacements):
+                if isinstance(f.type, CompositeType):
+                    for i in range(f.count):
+                        emit(f.type, base + d + i * f.type.size)
+                else:
+                    disps.append(base + d)
+                    blocks.append(f.count)
+                    types.append(f.type)
+
+        emit(self, 0)
+        return StructTriples(tuple(disps), tuple(blocks), tuple(types))
+
+    # -- numpy interop ------------------------------------------------------
+
+    def to_numpy_dtype(self) -> np.dtype:
+        """The equivalent numpy structured dtype (explicit offsets).
+
+        ``itemsize`` includes tail padding so arrays of this dtype have
+        the same stride a C array of the struct would.
+        """
+        names, formats, offsets = [], [], []
+        for f, d in zip(self.fields, self._field_displacements):
+            names.append(f.name)
+            if isinstance(f.type, CompositeType):
+                sub = f.type.to_numpy_dtype()
+                formats.append((sub, (f.count,)) if f.count > 1 else sub)
+            else:
+                base = f.type.np_dtype
+                formats.append((base, (f.count,)) if f.count > 1 else base)
+            offsets.append(d)
+        return np.dtype({
+            "names": names,
+            "formats": formats,
+            "offsets": offsets,
+            "itemsize": self._size,
+        })
+
+    def zeros(self, count: int = 1) -> np.ndarray:
+        """A zero-initialized array of ``count`` struct instances."""
+        return np.zeros(count, dtype=self.to_numpy_dtype())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CompositeType):
+            return NotImplemented
+        return self.name == other.name and self.fields == other.fields
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.fields))
+
+    def __repr__(self) -> str:
+        return (f"<CompositeType {self.name!r} fields={len(self.fields)} "
+                f"size={self._size}>")

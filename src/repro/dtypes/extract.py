@@ -1,0 +1,120 @@
+"""Compile-time extraction of composite types from Python definitions.
+
+This models the front half of the paper's datatype handling: given a
+"struct definition" (a mapping of field name to type specification, or a
+Python dataclass whose annotations carry the specifications), produce a
+validated :class:`~repro.dtypes.composite.CompositeType`, enforcing the
+paper's restrictions: *pointers within a composite type are prohibited
+as well as recursively nested composite types* (Section III-A).
+
+Accepted field specifications:
+
+* a :class:`~repro.dtypes.primitives.PrimitiveType` or C type name
+  (``"double"``) — scalar field;
+* a ``(spec, count)`` tuple — fixed-size array field (``("char", 80)``);
+* another :class:`CompositeType` or extractable definition — a nested
+  struct (rejected if the nesting recurses);
+* anything resembling a pointer — the string ``"ptr"``/``"pointer"``,
+  a trailing ``*`` on a C type name (``"double*"``) — rejected.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Mapping
+from typing import Any
+
+from repro.dtypes.composite import CompositeType, Field
+from repro.dtypes.primitives import PRIMITIVES, PrimitiveType, primitive
+from repro.errors import CompositeTypeError
+
+
+def extract_composite(name: str, definition: Mapping[str, Any] | type,
+                      *, _stack: tuple[str, ...] = ()) -> CompositeType:
+    """Build a :class:`CompositeType` from a struct definition.
+
+    ``definition`` is either a mapping ``{field_name: spec}`` or a
+    dataclass whose field metadata/annotations give the specs (each
+    dataclass field must carry ``metadata={"ctype": spec}`` or annotate
+    a supported spec directly).
+    """
+    if name in _stack:
+        cycle = " -> ".join(_stack + (name,))
+        raise CompositeTypeError(
+            f"recursively nested composite types are prohibited: {cycle}")
+    specs = _field_specs(name, definition)
+    fields = [
+        _extract_field(name, fname, spec, _stack + (name,))
+        for fname, spec in specs
+    ]
+    return CompositeType(name, fields)
+
+
+def _field_specs(name: str, definition: Mapping[str, Any] | type):
+    if isinstance(definition, Mapping):
+        if not definition:
+            raise CompositeTypeError(f"composite {name!r} has no fields")
+        return list(definition.items())
+    if dataclasses.is_dataclass(definition):
+        out = []
+        for f in dataclasses.fields(definition):
+            spec = f.metadata.get("ctype", f.type)
+            out.append((f.name, spec))
+        if not out:
+            raise CompositeTypeError(f"composite {name!r} has no fields")
+        return out
+    raise CompositeTypeError(
+        f"cannot extract composite {name!r} from {type(definition).__name__}; "
+        "expected a mapping or a dataclass")
+
+
+def _extract_field(owner: str, fname: str, spec: Any,
+                   stack: tuple[str, ...]) -> Field:
+    count = 1
+    if isinstance(spec, tuple):
+        if len(spec) != 2 or not isinstance(spec[1], int):
+            raise CompositeTypeError(
+                f"{owner}.{fname}: array spec must be (type, count), "
+                f"got {spec!r}")
+        spec, count = spec
+
+    if isinstance(spec, PrimitiveType):
+        return Field(fname, spec, count)
+
+    if isinstance(spec, CompositeType):
+        _check_no_recursion(owner, fname, spec, stack)
+        return Field(fname, spec, count)
+
+    if isinstance(spec, str):
+        _reject_pointer(owner, fname, spec)
+        if spec in PRIMITIVES or spec.startswith("MPI_"):
+            return Field(fname, primitive(spec), count)
+        raise CompositeTypeError(
+            f"{owner}.{fname}: unknown type name {spec!r}")
+
+    if isinstance(spec, Mapping) or dataclasses.is_dataclass(spec):
+        nested_name = getattr(spec, "__name__", f"{owner}_{fname}")
+        nested = extract_composite(nested_name, spec, _stack=stack)
+        return Field(fname, nested, count)
+
+    raise CompositeTypeError(
+        f"{owner}.{fname}: unsupported field spec {spec!r}")
+
+
+def _reject_pointer(owner: str, fname: str, spec: str) -> None:
+    bare = spec.strip()
+    if bare.endswith("*") or bare.lower() in ("ptr", "pointer", "void*"):
+        raise CompositeTypeError(
+            f"{owner}.{fname}: pointers within a composite type are "
+            f"prohibited (got {spec!r})")
+
+
+def _check_no_recursion(owner: str, fname: str, nested: CompositeType,
+                        stack: tuple[str, ...]) -> None:
+    reachable = {nested.name}
+    reachable.update(c.name for c in nested.nested_composites())
+    hit = reachable.intersection(stack)
+    if hit:
+        raise CompositeTypeError(
+            f"{owner}.{fname}: recursively nested composite types are "
+            f"prohibited (cycle through {sorted(hit)})")

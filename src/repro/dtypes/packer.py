@@ -1,0 +1,60 @@
+"""Contiguous pack/unpack of buffer lists.
+
+This is the *manual* data-marshalling path the directives replace: the
+original WL-LSMS code (paper Listing 4) packs scalars and matrices into
+one contiguous byte buffer with ``MPI_Pack`` and unpacks on the other
+side. The simulated :func:`repro.mpi.pack.Pack` builds on these helpers;
+they are also used to move composite payloads over SHMEM (whose typed
+puts move raw bytes of a given element width).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import DatatypeError
+
+
+def _as_array(buf: np.ndarray) -> np.ndarray:
+    if not isinstance(buf, np.ndarray):
+        raise DatatypeError(
+            f"buffers must be numpy arrays, got {type(buf).__name__}")
+    return np.ascontiguousarray(buf)
+
+
+def pack_arrays(buffers: Sequence[np.ndarray]) -> bytes:
+    """Concatenate the raw bytes of each buffer, in order."""
+    if not buffers:
+        raise DatatypeError("pack_arrays needs at least one buffer")
+    return b"".join(_as_array(b).tobytes() for b in buffers)
+
+
+def unpack_arrays(data: bytes, buffers: Sequence[np.ndarray]) -> None:
+    """Split ``data`` back into the given destination buffers, in place.
+
+    Each destination must be a numpy array whose byte size matches its
+    slice of ``data`` exactly (sum of sizes == len(data)); shapes and
+    dtypes are the receiver's declaration, exactly as with ``MPI_Unpack``.
+    """
+    if not buffers:
+        raise DatatypeError("unpack_arrays needs at least one buffer")
+    total = sum(b.nbytes for b in buffers)
+    if total != len(data):
+        raise DatatypeError(
+            f"unpack size mismatch: buffers hold {total} bytes, "
+            f"data has {len(data)}")
+    offset = 0
+    for buf in buffers:
+        if not isinstance(buf, np.ndarray):
+            raise DatatypeError(
+                f"buffers must be numpy arrays, got {type(buf).__name__}")
+        if not buf.flags.c_contiguous:
+            raise DatatypeError(
+                "unpack destinations must be C-contiguous (views with "
+                "strides cannot receive raw bytes)")
+        n = buf.nbytes
+        chunk = np.frombuffer(data[offset:offset + n], dtype=buf.dtype)
+        buf[...] = chunk.reshape(buf.shape)
+        offset += n

@@ -1,0 +1,108 @@
+"""Basic-type registry: C names <-> numpy dtypes <-> MPI/Fortran names.
+
+These are the "MPI basic types" the paper's compiler maps C/Fortran
+primitive types to during compilation (Section III-A), and the storage
+sizes SHMEM call-name selection keys on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DatatypeError
+
+
+@dataclass(frozen=True)
+class PrimitiveType:
+    """One basic type as seen by C, numpy, MPI and Fortran."""
+
+    c_name: str
+    mpi_name: str
+    fortran_name: str
+    np_name: str
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        """The equivalent numpy dtype."""
+        return np.dtype(self.np_name)
+
+    @property
+    def size(self) -> int:
+        """Storage size in bytes."""
+        return self.np_dtype.itemsize
+
+    @property
+    def alignment(self) -> int:
+        """C alignment requirement (== size for all types we model)."""
+        return self.np_dtype.alignment
+
+    def __str__(self) -> str:
+        return self.c_name
+
+
+def _make(c_name: str, mpi_name: str, fortran_name: str,
+          np_name: str) -> PrimitiveType:
+    return PrimitiveType(c_name, mpi_name, fortran_name, np_name)
+
+
+CHAR = _make("char", "MPI_CHAR", "character", "i1")
+SIGNED_CHAR = _make("signed char", "MPI_SIGNED_CHAR", "integer(1)", "i1")
+UNSIGNED_CHAR = _make("unsigned char", "MPI_UNSIGNED_CHAR", "integer(1)", "u1")
+SHORT = _make("short", "MPI_SHORT", "integer(2)", "i2")
+UNSIGNED_SHORT = _make("unsigned short", "MPI_UNSIGNED_SHORT", "integer(2)", "u2")
+INT = _make("int", "MPI_INT", "integer", "i4")
+UNSIGNED = _make("unsigned", "MPI_UNSIGNED", "integer(4)", "u4")
+LONG = _make("long", "MPI_LONG", "integer(8)", "i8")
+UNSIGNED_LONG = _make("unsigned long", "MPI_UNSIGNED_LONG", "integer(8)", "u8")
+LONG_LONG = _make("long long", "MPI_LONG_LONG", "integer(8)", "i8")
+FLOAT = _make("float", "MPI_FLOAT", "real", "f4")
+DOUBLE = _make("double", "MPI_DOUBLE", "double precision", "f8")
+
+#: Registry keyed by C type name.
+PRIMITIVES: dict[str, PrimitiveType] = {
+    t.c_name: t
+    for t in (
+        CHAR, SIGNED_CHAR, UNSIGNED_CHAR, SHORT, UNSIGNED_SHORT,
+        INT, UNSIGNED, LONG, UNSIGNED_LONG, LONG_LONG, FLOAT, DOUBLE,
+    )
+}
+
+_BY_MPI_NAME = {t.mpi_name: t for t in PRIMITIVES.values()}
+
+# numpy kind+size -> canonical primitive (first match wins; later
+# duplicates like LONG_LONG alias the same storage as LONG).
+_BY_NP: dict[str, PrimitiveType] = {}
+for _t in PRIMITIVES.values():
+    _BY_NP.setdefault(_t.np_dtype.str, _t)
+
+
+def primitive(name: str) -> PrimitiveType:
+    """Look up a primitive by C name (``"double"``) or MPI name."""
+    if name in PRIMITIVES:
+        return PRIMITIVES[name]
+    if name in _BY_MPI_NAME:
+        return _BY_MPI_NAME[name]
+    raise DatatypeError(
+        f"unknown primitive type {name!r}; known C names: "
+        f"{sorted(PRIMITIVES)}")
+
+
+def from_numpy_dtype(dtype: np.dtype | type) -> PrimitiveType:
+    """Map a scalar numpy dtype to its canonical primitive type.
+
+    This is the mapping the directive compiler applies to infer the MPI
+    basic type (or SHMEM size class) of a buffer.
+    """
+    dt = np.dtype(dtype)
+    if dt.fields is not None:
+        raise DatatypeError(
+            f"dtype {dt} is a structured (composite) type, not a primitive")
+    try:
+        return _BY_NP[dt.str]
+    except KeyError:
+        raise DatatypeError(
+            f"numpy dtype {dt} has no corresponding C primitive "
+            "(only native integer and IEEE float types are supported)"
+        ) from None

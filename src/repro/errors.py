@@ -1,0 +1,125 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking genuine Python bugs.
+The hierarchy mirrors the package layout: simulator faults, communication
+library misuse, directive/clause validation failures, and static
+translation errors each get their own branch.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+# ---------------------------------------------------------------------------
+# Simulator
+
+
+class SimError(ReproError):
+    """Base class for simulation-engine errors."""
+
+
+class SimDeadlockError(SimError):
+    """All live simulated processes are blocked and none can make progress.
+
+    The message includes a per-rank diagnostic of what each blocked rank
+    was waiting on, mirroring the output of a parallel debugger.
+    """
+
+    def __init__(self, message: str, blocked: dict[int, str] | None = None):
+        super().__init__(message)
+        #: Mapping of rank -> human-readable block reason.
+        self.blocked = dict(blocked or {})
+
+
+class SimProcessError(SimError):
+    """A simulated process raised an exception; wraps the original."""
+
+    def __init__(self, rank: int, original: BaseException):
+        super().__init__(f"rank {rank} raised {type(original).__name__}: {original}")
+        self.rank = rank
+        self.original = original
+
+
+class SimStateError(SimError):
+    """An engine primitive was used outside a running simulation."""
+
+
+# ---------------------------------------------------------------------------
+# Communication libraries (simulated MPI / SHMEM)
+
+
+class CommError(ReproError):
+    """Base class for communication-library errors."""
+
+
+class MPIError(CommError):
+    """Misuse of the simulated MPI library (bad rank, type mismatch...)."""
+
+
+class TruncationError(MPIError):
+    """A received message is larger than the posted receive buffer."""
+
+
+class ShmemError(CommError):
+    """Misuse of the simulated SHMEM library."""
+
+
+class SymmetryError(ShmemError):
+    """A SHMEM call was given a buffer that is not a symmetric data object."""
+
+
+# ---------------------------------------------------------------------------
+# Datatype engine
+
+
+class DatatypeError(ReproError):
+    """Invalid datatype construction or usage."""
+
+
+class CompositeTypeError(DatatypeError):
+    """A composite type violates the paper's restrictions.
+
+    Section III-A: pointers within a composite type are prohibited, as are
+    recursively nested composite types.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Directives (the paper's core contribution)
+
+
+class DirectiveError(ReproError):
+    """Base class for directive misuse."""
+
+
+class ClauseError(DirectiveError):
+    """A directive clause violates the rules of Section III-B."""
+
+
+class LoweringError(DirectiveError):
+    """The directive could not be translated to the requested target."""
+
+
+class OverlapError(DirectiveError):
+    """The overlap body is not legal to run concurrently with the comm."""
+
+
+# ---------------------------------------------------------------------------
+# Static front end / code generation
+
+
+class PragmaSyntaxError(ReproError):
+    """The pragma parser rejected the annotated source."""
+
+    def __init__(self, message: str, line: int | None = None):
+        loc = f" (line {line})" if line is not None else ""
+        super().__init__(f"{message}{loc}")
+        self.line = line
+
+
+class CodegenError(ReproError):
+    """Code generation failed for an otherwise valid IR."""

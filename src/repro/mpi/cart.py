@@ -1,0 +1,135 @@
+"""Cartesian process topologies (``MPI_Cart_create`` family).
+
+Structured-grid applications — the halo-exchange patterns the paper's
+cited studies find everywhere — address neighbours through a Cartesian
+view of the communicator. :class:`CartComm` provides the essentials:
+grid creation with optional periodicity, rank <-> coordinate
+translation, and ``Shift`` for neighbour discovery.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.errors import MPIError
+from repro.mpi.comm import Comm
+from repro.mpi.constants import PROC_NULL
+
+
+def dims_create(nnodes: int, ndims: int) -> list[int]:
+    """Balanced dimensions for ``nnodes`` over ``ndims`` axes
+    (``MPI_Dims_create``): factors as close to equal as possible,
+    non-increasing."""
+    if nnodes < 1 or ndims < 1:
+        raise MPIError("dims_create needs positive nnodes and ndims")
+    dims = [1] * ndims
+    remaining = nnodes
+    # Assign prime factors largest-first to the currently smallest dim.
+    factors = _prime_factors(remaining)
+    for f in sorted(factors, reverse=True):
+        dims[dims.index(min(dims))] *= f
+    dims.sort(reverse=True)
+    if math.prod(dims) != nnodes:
+        raise MPIError(
+            f"internal: dims {dims} do not cover {nnodes} nodes")
+    return dims
+
+
+def _prime_factors(n: int) -> list[int]:
+    out = []
+    d = 2
+    while d * d <= n:
+        while n % d == 0:
+            out.append(d)
+            n //= d
+        d += 1
+    if n > 1:
+        out.append(n)
+    return out
+
+
+class CartComm(Comm):
+    """A communicator with Cartesian structure (row-major ranks)."""
+
+    def __init__(self, comm: Comm, dims: Sequence[int],
+                 periods: Sequence[bool] | None = None):
+        super().__init__(comm.world, comm.group, comm.env)
+        self.dims = tuple(int(d) for d in dims)
+        if any(d < 1 for d in self.dims):
+            raise MPIError(f"invalid Cartesian dims {dims}")
+        if math.prod(self.dims) != comm.size:
+            raise MPIError(
+                f"dims {dims} cover {math.prod(self.dims)} ranks, "
+                f"communicator has {comm.size}")
+        self.periods = tuple(bool(p) for p in (periods or
+                                               [False] * len(dims)))
+        if len(self.periods) != len(self.dims):
+            raise MPIError("periods must match dims in length")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def ndims(self) -> int:
+        """Number of grid dimensions."""
+        return len(self.dims)
+
+    def coords_of(self, rank: int) -> tuple[int, ...]:
+        """Row-major coordinates of a rank (``MPI_Cart_coords``)."""
+        if not 0 <= rank < self.size:
+            raise MPIError(f"rank {rank} out of range")
+        coords = []
+        for extent in reversed(self.dims):
+            coords.append(rank % extent)
+            rank //= extent
+        return tuple(reversed(coords))
+
+    def rank_of(self, coords: Sequence[int]) -> int:
+        """Rank at given coordinates (``MPI_Cart_rank``), honouring
+        periodicity; non-periodic out-of-range coordinates are an
+        error (as in MPI)."""
+        if len(coords) != self.ndims:
+            raise MPIError(
+                f"expected {self.ndims} coordinates, got {len(coords)}")
+        rank = 0
+        for c, extent, periodic in zip(coords, self.dims, self.periods):
+            if periodic:
+                c %= extent
+            elif not 0 <= c < extent:
+                raise MPIError(
+                    f"coordinate {c} out of range for non-periodic "
+                    f"dimension of extent {extent}")
+            rank = rank * extent + c
+        return rank
+
+    @property
+    def coords(self) -> tuple[int, ...]:
+        """This rank's coordinates."""
+        return self.coords_of(self.rank)
+
+    def Shift(self, direction: int, disp: int = 1) -> tuple[int, int]:
+        """(source, dest) for a shift along one dimension
+        (``MPI_Cart_shift``); ``PROC_NULL`` at non-periodic edges."""
+        if not 0 <= direction < self.ndims:
+            raise MPIError(
+                f"direction {direction} out of range for "
+                f"{self.ndims}-D grid")
+        me = list(self.coords)
+
+        def neighbour(offset: int) -> int:
+            c = list(me)
+            c[direction] += offset
+            extent = self.dims[direction]
+            if self.periods[direction]:
+                c[direction] %= extent
+            elif not 0 <= c[direction] < extent:
+                return PROC_NULL
+            return self.rank_of(c)
+
+        return neighbour(-disp), neighbour(disp)
+
+
+def Cart_create(comm: Comm, dims: Sequence[int],
+                periods: Sequence[bool] | None = None) -> CartComm:
+    """Attach a Cartesian view to a communicator."""
+    return CartComm(comm, dims, periods)

@@ -1,0 +1,15 @@
+"""MPI wildcard and sentinel constants."""
+
+from __future__ import annotations
+
+#: Match a message from any source rank.
+ANY_SOURCE: int = -1
+#: Match a message with any tag.
+ANY_TAG: int = -1
+#: The null process: sends/receives to it complete immediately, no data.
+PROC_NULL: int = -2
+#: Returned where MPI would return MPI_UNDEFINED.
+UNDEFINED: int = -3
+
+#: Highest tag value guaranteed to be usable (MPI guarantees >= 32767).
+TAG_UB: int = 2**30

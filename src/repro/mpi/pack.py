@@ -1,0 +1,73 @@
+"""``MPI_Pack`` / ``MPI_Unpack`` over contiguous byte buffers.
+
+The original WL-LSMS single-atom-data transfer (paper Listing 4) is a
+long sequence of ``MPI_Pack`` calls into one ``MPI_PACKED`` buffer; the
+directive translation eliminates them. These functions let the mini-app
+transcribe that code path faithfully, charging the machine model's
+per-call and per-byte packing costs.
+
+The C signature keeps a cursor (``&position``); here the cursor is the
+return value::
+
+    pos = Pack(comm, array, buf, pos)
+    ...
+    pos = Unpack(comm, buf, pos, out_array)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MPIError
+from repro.mpi.comm import Comm
+
+
+def pack_size(nelems: int, datatype) -> int:
+    """Upper bound on packed size (``MPI_Pack_size``)."""
+    return nelems * datatype.size
+
+
+def Pack(comm: Comm, inbuf: np.ndarray, outbuf: bytearray,
+         position: int) -> int:
+    """Append ``inbuf``'s bytes to ``outbuf`` at ``position``.
+
+    Returns the new position. ``outbuf`` must be a pre-sized
+    ``bytearray`` (the ``s``-byte staging buffer of Listing 4).
+    """
+    if not isinstance(inbuf, np.ndarray):
+        raise MPIError(f"Pack input must be a numpy array, "
+                       f"got {type(inbuf).__name__}")
+    if not isinstance(outbuf, bytearray):
+        raise MPIError("Pack output must be a bytearray")
+    data = np.ascontiguousarray(inbuf).tobytes()
+    end = position + len(data)
+    if end > len(outbuf):
+        raise MPIError(
+            f"Pack overflow: position {position} + {len(data)} bytes "
+            f"exceeds the {len(outbuf)}-byte buffer")
+    outbuf[position:end] = data
+    comm.env.advance(comm.world.model.pack_cost(len(data)))
+    comm.world.stats.count_datatype("pack")
+    return end
+
+
+def Unpack(comm: Comm, inbuf: bytes | bytearray, position: int,
+           outbuf: np.ndarray) -> int:
+    """Extract ``outbuf.nbytes`` bytes at ``position`` into ``outbuf``.
+
+    Returns the new position.
+    """
+    if not isinstance(outbuf, np.ndarray) or not outbuf.flags.c_contiguous \
+            or not outbuf.flags.writeable:
+        raise MPIError("Unpack output must be a writeable C-contiguous "
+                       "numpy array")
+    end = position + outbuf.nbytes
+    if end > len(inbuf):
+        raise MPIError(
+            f"Unpack underflow: position {position} + {outbuf.nbytes} "
+            f"bytes exceeds the {len(inbuf)}-byte buffer")
+    chunk = np.frombuffer(bytes(inbuf[position:end]), dtype=outbuf.dtype)
+    outbuf[...] = chunk.reshape(outbuf.shape)
+    comm.env.advance(comm.world.model.pack_cost(outbuf.nbytes))
+    comm.world.stats.count_datatype("unpack")
+    return end

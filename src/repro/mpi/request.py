@@ -1,0 +1,147 @@
+"""Send/receive operation records and user-visible requests.
+
+A :class:`SendOp`/:class:`RecvOp` is the library-internal record of one
+pending transfer; a :class:`Request` is the user-visible handle returned
+by non-blocking calls (``MPI_Request``). Completion *times* are virtual:
+they are computed when the two sides match (see
+:mod:`repro.mpi.matching`) and consumed by ``Wait``/``Waitall``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import MPIError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Waiter
+
+
+class SendOp:
+    """One posted send."""
+
+    __slots__ = ("gid", "channel", "src", "dst", "tag", "data", "nbytes",
+                 "post_time", "eager", "matched", "completion", "waiter",
+                 "kind")
+
+    def __init__(self, *, gid: int, channel: str, src: int, dst: int,
+                 tag: int, data: bytes, post_time: float, eager: bool,
+                 kind: str):
+        self.gid = gid
+        self.channel = channel
+        self.src = src          # global rank
+        self.dst = dst          # global rank
+        self.tag = tag
+        self.data = data
+        self.nbytes = len(data)
+        self.post_time = post_time
+        self.eager = eager
+        self.matched = False
+        #: Virtual time the *sender* may reuse its buffer / consider the
+        #: operation complete. Known immediately for eager sends.
+        self.completion: float | None = None
+        #: The sender's waiter, when it is blocked on this op.
+        self.waiter: "Waiter | None" = None
+        self.kind = kind        # transport kind, for stats
+
+    def __repr__(self) -> str:
+        proto = "eager" if self.eager else "rndv"
+        return (f"<SendOp {self.src}->{self.dst} tag={self.tag} "
+                f"{self.nbytes}B {proto}>")
+
+
+class RecvOp:
+    """One posted receive."""
+
+    __slots__ = ("gid", "channel", "dst", "source", "tag", "buf",
+                 "post_time", "matched", "completion", "waiter",
+                 "status_source", "status_tag", "status_nbytes")
+
+    def __init__(self, *, gid: int, channel: str, dst: int, source: int,
+                 tag: int, buf: np.ndarray, post_time: float):
+        self.gid = gid
+        self.channel = channel
+        self.dst = dst          # global rank (receiver)
+        self.source = source    # global rank or ANY_SOURCE
+        self.tag = tag          # or ANY_TAG
+        self.buf = buf
+        self.post_time = post_time
+        self.matched = False
+        self.completion: float | None = None
+        self.waiter: "Waiter | None" = None
+        self.status_source: int | None = None
+        self.status_tag: int | None = None
+        self.status_nbytes: int = 0
+
+    def __repr__(self) -> str:
+        return (f"<RecvOp dst={self.dst} source={self.source} "
+                f"tag={self.tag}>")
+
+
+class Request:
+    """User handle for a non-blocking operation (``MPI_Request``)."""
+
+    __slots__ = ("op", "side", "done")
+
+    def __init__(self, op: SendOp | RecvOp, side: str):
+        if side not in ("send", "recv"):
+            raise MPIError(f"invalid request side {side!r}")
+        self.op = op
+        self.side = side
+        #: Set once Wait/Waitall/successful Test has consumed this request.
+        self.done = False
+
+    @property
+    def completion(self) -> float | None:
+        """The operation's virtual completion time, once known."""
+        return self.op.completion
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else (
+            "complete" if self.op.completion is not None else "pending")
+        return f"<Request {self.side} {state} {self.op!r}>"
+
+
+class PersistentRequest:
+    """A persistent communication request (``MPI_Send_init`` family).
+
+    Created inactive; each :meth:`repro.mpi.comm.Comm.Start` posts a
+    fresh operation with the stored arguments, and the usual
+    ``Wait``/``Waitall`` completes it. Persistent requests amortize the
+    per-call setup cost — the same effect the directive backend's
+    pooled path models — and are the natural lowering for a
+    ``comm_p2p`` inside a ``max_comm_iter`` loop.
+    """
+
+    __slots__ = ("comm", "side", "buf", "peer", "tag", "active")
+
+    def __init__(self, comm, side: str, buf, peer: int, tag: int):
+        if side not in ("send", "recv"):
+            raise MPIError(f"invalid persistent side {side!r}")
+        self.comm = comm
+        self.side = side
+        self.buf = buf
+        self.peer = peer
+        self.tag = tag
+        #: The in-flight Request of the current episode, if any.
+        self.active: Request | None = None
+
+    def __repr__(self) -> str:
+        state = "active" if self.active and not self.active.done \
+            else "inactive"
+        return (f"<PersistentRequest {self.side} peer={self.peer} "
+                f"tag={self.tag} {state}>")
+
+
+#: Request for a send/recv involving MPI_PROC_NULL: complete at creation.
+class NullRequest(Request):
+    __slots__ = ()
+
+    def __init__(self, side: str, time: float):
+        op = SendOp(gid=-1, channel="p2p", src=-2, dst=-2, tag=0,
+                    data=b"", post_time=time, eager=True, kind="null")
+        op.completion = time
+        op.matched = True
+        super().__init__(op, side)

@@ -1,0 +1,31 @@
+"""Receive-status objects (the ``MPI_Status`` analogue)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mpi.constants import UNDEFINED
+
+
+@dataclass
+class Status:
+    """Filled in by receive operations.
+
+    Mirrors ``MPI_Status``: who the message came from, its tag, and how
+    big it was (queried per-datatype with :meth:`Get_count`).
+    """
+
+    source: int = UNDEFINED
+    tag: int = UNDEFINED
+    nbytes: int = 0
+
+    def Get_count(self, datatype) -> int:
+        """Number of ``datatype`` elements received.
+
+        Returns :data:`~repro.mpi.constants.UNDEFINED` if the byte count
+        is not a whole number of elements, as MPI does.
+        """
+        size = datatype.size
+        if size <= 0 or self.nbytes % size != 0:
+            return UNDEFINED
+        return self.nbytes // size

@@ -1,0 +1,35 @@
+"""Network and software cost models for the simulated communication stack.
+
+The simulator charges virtual time for every communication action using a
+:class:`MachineModel`: per-transport wire parameters (latency, bandwidth,
+per-message software overheads, eager/rendezvous threshold) plus the
+library-level costs the paper's evaluation turns on — ``MPI_Wait`` loop
+overhead vs a single ``MPI_Waitall``, ``shmem_quiet``, barrier scaling,
+and derived-datatype creation/packing costs.
+
+Three ready-made models:
+
+* :func:`zero_model` — all costs zero; for semantics-only tests.
+* :func:`uniform_model` — simple round numbers; for timing-logic tests.
+* :func:`gemini_model` — calibrated to a Cray XK7 "Gemini"-class
+  interconnect, the paper's testbed (Section IV-B): SHMEM beats MPI
+  most prominently for 8–256-byte messages.
+"""
+
+from repro.netmodel.base import MachineModel, TransportParams
+from repro.netmodel.tables import PiecewiseTable
+from repro.netmodel.hockney import from_hockney
+from repro.netmodel.loggp import LogGPParams, from_loggp
+from repro.netmodel.gemini import gemini_model, uniform_model, zero_model
+
+__all__ = [
+    "MachineModel",
+    "TransportParams",
+    "PiecewiseTable",
+    "from_hockney",
+    "LogGPParams",
+    "from_loggp",
+    "gemini_model",
+    "uniform_model",
+    "zero_model",
+]

@@ -1,0 +1,164 @@
+"""Core cost-model types.
+
+A :class:`TransportParams` describes one transfer mechanism's wire and
+software costs; a :class:`MachineModel` groups the transports available
+on a machine with the library-level costs (wait/waitall/quiet/barrier,
+datatype handling) that the directive translation trades between.
+
+Timing conventions (all seconds, all message sizes in bytes):
+
+* ``send_overhead(m)`` — CPU time the *initiator* is busy per message
+  (descriptor setup plus, for eager sends, the local buffer copy).
+* ``recv_overhead(m)`` — CPU time the receiver spends matching and
+  delivering a message.
+* ``latency(m)`` — wire/NIC first-byte latency; may be a measured
+  piecewise table (protocol knees).
+* ``wire_time(m)`` — ``latency(m) + m / bandwidth``: post-to-delivery
+  time for the payload.
+* messages at or below ``eager_threshold`` are sent eagerly (sender
+  buffers and proceeds); larger ones rendezvous (sender and receiver
+  handshake before the payload moves).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.netmodel.tables import PiecewiseTable
+
+
+@dataclass(frozen=True)
+class TransportParams:
+    """Wire and per-message software costs of one transfer mechanism."""
+
+    name: str
+    #: Base first-byte latency in seconds (used when ``alpha_table`` is None).
+    alpha: float
+    #: Asymptotic bandwidth in bytes/second.
+    bandwidth: float
+    #: Per-message initiator software overhead (seconds).
+    o_send: float = 0.0
+    #: Per-byte initiator cost (eager-copy / FMA issue), seconds per byte.
+    o_send_per_byte: float = 0.0
+    #: Per-message receiver matching/delivery overhead (seconds).
+    o_recv: float = 0.0
+    #: Messages strictly larger than this rendezvous; others are eager.
+    eager_threshold: int = 4096
+    #: Extra handshake cost paid once per rendezvous transfer (seconds).
+    rendezvous_rtt: float = 0.0
+    #: Optional measured latency curve; overrides ``alpha`` when present.
+    alpha_table: PiecewiseTable | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth}")
+        for attr in ("alpha", "o_send", "o_send_per_byte", "o_recv",
+                     "rendezvous_rtt"):
+            if getattr(self, attr) < 0:
+                raise ValueError(f"{attr} must be >= 0")
+        if self.eager_threshold < 0:
+            raise ValueError("eager_threshold must be >= 0")
+
+    def latency(self, nbytes: int) -> float:
+        """First-byte latency for an ``nbytes`` message."""
+        if self.alpha_table is not None:
+            return self.alpha_table(nbytes)
+        return self.alpha
+
+    def gap(self) -> float:
+        """Per-byte serialization time (``1 / bandwidth``)."""
+        return 1.0 / self.bandwidth
+
+    def wire_time(self, nbytes: int) -> float:
+        """Post-to-delivery time for the payload."""
+        return self.latency(nbytes) + nbytes * self.gap()
+
+    def send_overhead(self, nbytes: int) -> float:
+        """Initiator CPU time per message."""
+        return self.o_send + nbytes * self.o_send_per_byte
+
+    def recv_overhead(self, nbytes: int) -> float:
+        """Receiver CPU time per message."""
+        return self.o_recv
+
+    def is_eager(self, nbytes: int) -> bool:
+        """True when a message of this size is sent eagerly."""
+        return nbytes <= self.eager_threshold
+
+
+#: Transport kind names used throughout the library.
+MPI_2SIDED = "mpi2s"
+MPI_1SIDED = "mpi1s"
+SHMEM = "shmem"
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """A machine: its transports plus library-level software costs."""
+
+    name: str
+    transports: dict[str, TransportParams]
+
+    # -- completion / synchronization costs -----------------------------
+    #: Extra per-call cost of *user-level* non-blocking calls (request
+    #: allocation and tracking in application code). Directive-generated
+    #: plans use the library's pooled-request path and do not pay this.
+    request_alloc_overhead: float = 0.0
+    #: CPU cost of one MPI_Wait call (request bookkeeping + progress poll).
+    wait_overhead: float = 0.0
+    #: Base CPU cost of one MPI_Waitall call.
+    waitall_base: float = 0.0
+    #: Marginal CPU cost per request inside MPI_Waitall.
+    waitall_per_req: float = 0.0
+    #: CPU cost of shmem_quiet / shmem_fence (excluding actual waiting).
+    quiet_overhead: float = 0.0
+    #: Base CPU cost of an RMA fence (excluding the implied barrier).
+    fence_overhead: float = 0.0
+    #: Cost of one barrier stage; barrier(P) = this * ceil(log2 P).
+    barrier_stage: float = 0.0
+
+    # -- datatype engine costs ------------------------------------------
+    #: Base cost of MPI_Type_create_struct.
+    struct_create_base: float = 0.0
+    #: Marginal cost per struct field during type creation.
+    struct_create_per_field: float = 0.0
+    #: Cost of MPI_Type_commit.
+    struct_commit: float = 0.0
+    #: Per-byte cost of MPI_Pack / MPI_Unpack (memcpy + bookkeeping).
+    pack_per_byte: float = 0.0
+    #: Base per-call cost of MPI_Pack / MPI_Unpack.
+    pack_base: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.transports:
+            raise ValueError("MachineModel needs at least one transport")
+
+    def transport(self, kind: str) -> TransportParams:
+        """Look up a transport by kind name (e.g. ``"mpi2s"``)."""
+        try:
+            return self.transports[kind]
+        except KeyError:
+            raise KeyError(
+                f"machine {self.name!r} has no transport {kind!r}; "
+                f"available: {sorted(self.transports)}") from None
+
+    def barrier_cost(self, nprocs: int) -> float:
+        """Dissemination-barrier cost for ``nprocs`` participants."""
+        if nprocs <= 1:
+            return 0.0
+        return self.barrier_stage * math.ceil(math.log2(nprocs))
+
+    def waitall_cost(self, nreqs: int) -> float:
+        """CPU cost of one MPI_Waitall over ``nreqs`` requests."""
+        return self.waitall_base + self.waitall_per_req * nreqs
+
+    def struct_create_cost(self, nfields: int) -> float:
+        """Cost of creating+committing an ``nfields``-field MPI struct."""
+        return (self.struct_create_base
+                + self.struct_create_per_field * nfields
+                + self.struct_commit)
+
+    def pack_cost(self, nbytes: int) -> float:
+        """Cost of one MPI_Pack/MPI_Unpack call over ``nbytes``."""
+        return self.pack_base + self.pack_per_byte * nbytes

@@ -1,0 +1,127 @@
+"""Calibration fitting: solve model parameters from target ratios.
+
+The Gemini model's software costs were hand-derived from the paper's
+published speedups (see :mod:`repro.netmodel.gemini`). This module
+automates that derivation: given target ratios for the Figure-4
+experiment, fit the per-message software costs by least squares over
+the closed-form cost model, so the calibration is reproducible (and
+re-runnable against different target papers/machines).
+
+Closed-form per-message sender costs (bytes ``m`` small):
+
+* original:  ``o_send + request_alloc + wait_overhead``
+* ablation:  ``o_send + request_alloc + waitall_per_req``
+* directive: ``o_send + waitall_per_req``
+* shmem:     ``shmem_o_send``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import least_squares
+
+
+@dataclass(frozen=True)
+class CalibrationTargets:
+    """The ratios a calibration must reproduce."""
+
+    ablation_speedup: float = 2.6     # original / waitall-ablation
+    mpi_speedup: float = 4.0          # original / directive-MPI
+    shmem_speedup: float = 38.0       # original / directive-SHMEM
+
+    def residuals(self, costs: "FittedCosts") -> np.ndarray:
+        """Deviations of the fitted ratios from these targets."""
+        return np.array([
+            costs.original / costs.ablation - self.ablation_speedup,
+            costs.original / costs.directive - self.mpi_speedup,
+            costs.original / costs.shmem - self.shmem_speedup,
+        ])
+
+
+@dataclass(frozen=True)
+class FittedCosts:
+    """Per-message sender-side costs (seconds)."""
+
+    o_send: float
+    request_alloc: float
+    wait_overhead: float
+    waitall_per_req: float
+    shmem_o_send: float
+
+    @property
+    def original(self) -> float:
+        """Per-message cost of the original wait-loop code."""
+        return self.o_send + self.request_alloc + self.wait_overhead
+
+    @property
+    def ablation(self) -> float:
+        """Per-message cost with a consolidated Waitall."""
+        return self.o_send + self.request_alloc + self.waitall_per_req
+
+    @property
+    def directive(self) -> float:
+        """Per-message cost of the directive-generated MPI."""
+        return self.o_send + self.waitall_per_req
+
+    @property
+    def shmem(self) -> float:
+        """Per-message cost of the SHMEM translation."""
+        return self.shmem_o_send
+
+    def speedups(self) -> dict[str, float]:
+        """The three headline ratios of this cost set."""
+        return {
+            "ablation": self.original / self.ablation,
+            "directive_mpi": self.original / self.directive,
+            "directive_shmem": self.original / self.shmem,
+        }
+
+
+def fit_costs(targets: CalibrationTargets, *,
+              o_send: float = 1.0e-6,
+              bounds_scale: float = 20.0) -> FittedCosts:
+    """Fit the free software costs to the target ratios.
+
+    ``o_send`` (the baseline Isend software cost) is pinned — ratios
+    alone cannot fix the absolute scale; everything else is fitted
+    within ``[o_send / bounds_scale, o_send * bounds_scale]``.
+    """
+    if o_send <= 0:
+        raise ValueError("o_send must be positive")
+
+    def unpack(x: np.ndarray) -> FittedCosts:
+        request_alloc, wait_overhead, waitall_per_req, shmem_o = x
+        return FittedCosts(o_send, request_alloc, wait_overhead,
+                           waitall_per_req, shmem_o)
+
+    def objective(x: np.ndarray) -> np.ndarray:
+        return targets.residuals(unpack(x))
+
+    x0 = np.array([0.5 * o_send, 2.0 * o_send, 0.1 * o_send,
+                   0.1 * o_send])
+    lo = o_send / bounds_scale
+    hi = o_send * bounds_scale
+    result = least_squares(objective, x0, bounds=(lo, hi))
+    fitted = unpack(result.x)
+    return fitted
+
+
+def verify_fit(fitted: FittedCosts, targets: CalibrationTargets,
+               rel_tol: float = 0.15) -> list[str]:
+    """Human-readable discrepancies beyond ``rel_tol`` (empty = good)."""
+    issues = []
+    got = fitted.speedups()
+    want = {
+        "ablation": targets.ablation_speedup,
+        "directive_mpi": targets.mpi_speedup,
+        "directive_shmem": targets.shmem_speedup,
+    }
+    for key, target in want.items():
+        rel = abs(got[key] - target) / target
+        if rel > rel_tol:
+            issues.append(
+                f"{key}: fitted {got[key]:.2f}x vs target {target:.2f}x "
+                f"({rel:.0%} off)")
+    return issues

@@ -1,0 +1,170 @@
+"""Ready-made machine models, including the calibrated XK7/Gemini model.
+
+``gemini_model()`` is the reproduction's stand-in for the paper's
+testbed (Cray XK7, Gemini interconnect, Section IV-B). Wire parameters
+are set to the published Gemini ballpark (~1.4 us MPI small-message
+latency, sub-microsecond SHMEM put visibility, ~5 GB/s per-link
+bandwidth, ~0.1 us SHMEM FMA issue rate), and the *software* costs are
+calibrated so the
+model reproduces the paper's internal performance ratios for the
+Figure 4 experiment:
+
+* loop-of-``MPI_Wait``  →  single ``MPI_Waitall``: ~2.6x  (the paper's
+  ablation of the original code);
+* directive-generated MPI vs the Waitall ablation: ~1.4x (the directive
+  backend batches request bookkeeping that user-level non-blocking calls
+  pay per call);
+* directive-generated SHMEM vs original MPI: ~38x for small (24-byte)
+  messages, dominated by the FMA put issue rate vs the two-sided
+  per-message software path.
+
+Derivation, per small message on the bottleneck (sender) rank:
+
+====================  =========================================  =======
+variant               cost model                                 us/msg
+====================  =========================================  =======
+original MPI          o_send + request_alloc + wait_overhead     4.16
+original + Waitall    o_send + request_alloc + waitall_per_req   1.50
+directive MPI         o_send + waitall_per_req                   1.05
+directive SHMEM       shmem o_send (FMA issue)                   0.10
+====================  =========================================  =======
+
+giving 4.16/1.50 = 2.8, 1.50/1.05 = 1.43, 4.16/0.10 = 41.6 on the raw
+per-message path; measured end-to-end (with waitall base cost, quiet
+and notification included) this lands at ~2.7x / ~1.4x / ~35x against
+the paper's ~2.6x / ~1.4x / ~38x.
+"""
+
+from __future__ import annotations
+
+from repro.netmodel.base import (
+    MPI_1SIDED,
+    MPI_2SIDED,
+    SHMEM,
+    MachineModel,
+    TransportParams,
+)
+from repro.netmodel.tables import PiecewiseTable
+from repro.util.units import GiB, usec
+
+#: Extra per-call cost of user-level non-blocking calls (request
+#: allocation and tracking). Directive-generated plans use the library's
+#: pooled-request path and do not pay this; see module docstring.
+REQUEST_ALLOC_OVERHEAD = 0.45 * usec
+
+
+def gemini_model() -> MachineModel:
+    """The calibrated Cray XK7 "Gemini"-class machine model."""
+    mpi2s = TransportParams(
+        name=MPI_2SIDED,
+        alpha=1.4 * usec,
+        # Measured MPI latency curves on Gemini rise gently through the
+        # eager range and jump at the rendezvous switch.
+        alpha_table=PiecewiseTable([
+            (8, 1.4 * usec),
+            (256, 1.5 * usec),
+            (1024, 1.7 * usec),
+            (8192, 2.3 * usec),
+            (65536, 4.5 * usec),
+        ]),
+        bandwidth=5.0 * GiB,
+        o_send=1.0 * usec,
+        o_send_per_byte=0.15e-9,  # eager-copy at ~6.7 GB/s
+        o_recv=0.8 * usec,
+        eager_threshold=8192,
+        rendezvous_rtt=3.0 * usec,
+    )
+    mpi1s = TransportParams(
+        name=MPI_1SIDED,
+        alpha=1.0 * usec,
+        bandwidth=5.0 * GiB,
+        o_send=0.6 * usec,
+        o_send_per_byte=0.1e-9,
+        o_recv=0.0,
+        eager_threshold=1 << 62,  # RMA puts never rendezvous
+        rendezvous_rtt=0.0,
+    )
+    shmem = TransportParams(
+        name=SHMEM,
+        alpha=0.3 * usec,
+        bandwidth=5.0 * GiB,
+        o_send=0.1 * usec,  # Gemini FMA put issue rate
+        o_send_per_byte=0.1e-9,
+        o_recv=0.0,
+        eager_threshold=1 << 62,
+        rendezvous_rtt=0.0,
+    )
+    return MachineModel(
+        name="cray-xk7-gemini",
+        transports={MPI_2SIDED: mpi2s, MPI_1SIDED: mpi1s, SHMEM: shmem},
+        request_alloc_overhead=REQUEST_ALLOC_OVERHEAD,
+        wait_overhead=2.71 * usec,
+        waitall_base=1.0 * usec,
+        waitall_per_req=0.05 * usec,
+        quiet_overhead=0.1 * usec,
+        fence_overhead=0.8 * usec,
+        barrier_stage=0.4 * usec,
+        struct_create_base=0.5 * usec,
+        struct_create_per_field=0.05 * usec,
+        struct_commit=0.3 * usec,
+        pack_per_byte=0.1e-9,  # ~10 GB/s memcpy
+        pack_base=0.2 * usec,
+    )
+
+
+def uniform_model() -> MachineModel:
+    """Round-number model for timing-logic tests.
+
+    Every transport: 1 us latency, 1 GB/s, 1 us software overhead per
+    side, eager below 1024 bytes; 1 us per sync stage. Timings under
+    this model are easy to compute by hand in tests.
+    """
+    def tp(name: str, eager: int = 1024) -> TransportParams:
+        return TransportParams(
+            name=name, alpha=1.0 * usec, bandwidth=1e9,
+            o_send=1.0 * usec, o_recv=1.0 * usec,
+            eager_threshold=eager, rendezvous_rtt=2.0 * usec,
+        )
+
+    return MachineModel(
+        name="uniform",
+        transports={
+            MPI_2SIDED: tp(MPI_2SIDED),
+            MPI_1SIDED: tp(MPI_1SIDED, eager=1 << 62),
+            SHMEM: tp(SHMEM, eager=1 << 62),
+        },
+        wait_overhead=1.0 * usec,
+        waitall_base=1.0 * usec,
+        waitall_per_req=0.1 * usec,
+        quiet_overhead=1.0 * usec,
+        fence_overhead=1.0 * usec,
+        barrier_stage=1.0 * usec,
+        struct_create_base=1.0 * usec,
+        struct_create_per_field=0.1 * usec,
+        struct_commit=1.0 * usec,
+        pack_per_byte=1e-9,
+        pack_base=0.1 * usec,
+    )
+
+
+def zero_model() -> MachineModel:
+    """All costs zero; for pure-semantics tests.
+
+    The eager threshold is unbounded so blocking sends never rendezvous
+    (i.e. ``Send`` behaves as buffered) — semantics tests should not
+    depend on protocol-induced blocking.
+    """
+    def tp(name: str) -> TransportParams:
+        return TransportParams(
+            name=name, alpha=0.0, bandwidth=1e30,
+            eager_threshold=1 << 62,
+        )
+
+    return MachineModel(
+        name="zero",
+        transports={
+            MPI_2SIDED: tp(MPI_2SIDED),
+            MPI_1SIDED: tp(MPI_1SIDED),
+            SHMEM: tp(SHMEM),
+        },
+    )

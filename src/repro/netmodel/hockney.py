@@ -1,0 +1,32 @@
+"""Hockney (postal) model: ``T(m) = alpha + beta * m``.
+
+The simplest classical point-to-point model — a fixed startup latency
+``alpha`` plus a per-byte time ``beta`` (the inverse bandwidth). Useful
+for quick analytical cross-checks of simulated timings.
+"""
+
+from __future__ import annotations
+
+from repro.netmodel.base import TransportParams
+
+
+def from_hockney(name: str, alpha: float, beta: float, *,
+                 o_send: float = 0.0, o_recv: float = 0.0,
+                 eager_threshold: int = 4096,
+                 rendezvous_rtt: float | None = None) -> TransportParams:
+    """Build a :class:`TransportParams` from Hockney parameters.
+
+    ``beta`` is seconds/byte (so bandwidth = 1/beta). The rendezvous
+    handshake defaults to one extra round trip (``2 * alpha``).
+    """
+    if beta <= 0:
+        raise ValueError(f"beta must be positive, got {beta}")
+    return TransportParams(
+        name=name,
+        alpha=alpha,
+        bandwidth=1.0 / beta,
+        o_send=o_send,
+        o_recv=o_recv,
+        eager_threshold=eager_threshold,
+        rendezvous_rtt=2.0 * alpha if rendezvous_rtt is None else rendezvous_rtt,
+    )

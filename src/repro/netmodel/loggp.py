@@ -1,0 +1,52 @@
+"""LogGP model: latency, overhead, gap, per-byte Gap.
+
+LogGP (Alexandrov et al.) refines Hockney by separating the CPU-side
+overhead ``o`` from the wire latency ``L``, adding a minimum inter-
+message gap ``g`` and a per-byte gap ``G`` for long messages. We map it
+onto :class:`~repro.netmodel.base.TransportParams`:
+
+* ``o``  → per-message send/recv software overhead,
+* ``L``  → wire latency ``alpha``,
+* ``G``  → ``1 / bandwidth``,
+* ``g``  → folded into ``o_send`` (the issue rate of back-to-back small
+  messages is limited by ``max(o, g)``; for the NIC-offloaded transports
+  we model, the initiator is busy for ``max(o, g)`` per message).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netmodel.base import TransportParams
+
+
+@dataclass(frozen=True)
+class LogGPParams:
+    """Raw LogGP parameters, all in seconds (G in seconds/byte)."""
+
+    L: float   # wire latency
+    o: float   # per-message CPU overhead (send and recv)
+    g: float   # minimum gap between consecutive messages
+    G: float   # per-byte gap (inverse bandwidth)
+
+    def __post_init__(self) -> None:
+        for attr in ("L", "o", "g", "G"):
+            if getattr(self, attr) < 0:
+                raise ValueError(f"{attr} must be >= 0")
+        if self.G <= 0:
+            raise ValueError("G must be positive")
+
+
+def from_loggp(name: str, params: LogGPParams, *,
+               eager_threshold: int = 4096) -> TransportParams:
+    """Build :class:`TransportParams` from LogGP parameters."""
+    issue = max(params.o, params.g)
+    return TransportParams(
+        name=name,
+        alpha=params.L,
+        bandwidth=1.0 / params.G,
+        o_send=issue,
+        o_recv=params.o,
+        eager_threshold=eager_threshold,
+        rendezvous_rtt=2.0 * params.L + 2.0 * params.o,
+    )

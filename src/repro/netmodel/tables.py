@@ -1,0 +1,50 @@
+"""Piecewise-linear lookup tables keyed by message size.
+
+Published latency curves (e.g. the MPI-vs-SHMEM comparisons the paper
+cites [13], [14]) are size-dependent in ways a single ``alpha + beta*m``
+line cannot capture — protocol switches put visible knees in the curve.
+:class:`PiecewiseTable` interpolates between measured (size, value)
+points and clamps outside the measured range.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Iterable
+
+
+class PiecewiseTable:
+    """Monotone-x piecewise-linear interpolation with end clamping.
+
+    >>> t = PiecewiseTable([(8, 1.0), (256, 2.0)])
+    >>> t(8), t(132), t(256)
+    (1.0, 1.5, 2.0)
+    >>> t(1), t(10_000)   # clamped
+    (1.0, 2.0)
+    """
+
+    def __init__(self, points: Iterable[tuple[float, float]]):
+        pts = sorted(points)
+        if not pts:
+            raise ValueError("PiecewiseTable needs at least one point")
+        xs = [p[0] for p in pts]
+        if len(set(xs)) != len(xs):
+            raise ValueError(f"duplicate x values in table: {xs}")
+        self.xs = xs
+        self.ys = [p[1] for p in pts]
+
+    def __call__(self, x: float) -> float:
+        xs, ys = self.xs, self.ys
+        if x <= xs[0]:
+            return ys[0]
+        if x >= xs[-1]:
+            return ys[-1]
+        i = bisect.bisect_right(xs, x)
+        x0, x1 = xs[i - 1], xs[i]
+        y0, y1 = ys[i - 1], ys[i]
+        frac = (x - x0) / (x1 - x0)
+        return y0 + frac * (y1 - y0)
+
+    def __repr__(self) -> str:
+        pts = ", ".join(f"({x:g}, {y:g})" for x, y in zip(self.xs, self.ys))
+        return f"PiecewiseTable([{pts}])"

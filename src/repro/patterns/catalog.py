@@ -1,0 +1,70 @@
+"""Pattern registry: name -> spec with both implementations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.patterns import (
+    butterfly,
+    evenodd,
+    fan,
+    halo,
+    halo2d,
+    pipeline,
+    ring,
+)
+
+
+@dataclass(frozen=True)
+class PatternSpec:
+    """One recurring pattern with its three faces."""
+
+    name: str
+    #: Static clause sets for the dataflow analysis (list: some
+    #: patterns are multi-directive).
+    clauses: Callable[[], Any]
+    #: Directive-based runtime implementation.
+    run_directive: Callable[..., None]
+    #: Hand-written MPI implementation.
+    run_mpi: Callable[..., None]
+    #: The classification the dataflow analysis should produce.
+    expected_class: str
+
+
+PATTERNS: dict[str, PatternSpec] = {
+    ring.NAME: PatternSpec(
+        ring.NAME, ring.clauses, ring.run_directive, ring.run_mpi,
+        expected_class="ring"),
+    evenodd.NAME: PatternSpec(
+        evenodd.NAME, evenodd.clauses, evenodd.run_directive,
+        evenodd.run_mpi, expected_class="pairwise"),
+    halo.NAME: PatternSpec(
+        halo.NAME, lambda: halo.clauses()[0], halo.run_directive,
+        halo.run_mpi, expected_class="shift"),
+    pipeline.NAME: PatternSpec(
+        pipeline.NAME, pipeline.clauses, pipeline.run_directive,
+        pipeline.run_mpi, expected_class="shift"),
+    fan.NAME_OUT: PatternSpec(
+        fan.NAME_OUT, fan.fanout_clauses, fan.run_fanout_directive,
+        fan.run_fanout_mpi, expected_class="fan-out"),
+    fan.NAME_IN: PatternSpec(
+        fan.NAME_IN, fan.fanout_clauses, fan.run_fanin_directive,
+        fan.run_fanin_mpi, expected_class="fan-in"),
+    halo2d.NAME: PatternSpec(
+        halo2d.NAME, lambda: halo.clauses()[0], halo2d.run_directive,
+        halo2d.run_mpi, expected_class="shift"),
+    butterfly.NAME: PatternSpec(
+        butterfly.NAME, lambda: None, butterfly.run_directive,
+        butterfly.run_mpi, expected_class="pairwise"),
+}
+
+
+def get_pattern(name: str) -> PatternSpec:
+    """Look up a pattern spec by name."""
+    try:
+        return PATTERNS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown pattern {name!r}; available: "
+            f"{sorted(PATTERNS)}") from None

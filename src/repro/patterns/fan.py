@@ -1,0 +1,90 @@
+"""Hub patterns: fan-out (root scatters rows) and fan-in (root collects).
+
+These are the WL-LSMS privileged-process patterns (Fig. 2): the
+privileged rank distributes per-member payloads and later collects
+results, expressed as one directive per peer inside a region so the
+root's synchronization consolidates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import mpi
+from repro.core import comm_p2p, comm_parameters
+from repro.core.ir import ClauseExprs
+from repro.sim.process import Env
+
+NAME_OUT = "fanout"
+NAME_IN = "fanin"
+
+
+def fanout_clauses() -> ClauseExprs:
+    """Static clause set of one (root, peer) instance."""
+    return ClauseExprs(
+        exprs={"sender": "root", "receiver": "peer",
+               "sendwhen": "rank==root", "receivewhen": "rank==peer"},
+        sbuf=["&data[peer]"], rbuf=["mine"],
+    )
+
+
+def run_fanout_directive(env: Env, root: int, data: np.ndarray | None,
+                         mine: np.ndarray) -> None:
+    """Root sends row ``p`` of ``data`` to rank ``p``; others receive."""
+    with comm_parameters(env, sender=root,
+                         place_sync="END_PARAM_REGION"):
+        for peer in range(env.size):
+            if peer == root:
+                continue
+            row = data[peer] if env.rank == root else mine
+            with comm_p2p(env, receiver=peer,
+                          sendwhen=env.rank == root,
+                          receivewhen=env.rank == peer,
+                          sbuf=np.ascontiguousarray(row), rbuf=mine):
+                pass
+    if env.rank == root:
+        mine[...] = data[root]
+
+
+def run_fanout_mpi(comm: mpi.Comm, root: int, data: np.ndarray | None,
+                   mine: np.ndarray) -> None:
+    """Hand-written fan-out with per-request waits."""
+    if comm.rank == root:
+        reqs = [comm.Isend(np.ascontiguousarray(data[p]), dest=p, tag=105)
+                for p in range(comm.size) if p != root]
+        for r in reqs:
+            comm.Wait(r)
+        mine[...] = data[root]
+    else:
+        comm.Recv(mine, source=root, tag=105)
+
+
+def run_fanin_directive(env: Env, root: int, mine: np.ndarray,
+                        collected: np.ndarray | None) -> None:
+    """Every rank sends its buffer to the root's row ``rank``."""
+    with comm_parameters(env, receiver=root,
+                         place_sync="END_PARAM_REGION"):
+        for peer in range(env.size):
+            if peer == root:
+                continue
+            row = collected[peer] if env.rank == root else mine
+            with comm_p2p(env, sender=peer,
+                          sendwhen=env.rank == peer,
+                          receivewhen=env.rank == root,
+                          sbuf=mine, rbuf=np.ascontiguousarray(row)):
+                pass
+    if env.rank == root:
+        collected[root][...] = mine
+
+
+def run_fanin_mpi(comm: mpi.Comm, root: int, mine: np.ndarray,
+                  collected: np.ndarray | None) -> None:
+    """Hand-written fan-in with per-request waits."""
+    if comm.rank == root:
+        reqs = [comm.Irecv(collected[p], source=p, tag=106)
+                for p in range(comm.size) if p != root]
+        for r in reqs:
+            comm.Wait(r)
+        collected[root][...] = mine
+    else:
+        comm.Send(mine, dest=root, tag=106)

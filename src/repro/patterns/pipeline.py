@@ -1,0 +1,58 @@
+"""Pipeline: element-wise forwarding through a rank chain.
+
+The paper's Listing 3 shape: a ``comm_parameters`` region with
+``max_comm_iter`` wrapping a loop of per-element ``comm_p2p``
+directives, all synchronized once at region end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import mpi
+from repro.core import comm_p2p, comm_parameters
+from repro.core.ir import ClauseExprs
+from repro.sim.process import Env
+
+NAME = "pipeline"
+
+
+def clauses() -> ClauseExprs:
+    """Static clause set for the dataflow analysis."""
+    return ClauseExprs(
+        exprs={"sender": "rank-1", "receiver": "rank+1",
+               "sendwhen": "rank<nprocs-1", "receivewhen": "rank>0",
+               "count": "1", "max_comm_iter": "n"},
+        sbuf=["&buf1[p]"], rbuf=["&buf2[p]"],
+    )
+
+
+def run_directive(env: Env, out: np.ndarray, inb: np.ndarray) -> None:
+    """Listing 3: per-element directives, one region sync."""
+    rank, size = env.rank, env.size
+    n = out.size
+    with comm_parameters(env,
+                         sender=max(rank - 1, 0),
+                         receiver=min(rank + 1, size - 1),
+                         sendwhen=rank < size - 1,
+                         receivewhen=rank > 0,
+                         count=1, max_comm_iter=n,
+                         place_sync="END_PARAM_REGION"):
+        for p in range(n):
+            with comm_p2p(env, sbuf=out[p:p + 1], rbuf=inb[p:p + 1]):
+                pass
+
+
+def run_mpi(comm: mpi.Comm, out: np.ndarray, inb: np.ndarray) -> None:
+    """Hand-written equivalent with per-request waits."""
+    rank, size = comm.rank, comm.size
+    n = out.size
+    reqs = []
+    if rank > 0:
+        for p in range(n):
+            reqs.append(comm.Irecv(inb[p:p + 1], source=rank - 1, tag=p))
+    if rank < size - 1:
+        for p in range(n):
+            reqs.append(comm.Isend(out[p:p + 1], dest=rank + 1, tag=p))
+    for r in reqs:
+        comm.Wait(r)

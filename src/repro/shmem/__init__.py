@@ -1,0 +1,34 @@
+"""A simulated SHMEM library (the paper's ``TARGET_COMM_SHMEM`` target).
+
+Models the OpenSHMEM/Cray-SHMEM essentials the directive translation
+relies on:
+
+* a **symmetric heap** — buffers allocated collectively so the same
+  object exists at the same "address" (heap slot) on every PE; the
+  directive compiler checks symmetry before emitting SHMEM calls
+  (Section III-B: "the buffers in sbuf and rbuf must also be symmetric
+  data objects");
+* **typed puts** — the data type is embedded in the call name
+  (``put_double``, ``put_int``, ``put32`` ...) and must match the
+  buffer's element size, the matching the paper's compiler performs;
+* **completion calls** — ``quiet`` (remote completion of my puts),
+  ``fence`` (ordering), ``barrier_all``/group ``barrier`` (collective
+  sync + completion), ``wait_until`` (point-to-point flag sync).
+
+Usage::
+
+    from repro import shmem
+
+    def program(env):
+        sh = shmem.init(env)
+        dst = sh.malloc(10, np.float64)   # symmetric, collective
+        if sh.my_pe == 0:
+            sh.put_double(dst, np.arange(10.0), pe=1)
+            sh.quiet()
+        sh.barrier_all()
+"""
+
+from repro.shmem.symheap import SymArray, SymmetricHeap
+from repro.shmem.api import Shmem, init
+
+__all__ = ["SymArray", "SymmetricHeap", "Shmem", "init"]

@@ -1,0 +1,125 @@
+"""The symmetric heap: collectively allocated, per-PE mirrored buffers.
+
+A :class:`SymArray` is the handle a PE holds to one symmetric
+allocation: the same heap slot (``sid``) designates a same-shape,
+same-dtype array on every PE. SHMEM communication calls take a
+``SymArray`` as the *remote* side and resolve the target PE's mirror
+through the shared heap — exactly how symmetric addresses work on a
+real machine, and the property the directive compiler validates before
+emitting SHMEM calls.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import ShmemError, SymmetryError
+from repro.sim.engine import Engine
+from repro.sim.sync import Rendezvous
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Waiter
+
+_SERVICE_KEY = "shmem_heap"
+
+
+class SymArray:
+    """Per-PE handle to one symmetric allocation."""
+
+    def __init__(self, heap: "SymmetricHeap", sid: int, data: np.ndarray):
+        self.heap = heap
+        self.sid = sid
+        #: This PE's local mirror.
+        self.data = data
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Element dtype of the allocation."""
+        return self.data.dtype
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Shape of the allocation."""
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        """Element count of the allocation."""
+        return self.data.size
+
+    @property
+    def nbytes(self) -> int:
+        """Byte size of the allocation."""
+        return self.data.nbytes
+
+    def mirror_on(self, pe: int) -> np.ndarray:
+        """The target PE's mirror of this allocation."""
+        return self.heap.mirror(self.sid, pe)
+
+    def __getitem__(self, idx):
+        return self.data[idx]
+
+    def __setitem__(self, idx, value):
+        self.data[idx] = value
+
+    def __repr__(self) -> str:
+        return (f"<SymArray sid={self.sid} shape={self.shape} "
+                f"dtype={self.dtype}>")
+
+
+class SymmetricHeap:
+    """Engine-wide registry of symmetric allocations."""
+
+    def __init__(self, engine: Engine):
+        self.engine = engine
+        self._mirrors: dict[int, dict[int, np.ndarray]] = {}
+        self._alloc_seq: dict[int, int] = {}  # per-PE allocation counter
+        self._alloc_bar = Rendezvous(range(engine.nprocs),
+                                     name="shmem-malloc")
+        #: Waiters parked by wait_until, keyed by (sid, pe).
+        self.cell_waiters: dict[tuple[int, int], list] = {}
+
+    @classmethod
+    def attach(cls, engine: Engine) -> "SymmetricHeap":
+        """The engine-wide heap (created on first use)."""
+        heap = engine.services.get(_SERVICE_KEY)
+        if heap is None:
+            heap = cls(engine)
+            engine.services[_SERVICE_KEY] = heap
+        return heap
+
+    def allocate(self, pe: int, shape, dtype) -> SymArray:
+        """Register this PE's mirror for its next allocation slot.
+
+        Symmetric allocation is collective: every PE must perform the
+        same sequence of allocations (the caller synchronizes).
+        """
+        sid = self._alloc_seq.get(pe, 0)
+        self._alloc_seq[pe] = sid + 1
+        data = np.zeros(shape, dtype=dtype)
+        slot = self._mirrors.setdefault(sid, {})
+        slot[pe] = data
+        # Symmetry check against mirrors already registered in this slot.
+        for other_pe, other in slot.items():
+            if other.shape != data.shape or other.dtype != data.dtype:
+                raise SymmetryError(
+                    f"allocation {sid} is not symmetric: PE {pe} asked "
+                    f"for {data.shape}/{data.dtype}, PE {other_pe} for "
+                    f"{other.shape}/{other.dtype}")
+        return SymArray(self, sid, data)
+
+    def mirror(self, sid: int, pe: int) -> np.ndarray:
+        """PE ``pe``'s array for allocation ``sid``."""
+        try:
+            return self._mirrors[sid][pe]
+        except KeyError:
+            raise ShmemError(
+                f"PE {pe} has no mirror for symmetric allocation {sid} "
+                "(was shmem.malloc called collectively?)") from None
+
+    @property
+    def malloc_barrier(self) -> Rendezvous:
+        """The collective-allocation synchronization point."""
+        return self._alloc_bar

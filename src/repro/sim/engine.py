@@ -1,0 +1,372 @@
+"""The cooperative virtual-time scheduler.
+
+One host thread is created per simulated rank, but *exactly one* thread
+ever runs at a time: the scheduler (on the caller's thread) hands a baton
+to the runnable rank with the smallest ``(virtual time, rank)`` and waits
+for it to come back — either because the rank finished, blocked on a
+communication condition, or yielded after advancing its clock. Host
+threads are used purely as resumable stacks (coroutine carriers); there
+is no true concurrency, which is what makes the simulation deterministic.
+
+Virtual time is per-rank. It advances only through
+:meth:`repro.sim.process.Env.compute`/:meth:`~repro.sim.process.Env.advance`
+(explicitly modelled work) and through wake-ups at message-completion
+times computed by the communication libraries' cost models. Causality is
+preserved because every wake time is ``max(waiter's clock, cause's
+completion time)`` — clocks are monotone per rank.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SimDeadlockError, SimProcessError, SimStateError
+from repro.sim.process import Env
+from repro.sim.stats import SimStats
+from repro.sim.tracing import Trace
+
+
+class ProcState(enum.Enum):
+    NEW = "new"
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    DONE = "done"
+    FAILED = "failed"
+
+
+class _Poisoned(BaseException):
+    """Raised inside a simulated rank's thread to unwind it during abort.
+
+    Derives from ``BaseException`` so user ``except Exception`` handlers
+    cannot swallow it.
+    """
+
+
+class Waiter:
+    """One pending block by one rank.
+
+    A library that needs to block a rank creates a ``Waiter``, registers
+    it wherever the waking party will find it (e.g. a message queue), and
+    calls :meth:`Engine.block`. The waking party later calls
+    :meth:`Engine.wake` with the virtual completion time and an optional
+    payload, which the blocked rank receives as ``block()``'s return.
+    """
+
+    __slots__ = ("proc", "reason", "woken", "wake_time", "payload")
+
+    def __init__(self, proc: "Proc", reason: str):
+        self.proc = proc
+        self.reason = reason
+        self.woken = False
+        self.wake_time: float | None = None
+        self.payload: Any = None
+
+    def __repr__(self) -> str:
+        state = "woken" if self.woken else "pending"
+        return f"<Waiter rank={self.proc.rank} reason={self.reason!r} {state}>"
+
+
+class Proc:
+    """Scheduler-side record of one simulated rank."""
+
+    def __init__(self, engine: "Engine", rank: int,
+                 fn: Callable[[Env], Any]):
+        self.engine = engine
+        self.rank = rank
+        self.fn = fn
+        self.now: float = 0.0
+        self.state = ProcState.NEW
+        self.baton = threading.Event()
+        self.env = Env(engine, self)
+        self.waiter: Waiter | None = None
+        self.error: BaseException | None = None
+        self.result: Any = None
+        self.thread = threading.Thread(
+            target=self._thread_main, name=f"sim-rank-{rank}", daemon=True
+        )
+
+    # Runs on the rank's own host thread.
+    def _thread_main(self) -> None:
+        try:
+            self._wait_baton()
+            self.result = self.fn(self.env)
+            self.state = ProcState.DONE
+        except _Poisoned:
+            self.state = ProcState.FAILED
+        except BaseException as exc:  # noqa: BLE001 - reported to the scheduler
+            self.error = exc
+            self.state = ProcState.FAILED
+        self.engine._sched_evt.set()
+
+    def _wait_baton(self) -> None:
+        self.baton.wait()
+        self.baton.clear()
+        if self.engine._poison:
+            raise _Poisoned()
+
+    def _switch_to_scheduler(self) -> None:
+        """Hand control back; returns when this rank is scheduled again."""
+        self.engine._sched_evt.set()
+        self._wait_baton()
+
+    def __repr__(self) -> str:
+        return f"<Proc rank={self.rank} t={self.now:.9f} {self.state.value}>"
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated SPMD run."""
+
+    nprocs: int
+    #: Per-rank virtual finish times.
+    finish_times: list[float]
+    #: Per-rank return values of the SPMD callable.
+    values: list[Any]
+    stats: SimStats
+    trace: Trace | None = None
+
+    @property
+    def makespan(self) -> float:
+        """Virtual time at which the last rank finished."""
+        return max(self.finish_times) if self.finish_times else 0.0
+
+    def __repr__(self) -> str:
+        return (f"<RunResult nprocs={self.nprocs} "
+                f"makespan={self.makespan:.9f}>")
+
+
+class Engine:
+    """Runs SPMD callables over ``nprocs`` simulated ranks.
+
+    Parameters
+    ----------
+    nprocs:
+        Number of simulated ranks.
+    trace:
+        If true, collect a :class:`~repro.sim.tracing.Trace` of engine and
+        library events (bounded by ``trace_maxlen``).
+    max_time:
+        Safety limit on virtual time; a rank advancing past it aborts the
+        run (guards against accidental infinite loops in modelled time).
+    """
+
+    def __init__(self, nprocs: int, *, trace: bool = False,
+                 trace_maxlen: int | None = 200_000,
+                 max_time: float | None = None):
+        if nprocs < 1:
+            raise ValueError(f"nprocs must be >= 1, got {nprocs}")
+        self.nprocs = nprocs
+        self.max_time = max_time
+        self.stats = SimStats()
+        self.trace: Trace | None = Trace(trace_maxlen) if trace else None
+        self.procs: list[Proc] = []
+        self._sched_evt = threading.Event()
+        self._poison = False
+        self._running = False
+        self._current: Proc | None = None
+        #: Free slot for cross-cutting services (communicators, symmetric
+        #: heaps) to stash per-world state, keyed by service name.
+        self.services: dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+
+    def run(self, fn: Callable[[Env], Any] | Sequence[Callable[[Env], Any]],
+            ) -> RunResult:
+        """Execute ``fn`` once per rank and return the collected result.
+
+        ``fn`` may be a single callable (classic SPMD: every rank runs the
+        same program, branching on ``env.rank``) or a sequence of exactly
+        ``nprocs`` callables (MPMD).
+        """
+        if self._running:
+            raise SimStateError("engine is already running")
+        if callable(fn):
+            fns = [fn] * self.nprocs
+        else:
+            fns = list(fn)
+            if len(fns) != self.nprocs:
+                raise ValueError(
+                    f"got {len(fns)} callables for {self.nprocs} ranks")
+        self.procs = [Proc(self, r, fns[r]) for r in range(self.nprocs)]
+        self._running = True
+        try:
+            for p in self.procs:
+                p.state = ProcState.READY
+                p.thread.start()
+            self._schedule_loop()
+        finally:
+            self._shutdown_threads()
+            self._running = False
+        failed = [p for p in self.procs if p.error is not None]
+        if failed:
+            first = min(failed, key=lambda p: p.rank)
+            raise SimProcessError(first.rank, first.error) from first.error
+        return RunResult(
+            nprocs=self.nprocs,
+            finish_times=[p.now for p in self.procs],
+            values=[p.result for p in self.procs],
+            stats=self.stats,
+            trace=self.trace,
+        )
+
+    # ------------------------------------------------------------------
+    # Primitives used by Env and the communication libraries.
+    # All of these run on the *current rank's* host thread; single-threaded
+    # execution makes the shared-state mutation safe without locks.
+
+    @property
+    def current(self) -> Proc:
+        """The proc whose thread is executing right now."""
+        if self._current is None:
+            raise SimStateError("no simulated rank is currently running")
+        return self._current
+
+    def block(self, proc: Proc, reason: str) -> Waiter:
+        """Block ``proc`` until some party wakes its waiter; returns it.
+
+        Must be called from ``proc``'s own thread. The waiter should have
+        been registered with the waking party *before* calling this —
+        but because only one rank runs at a time, registering it after
+        creation and before this call is race-free either way.
+        """
+        if proc is not self._current:
+            raise SimStateError("a rank may only block itself")
+        waiter = proc.waiter
+        if waiter is None or waiter.woken:
+            raise SimStateError("block() requires a fresh waiter; "
+                                "use make_waiter() first")
+        proc.state = ProcState.BLOCKED
+        self._trace(proc, "block", reason=reason)
+        proc._switch_to_scheduler()
+        # We only get here after wake() marked the waiter woken and the
+        # scheduler picked us again.
+        proc.waiter = None
+        self._trace(proc, "unblock", reason=reason)
+        return waiter
+
+    def make_waiter(self, proc: Proc, reason: str) -> Waiter:
+        """Create and install the waiter ``proc`` will block on next."""
+        if proc.waiter is not None and not proc.waiter.woken:
+            raise SimStateError(f"rank {proc.rank} already has a pending waiter")
+        waiter = Waiter(proc, reason)
+        proc.waiter = waiter
+        return waiter
+
+    def wake(self, waiter: Waiter, time: float, payload: Any = None) -> None:
+        """Mark ``waiter`` complete at virtual ``time`` with ``payload``.
+
+        The blocked rank resumes with its clock advanced to
+        ``max(its clock, time)``. Waking an already-woken waiter is an
+        error (each waiter is single-use).
+        """
+        if waiter.woken:
+            raise SimStateError("waiter was already woken")
+        waiter.woken = True
+        waiter.wake_time = time
+        waiter.payload = payload
+        proc = waiter.proc
+        proc.now = max(proc.now, time)
+        proc.state = ProcState.READY
+
+    def check_time(self, proc: Proc) -> None:
+        """Abort if ``proc`` ran past ``max_time`` (runaway-loop guard)."""
+        if self.max_time is not None and proc.now > self.max_time:
+            raise SimDeadlockError(
+                f"virtual time {proc.now} exceeded max_time "
+                f"{self.max_time} on rank {proc.rank}")
+
+    def yield_(self, proc: Proc) -> None:
+        """Cooperatively reschedule; other ranks at earlier times run first."""
+        if proc is not self._current:
+            raise SimStateError("a rank may only yield itself")
+        self.check_time(proc)
+        # Fast path: if this rank is still the earliest runnable one, no
+        # other rank could be scheduled before it, so skip the two context
+        # switches entirely. BLOCKED ranks resume only via wake() calls
+        # made by *running* ranks, so they cannot be starved by this.
+        if not self._someone_ready_before(proc):
+            return
+        proc.state = ProcState.READY
+        proc._switch_to_scheduler()
+
+    def _someone_ready_before(self, proc: Proc) -> bool:
+        for p in self.procs:
+            if p is proc or p.state is not ProcState.READY:
+                continue
+            if (p.now, p.rank) < (proc.now, proc.rank):
+                return True
+        return False
+
+    def _trace(self, proc: Proc, kind: str, **fields: Any) -> None:
+        if self.trace is not None:
+            self.trace.record(proc.now, proc.rank, kind, **fields)
+
+    def trace_event(self, kind: str, **fields: Any) -> None:
+        """Record a trace event attributed to the current rank."""
+        if self.trace is not None and self._current is not None:
+            self.trace.record(self._current.now, self._current.rank,
+                              kind, **fields)
+
+    # ------------------------------------------------------------------
+    # Scheduler internals
+
+    def _schedule_loop(self) -> None:
+        while True:
+            ready = [p for p in self.procs if p.state is ProcState.READY]
+            if not ready:
+                blocked = [p for p in self.procs
+                           if p.state is ProcState.BLOCKED]
+                if blocked:
+                    self._raise_deadlock(blocked)
+                return  # all ranks DONE (or FAILED: handled by caller)
+            proc = min(ready, key=lambda p: (p.now, p.rank))
+            if self.max_time is not None and proc.now > self.max_time:
+                raise SimDeadlockError(
+                    f"virtual time {proc.now} exceeded max_time "
+                    f"{self.max_time} on rank {proc.rank}")
+            self._dispatch(proc)
+            if proc.error is not None:
+                # Abort: remaining ranks are unwound in _shutdown_threads.
+                if isinstance(proc.error, SimDeadlockError):
+                    # Engine-level abort (e.g. max_time guard), not a user
+                    # bug: surface it unwrapped.
+                    raise proc.error
+                raise SimProcessError(proc.rank, proc.error) from proc.error
+
+    def _dispatch(self, proc: Proc) -> None:
+        proc.state = ProcState.RUNNING
+        self._current = proc
+        self.stats.switches += 1
+        self._sched_evt.clear()
+        proc.baton.set()
+        self._sched_evt.wait()
+        self._current = None
+
+    def _raise_deadlock(self, blocked: list[Proc]) -> None:
+        blocked = sorted(blocked, key=lambda p: p.rank)
+        detail = {
+            p.rank: (p.waiter.reason if p.waiter else "unknown")
+            for p in blocked
+        }
+        lines = [f"  rank {p.rank} (t={p.now:.9f}): waiting on "
+                 f"{detail[p.rank]}" for p in blocked]
+        done = sum(1 for p in self.procs if p.state is ProcState.DONE)
+        msg = (f"deadlock: {len(blocked)} rank(s) blocked, {done} finished, "
+               f"none runnable\n" + "\n".join(lines))
+        raise SimDeadlockError(msg, blocked=detail)
+
+    def _shutdown_threads(self) -> None:
+        self._poison = True
+        for p in self.procs:
+            if p.thread.is_alive():
+                p.baton.set()
+        for p in self.procs:
+            if p.thread.is_alive():
+                p.thread.join(timeout=5.0)
+        self._poison = False

@@ -1,0 +1,73 @@
+"""Aggregate counters for a simulated run.
+
+The communication libraries increment these as they execute; benchmark
+reports read them to show *why* one variant beats another (message
+counts, bytes moved, synchronization calls generated) — the quantities
+the paper's Section IV discusses alongside the timings.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SimStats:
+    """Counters accumulated over one :meth:`repro.sim.Engine.run`."""
+
+    #: Point-to-point messages fully transferred, by library kind
+    #: (``"mpi2s"``, ``"mpi1s"``, ``"shmem"``).
+    messages: Counter = field(default_factory=Counter)
+    #: Payload bytes transferred, by library kind.
+    bytes: Counter = field(default_factory=Counter)
+    #: Synchronization calls executed (``"wait"``, ``"waitall"``,
+    #: ``"barrier"``, ``"quiet"``, ``"fence"`` ...).
+    sync_calls: Counter = field(default_factory=Counter)
+    #: Datatype-engine activity (``"struct_created"``, ``"struct_reused"``,
+    #: ``"pack"``, ``"unpack"``).
+    datatype_ops: Counter = field(default_factory=Counter)
+    #: Modelled compute seconds, summed over all ranks.
+    compute_seconds: float = 0.0
+    #: Scheduler context switches (a proxy for simulation cost, not a
+    #: modelled quantity).
+    switches: int = 0
+
+    def count_message(self, kind: str, nbytes: int) -> None:
+        """Record one completed transfer of ``nbytes``."""
+        self.messages[kind] += 1
+        self.bytes[kind] += nbytes
+
+    def count_sync(self, kind: str) -> None:
+        """Record one synchronization call."""
+        self.sync_calls[kind] += 1
+
+    def count_datatype(self, kind: str) -> None:
+        """Record one datatype-engine operation."""
+        self.datatype_ops[kind] += 1
+
+    @property
+    def total_messages(self) -> int:
+        """Messages across all transports."""
+        return sum(self.messages.values())
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes across all transports."""
+        return sum(self.bytes.values())
+
+    @property
+    def total_sync_calls(self) -> int:
+        """Synchronization calls of every kind."""
+        return sum(self.sync_calls.values())
+
+    def summary(self) -> str:
+        """One-paragraph human-readable summary."""
+        parts = [
+            f"messages={self.total_messages}",
+            f"bytes={self.total_bytes}",
+            f"sync_calls={self.total_sync_calls}",
+            f"compute={self.compute_seconds:.6g}s",
+            f"switches={self.switches}",
+        ]
+        return ", ".join(parts)

@@ -1,0 +1,75 @@
+"""Structured event tracing for simulated runs.
+
+A :class:`Trace` collects :class:`TraceEvent` records emitted by the
+engine and the communication libraries. Traces are the raw material for
+the communication-pattern analyses the paper motivates (who sends to
+whom, message-size histograms) and make test failures debuggable.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped event on one simulated rank."""
+
+    time: float
+    rank: int
+    kind: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extra = " ".join(f"{k}={v}" for k, v in sorted(self.fields.items()))
+        return f"[{self.time:.9f}] rank {self.rank}: {self.kind} {extra}".rstrip()
+
+
+class Trace:
+    """An append-only, optionally bounded event log.
+
+    ``maxlen`` guards against unbounded memory in long benchmark runs;
+    when the cap is hit, *recording stops* (the prefix is kept, which is
+    what you want when debugging startup behaviour) and ``truncated``
+    becomes true.
+    """
+
+    def __init__(self, maxlen: int | None = None):
+        self.events: list[TraceEvent] = []
+        self.maxlen = maxlen
+        self.truncated = False
+
+    def record(self, time: float, rank: int, kind: str, **fields: Any) -> None:
+        """Append one event (no-op once the cap is hit)."""
+        if self.maxlen is not None and len(self.events) >= self.maxlen:
+            self.truncated = True
+            return
+        self.events.append(TraceEvent(time, rank, kind, fields))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        """All events of one kind, in emission order."""
+        return [e for e in self.events if e.kind == kind]
+
+    def by_rank(self, rank: int) -> list[TraceEvent]:
+        """All events emitted by one rank, in emission order."""
+        return [e for e in self.events if e.rank == rank]
+
+    def kind_counts(self) -> Counter[str]:
+        """Histogram of event kinds, e.g. to count generated sync calls."""
+        return Counter(e.kind for e in self.events)
+
+    def render(self, limit: int | None = None) -> str:
+        """Human-readable dump of the first ``limit`` events."""
+        events = self.events if limit is None else self.events[:limit]
+        lines = [str(e) for e in events]
+        if limit is not None and len(self.events) > limit:
+            lines.append(f"... ({len(self.events) - limit} more events)")
+        return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""Deterministic per-rank random number generation.
+
+Simulated SPMD programs must be reproducible regardless of host thread
+scheduling, so every source of randomness is a :class:`numpy.random.
+Generator` seeded from ``(experiment seed, rank)`` via ``SeedSequence``.
+Two ranks never share a stream, and re-running with the same seed gives
+bit-identical results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rank_rng(seed: int, rank: int) -> np.random.Generator:
+    """Return the deterministic generator for ``rank`` under ``seed``.
+
+    >>> a = rank_rng(7, 0).random(3)
+    >>> b = rank_rng(7, 0).random(3)
+    >>> bool((a == b).all())
+    True
+    """
+    if rank < 0:
+        raise ValueError(f"rank must be non-negative, got {rank}")
+    ss = np.random.SeedSequence(entropy=seed, spawn_key=(rank,))
+    return np.random.Generator(np.random.PCG64(ss))

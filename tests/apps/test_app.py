@@ -1,0 +1,140 @@
+"""Full WL-LSMS runs: physics equivalence and phase timing behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.apps.wllsms import AppConfig, run_app
+from repro.netmodel import gemini_model
+
+SMALL = dict(n_lsms=2, group_size=4, t=24, tc=4, wl_steps=3)
+
+
+class TestConfig:
+    def test_invalid_variant_rejected(self):
+        with pytest.raises(ValueError):
+            AppConfig(variant="fastest")
+
+    def test_target_requires_directive(self):
+        with pytest.raises(ValueError):
+            AppConfig(variant="original", target="TARGET_COMM_SHMEM")
+
+    def test_overlap_requires_directive(self):
+        with pytest.raises(ValueError):
+            AppConfig(variant="original", overlap=True)
+
+    def test_nprocs(self):
+        assert AppConfig(**SMALL).nprocs == 9
+
+
+class TestRuns:
+    @pytest.mark.parametrize("variant,target", [
+        ("original", "TARGET_COMM_MPI_2SIDE"),
+        ("waitall", "TARGET_COMM_MPI_2SIDE"),
+        ("directive", "TARGET_COMM_MPI_2SIDE"),
+        ("directive", "TARGET_COMM_SHMEM"),
+    ])
+    def test_all_variants_run_and_sample(self, variant, target):
+        res = run_app(AppConfig(variant=variant, target=target, **SMALL))
+        assert res.wang_landau.steps == SMALL["wl_steps"] * 2  # per group
+        assert all(np.isfinite(e) for e in res.group_energies)
+        assert res.makespan > 0
+
+    def test_physics_identical_across_variants(self):
+        """The communication variant must not change the numbers."""
+        results = [
+            run_app(AppConfig(variant=v, target=t, **SMALL))
+            for v, t in [
+                ("original", "TARGET_COMM_MPI_2SIDE"),
+                ("waitall", "TARGET_COMM_MPI_2SIDE"),
+                ("directive", "TARGET_COMM_MPI_2SIDE"),
+                ("directive", "TARGET_COMM_SHMEM"),
+            ]
+        ]
+        base = results[0]
+        for other in results[1:]:
+            assert other.group_energies == pytest.approx(
+                base.group_energies)
+            assert np.allclose(other.wang_landau.ln_g,
+                               base.wang_landau.ln_g)
+
+    def test_deterministic_reruns(self):
+        a = run_app(AppConfig(**SMALL))
+        b = run_app(AppConfig(**SMALL))
+        assert a.group_energies == b.group_energies
+        assert a.makespan == b.makespan
+
+    def test_phase_records_present(self):
+        res = run_app(AppConfig(**SMALL))
+        for phase in ("distribute", "setevec", "corestates", "collect"):
+            assert res.phases.episodes(phase) > 0
+        assert res.phases.episodes("setevec") == SMALL["wl_steps"]
+
+    def test_seed_changes_energies(self):
+        a = run_app(AppConfig(**SMALL))
+        b = run_app(AppConfig(seed=99, **SMALL))
+        assert a.group_energies != pytest.approx(b.group_energies)
+
+    def test_collective_intent_directive_same_physics(self):
+        """The Section-V comm_collective path matches the hand-written
+        reduction exactly."""
+        a = run_app(AppConfig(**SMALL))
+        b = run_app(AppConfig(collective_intent=True, **SMALL))
+        assert b.group_energies == pytest.approx(a.group_energies)
+        assert np.allclose(b.wang_landau.ln_g, a.wang_landau.ln_g)
+
+
+class TestTimingShape:
+    def test_setevec_variant_ordering_in_app(self):
+        """Per-rank busy time at the privileged (bottleneck) rank — the
+        paper's per-routine timer view."""
+        model_kw = dict(model=gemini_model(), n_lsms=1, group_size=16,
+                        t=24, tc=4, wl_steps=2)
+        priv = AppConfig(**model_kw).topology.privileged_rank_of(0)
+        t_orig = run_app(AppConfig(variant="original", **model_kw)) \
+            .phases.rank_total("setevec", priv)
+        t_wall = run_app(AppConfig(variant="waitall", **model_kw)) \
+            .phases.rank_total("setevec", priv)
+        t_dir = run_app(AppConfig(variant="directive", **model_kw)) \
+            .phases.rank_total("setevec", priv)
+        t_shm = run_app(AppConfig(
+            variant="directive", target="TARGET_COMM_SHMEM",
+            **model_kw)).phases.rank_total("setevec", priv)
+        assert t_orig > t_wall > t_dir > t_shm
+
+    def test_distribute_grows_with_instances(self):
+        base = dict(group_size=4, t=64, tc=4, wl_steps=1,
+                    model=gemini_model())
+        t2 = run_app(AppConfig(n_lsms=2, **base)) \
+            .phases.total_duration("distribute")
+        t6 = run_app(AppConfig(n_lsms=6, **base)) \
+            .phases.total_duration("distribute")
+        assert t6 > 2.0 * t2
+
+    @staticmethod
+    def _exec_time(res, rank):
+        return (res.phases.rank_total("setevec", rank)
+                + res.phases.rank_total("corestates", rank))
+
+    def test_overlap_reduces_setevec_plus_corestates(self):
+        """Fig. 5: overlapping hides communication under compute."""
+        kw = dict(model=gemini_model(), n_lsms=1, group_size=16,
+                  t=24, tc=4, wl_steps=2, gpu_speedup=10.0)
+        plain = run_app(AppConfig(variant="directive", **kw))
+        over = run_app(AppConfig(variant="directive", overlap=True,
+                                 **kw))
+        last = AppConfig(**kw).topology.members_of(0)[-1]
+        assert self._exec_time(over, last) < self._exec_time(plain, last)
+        # The physics is unchanged by overlapping.
+        assert over.group_energies == pytest.approx(plain.group_energies)
+
+    def test_overlap_benefit_bounded_by_comm_time(self):
+        kw = dict(model=gemini_model(), n_lsms=1, group_size=16,
+                  t=24, tc=4, wl_steps=2, gpu_speedup=10.0)
+        plain = run_app(AppConfig(variant="directive", **kw))
+        over = run_app(AppConfig(variant="directive", overlap=True,
+                                 **kw))
+        last = AppConfig(**kw).topology.members_of(0)[-1]
+        benefit = (self._exec_time(plain, last)
+                   - self._exec_time(over, last))
+        comm = plain.phases.rank_total("setevec", last)
+        assert benefit <= comm * 1.05

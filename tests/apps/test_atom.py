@@ -1,0 +1,146 @@
+"""Atom payloads and the Wang-Landau sampler."""
+
+import numpy as np
+import pytest
+
+from repro.apps.wllsms.atom import ATOM_SCALARS, AtomData, make_atoms
+from repro.apps.wllsms.wanglandau import (
+    WangLandau,
+    heisenberg_energy,
+    random_spins,
+)
+
+
+class TestAtomScalars:
+    def test_field_order_matches_listing4(self):
+        names = [f.name for f in ATOM_SCALARS.fields]
+        assert names == [
+            "local_id", "jmt", "jws", "xstart", "rmt", "header",
+            "alat", "efermi", "vdif", "ztotss", "zcorss", "evec",
+            "nspin", "numc",
+        ]
+
+    def test_header_is_80_chars(self):
+        header = next(f for f in ATOM_SCALARS.fields
+                      if f.name == "header")
+        assert header.count == 80
+
+    def test_composite_flattens_to_struct_triples(self):
+        t = ATOM_SCALARS.triples()
+        assert len(t) == 14
+        assert t.blocklengths[5] == 80   # header
+        assert t.blocklengths[11] == 3   # evec
+
+
+class TestAtomData:
+    def test_make_atoms_deterministic(self):
+        a = make_atoms(7, 4, t=32, tc=4)
+        b = make_atoms(7, 4, t=32, tc=4)
+        assert all(x.equals(y) for x, y in zip(a, b))
+
+    def test_make_atoms_distinct_ids(self):
+        atoms = make_atoms(7, 3, t=16, tc=2)
+        assert [int(a.scalars["local_id"][0]) for a in atoms] == [0, 1, 2]
+
+    def test_payload_bytes(self):
+        atom = AtomData.empty(t=100, tc=8)
+        expected = (ATOM_SCALARS.size + 2 * 100 * 2 * 8
+                    + 8 * 2 * 8 + 3 * 8 * 2 * 4)
+        assert atom.payload_bytes == expected
+
+    def test_resize_potential_grows_only(self):
+        atom = AtomData.empty(t=10, tc=2)
+        atom.resize_potential(20)
+        assert atom.vr.shape == (20, 2)
+        atom.resize_potential(5)
+        assert atom.vr.shape == (20, 2)
+
+    def test_resize_core(self):
+        atom = AtomData.empty(t=10, tc=2)
+        atom.resize_core(6)
+        assert atom.nc.shape == (6, 2)
+
+    def test_evec_is_unit_vector(self):
+        atom = make_atoms(3, 1, t=8, tc=2)[0]
+        evec = atom.scalars["evec"][0]
+        assert np.linalg.norm(evec) == pytest.approx(1.0)
+
+
+class TestWangLandau:
+    def test_bins_cover_range(self):
+        wl = WangLandau(e_min=-10, e_max=10, n_bins=4)
+        assert wl.bin_of(-10) == 0
+        assert wl.bin_of(9.99) == 3
+        assert wl.bin_of(-100) == 0     # clamped
+        assert wl.bin_of(100) == 3
+
+    def test_record_updates_g_and_histogram(self):
+        wl = WangLandau(e_min=0, e_max=1, n_bins=2)
+        wl.record(0.1)
+        assert wl.ln_g[0] == pytest.approx(1.0)
+        assert wl.histogram[0] == 1
+
+    def test_acceptance_favours_less_visited_bins(self):
+        wl = WangLandau(e_min=0, e_max=1, n_bins=2)
+        wl.ln_g[0] = 50.0  # bin 0 heavily visited
+        rng = np.random.default_rng(0)
+        # Moves out of bin 0 into bin 1 always accepted.
+        assert wl.accept(0.1, 0.9, rng)
+        # Moves into the crowded bin essentially never accepted.
+        accepts = sum(wl.accept(0.9, 0.1, rng) for _ in range(200))
+        assert accepts == 0
+
+    def test_refine_halves_f_and_resets_histogram(self):
+        wl = WangLandau(e_min=0, e_max=1, n_bins=2)
+        wl.record(0.1)
+        wl.refine()
+        assert wl.ln_f == pytest.approx(0.5)
+        assert wl.histogram.sum() == 0
+        assert wl.refinements == 1
+
+    def test_flatness_detection(self):
+        wl = WangLandau(e_min=0, e_max=1, n_bins=2, flatness=0.8)
+        wl.histogram[:] = [10, 10]
+        assert wl.is_flat()
+        wl.histogram[:] = [10, 1]
+        assert not wl.is_flat()
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(ValueError):
+            WangLandau(e_min=1, e_max=0)
+        with pytest.raises(ValueError):
+            WangLandau(e_min=0, e_max=1, n_bins=1)
+
+    def test_converges_on_toy_model(self):
+        """A short real WL run visits multiple bins and refines."""
+        rng = np.random.default_rng(42)
+        n_spins = 6
+        wl = WangLandau(e_min=-(n_spins - 1), e_max=(n_spins - 1),
+                        n_bins=8, flatness=0.6)
+        spins = random_spins(rng, n_spins)
+        e = heisenberg_energy(spins)
+        for _ in range(4000):
+            cand = random_spins(rng, n_spins)
+            e_new = heisenberg_energy(cand)
+            if wl.accept(e, e_new, rng):
+                spins, e = cand, e_new
+            wl.record(e)
+        assert wl.refinements >= 1
+        assert (wl.normalized_ln_g() > 0).sum() >= 3
+
+
+class TestHelpers:
+    def test_random_spins_are_unit(self):
+        rng = np.random.default_rng(1)
+        v = random_spins(rng, 10).reshape(10, 3)
+        assert np.allclose(np.linalg.norm(v, axis=1), 1.0)
+
+    def test_heisenberg_bounds(self):
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            e = heisenberg_energy(random_spins(rng, 5))
+            assert -4.0 <= e <= 4.0
+
+    def test_heisenberg_aligned_chain(self):
+        spins = np.tile([0.0, 0.0, 1.0], 4)
+        assert heisenberg_energy(spins) == pytest.approx(-3.0)

@@ -1,0 +1,140 @@
+"""Single-atom-data distribution: all variants deliver identical data."""
+
+import numpy as np
+import pytest
+
+from repro import mpi, shmem
+from repro.apps.wllsms.atom import AtomData, make_atoms
+from repro.apps.wllsms.distribute import (
+    atom_packed_size,
+    distribute_directive,
+    distribute_original,
+    pack_atom,
+    stage_a_recv_deck,
+    stage_a_send_decks,
+    unpack_atom,
+)
+from repro.apps.wllsms.liz import Topology
+from repro.core.buffers import array_of
+from repro.netmodel import zero_model
+from repro.sim import Engine
+
+T, TC = 24, 4
+
+
+def run_distribution(variant, target="TARGET_COMM_MPI_2SIDE",
+                     n_lsms=2, group_size=3, model=None):
+    topo = Topology(n_lsms=n_lsms, group_size=group_size)
+    model = model or zero_model()
+    eng = Engine(topo.nprocs)
+
+    def main(env):
+        comm = mpi.init(env, model)
+        if variant == "directive" and target == "TARGET_COMM_SHMEM":
+            sh = shmem.init(env)
+            from repro.apps.wllsms.app import _symmetric_atom
+            my_atom = _symmetric_atom(sh, T, TC)
+        else:
+            my_atom = AtomData.empty(T, TC)
+        deck = None
+        if topo.is_wl(env.rank):
+            atoms = make_atoms(5, topo.atoms_per_group(), t=T, tc=TC)
+            stage_a_send_decks(comm, topo, atoms)
+            return None
+        if topo.is_privileged(env.rank):
+            deck = stage_a_recv_deck(comm, topo, T, TC)
+        if variant == "directive":
+            distribute_directive(env, topo, deck, my_atom, target=target)
+        else:
+            distribute_original(comm, topo, env, deck, my_atom)
+        return {
+            "local_id": int(array_of(my_atom.scalars)["local_id"][0]),
+            "vr0": float(array_of(my_atom.vr)[0, 0]),
+            "kc_sum": int(array_of(my_atom.kc).sum()),
+            "header": bytes(array_of(my_atom.scalars)["header"][0][:7]),
+        }
+
+    res = eng.run(main)
+    return topo, res
+
+
+def expected_for(topo, rank):
+    atoms = make_atoms(5, topo.atoms_per_group(), t=T, tc=TC)
+    idx = topo.local_index(rank)
+    a = atoms[idx]
+    return {
+        "local_id": int(a.scalars["local_id"][0]),
+        "vr0": float(a.vr[0, 0]),
+        "kc_sum": int(a.kc.sum()),
+        "header": bytes(a.scalars["header"][0][:7]),
+    }
+
+
+class TestPackUnpack:
+    def test_roundtrip(self):
+        model = zero_model()
+        eng = Engine(1)
+
+        def main(env):
+            comm = mpi.init(env, model)
+            src = make_atoms(3, 1, t=T, tc=TC)[0]
+            buf = bytearray(atom_packed_size(T, TC))
+            size = pack_atom(comm, src, buf)
+            dst = AtomData.empty(T, TC)
+            unpack_atom(comm, bytes(buf[:size]), dst)
+            return src.equals(dst)
+
+        assert eng.run(main).values[0]
+
+    def test_packed_size_bound_holds(self):
+        model = zero_model()
+        eng = Engine(1)
+
+        def main(env):
+            comm = mpi.init(env, model)
+            src = make_atoms(3, 1, t=T, tc=TC)[0]
+            buf = bytearray(atom_packed_size(T, TC))
+            return pack_atom(comm, src, buf)
+
+        size = eng.run(main).values[0]
+        assert size <= atom_packed_size(T, TC)
+
+    def test_unpack_resizes_smaller_destination(self):
+        """Listing 4's resizePotential path: receiver declared less
+        radial rows than the sender shipped."""
+        model = zero_model()
+        eng = Engine(1)
+
+        def main(env):
+            comm = mpi.init(env, model)
+            src = make_atoms(3, 1, t=T, tc=TC)[0]
+            buf = bytearray(atom_packed_size(T, TC))
+            size = pack_atom(comm, src, buf)
+            dst = AtomData.empty(T // 2, TC)  # too small: must grow
+            unpack_atom(comm, bytes(buf[:size]), dst)
+            return (dst.vr.shape[0] >= T,
+                    np.array_equal(dst.vr[:T], src.vr))
+
+        grew, equal = eng.run(main).values[0]
+        assert grew and equal
+
+
+@pytest.mark.parametrize("variant,target", [
+    ("original", "TARGET_COMM_MPI_2SIDE"),
+    ("directive", "TARGET_COMM_MPI_2SIDE"),
+    ("directive", "TARGET_COMM_MPI_1SIDE"),
+    ("directive", "TARGET_COMM_SHMEM"),
+])
+class TestVariantsDeliver:
+    def test_every_rank_gets_its_atom(self, variant, target):
+        topo, res = run_distribution(variant, target)
+        for rank in range(1, topo.nprocs):
+            assert res.values[rank] == expected_for(topo, rank), \
+                f"rank {rank} mismatch under {variant}/{target}"
+
+
+class TestVariantEquivalence:
+    def test_original_and_directive_identical_data(self):
+        _, res_orig = run_distribution("original")
+        _, res_dir = run_distribution("directive")
+        assert res_orig.values[1:] == res_dir.values[1:]

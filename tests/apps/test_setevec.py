@@ -1,0 +1,170 @@
+"""setEvec: Listing 6 vs ablation vs Listing 7, data and timing."""
+
+import numpy as np
+import pytest
+
+from repro import mpi, shmem
+from repro.apps.wllsms.liz import Topology
+from repro.apps.wllsms.setevec import (
+    set_evec_directive,
+    set_evec_original,
+    set_evec_waitall,
+)
+from repro.core.buffers import array_of
+from repro.netmodel import gemini_model, zero_model
+from repro.sim import Engine
+
+TOPO = Topology(n_lsms=2, group_size=4)
+
+
+def run_setevec(variant, target="TARGET_COMM_MPI_2SIDE", model=None,
+                overlap_body=None, topo=TOPO):
+    model = model or zero_model()
+    eng = Engine(topo.nprocs)
+
+    def main(env):
+        mpi.init(env, model)
+        if topo.is_wl(env.rank):
+            return None
+        g = topo.group_of(env.rank)
+        num = topo.atoms_per_group()
+        ev = None
+        if topo.is_privileged(env.rank):
+            # Deterministic per-group spin payload.
+            ev = np.arange(3.0 * num) + 100.0 * g
+        if target == "TARGET_COMM_SHMEM":
+            sh = shmem.init(env)
+            my_evec = sh.malloc(3, np.float64)
+        else:
+            my_evec = np.zeros(3)
+        t0 = env.now
+        if variant == "original":
+            set_evec_original(env, topo, ev, my_evec)
+        elif variant == "waitall":
+            set_evec_waitall(env, topo, ev, my_evec)
+        else:
+            set_evec_directive(env, topo, ev, my_evec, target=target,
+                               overlap_body=overlap_body)
+        return (array_of(my_evec).tolist(), env.now - t0)
+
+    # SHMEM needs every rank (incl. WL) in the collective malloc.
+    if target == "TARGET_COMM_SHMEM":
+        def wrapped(env):
+            mpi.init(env, model)
+            if topo.is_wl(env.rank):
+                shmem.init(env).malloc(3, np.float64)
+                return None
+            return main_inner(env)
+
+        def main_inner(env):
+            g = topo.group_of(env.rank)
+            num = topo.atoms_per_group()
+            ev = None
+            if topo.is_privileged(env.rank):
+                ev = np.arange(3.0 * num) + 100.0 * g
+            sh = shmem.init(env)
+            my_evec = sh.malloc(3, np.float64)
+            t0 = env.now
+            set_evec_directive(env, topo, ev, my_evec, target=target,
+                               overlap_body=overlap_body)
+            return (array_of(my_evec).tolist(), env.now - t0)
+
+        return eng.run(wrapped), eng
+    return eng.run(main), eng
+
+
+def expected_evec(topo, rank):
+    g = topo.group_of(rank)
+    p = topo.local_index(rank)
+    return [3.0 * p + k + 100.0 * g for k in range(3)]
+
+
+@pytest.mark.parametrize("variant,target", [
+    ("original", "TARGET_COMM_MPI_2SIDE"),
+    ("waitall", "TARGET_COMM_MPI_2SIDE"),
+    ("directive", "TARGET_COMM_MPI_2SIDE"),
+    ("directive", "TARGET_COMM_MPI_1SIDE"),
+    ("directive", "TARGET_COMM_SHMEM"),
+])
+def test_every_member_gets_its_spin(variant, target):
+    res, _ = run_setevec(variant, target)
+    for rank in range(1, TOPO.nprocs):
+        got = res.values[rank][0]
+        assert got == expected_evec(TOPO, rank), \
+            f"rank {rank} under {variant}/{target}"
+
+
+class TestSyncStructure:
+    def test_original_uses_wait_loop(self):
+        _, eng = run_setevec("original")
+        assert eng.stats.sync_calls["wait"] > 0
+        assert eng.stats.sync_calls["waitall"] == 0
+
+    def test_ablation_uses_waitall(self):
+        _, eng = run_setevec("waitall")
+        assert eng.stats.sync_calls["wait"] == 0
+        assert eng.stats.sync_calls["waitall"] > 0
+
+    def test_directive_consolidates_one_waitall_per_rank(self):
+        _, eng = run_setevec("directive")
+        # Each participating rank issues exactly one Waitall.
+        participating = TOPO.n_lsms * TOPO.group_size
+        assert eng.stats.sync_calls["waitall"] == participating
+
+    def test_shmem_directive_uses_puts_and_quiet(self):
+        _, eng = run_setevec("directive", "TARGET_COMM_SHMEM")
+        n_msgs = TOPO.n_lsms * (TOPO.group_size - 1)
+        assert eng.stats.messages["shmem"] == n_msgs
+        assert eng.stats.messages["mpi2s"] == 0
+        assert eng.stats.sync_calls["quiet"] == TOPO.n_lsms  # senders
+
+
+class TestFigure4Ordering:
+    """Under the calibrated model the paper's ordering must hold at
+    the privileged (bottleneck) rank."""
+
+    @pytest.fixture(scope="class")
+    def times(self):
+        model = gemini_model()
+        topo = Topology(n_lsms=1, group_size=16)
+        out = {}
+        for variant, target in [
+            ("original", "TARGET_COMM_MPI_2SIDE"),
+            ("waitall", "TARGET_COMM_MPI_2SIDE"),
+            ("directive", "TARGET_COMM_MPI_2SIDE"),
+            ("directive", "TARGET_COMM_SHMEM"),
+        ]:
+            res, _ = run_setevec(variant, target, model=model, topo=topo)
+            priv = topo.privileged_rank_of(0)
+            out[(variant, target)] = res.values[priv][1]
+        return out
+
+    def test_strict_ordering(self, times):
+        orig = times[("original", "TARGET_COMM_MPI_2SIDE")]
+        wall = times[("waitall", "TARGET_COMM_MPI_2SIDE")]
+        dmpi = times[("directive", "TARGET_COMM_MPI_2SIDE")]
+        dshm = times[("directive", "TARGET_COMM_SHMEM")]
+        assert orig > wall > dmpi > dshm
+
+    def test_paper_ratio_bands(self, times):
+        orig = times[("original", "TARGET_COMM_MPI_2SIDE")]
+        wall = times[("waitall", "TARGET_COMM_MPI_2SIDE")]
+        dmpi = times[("directive", "TARGET_COMM_MPI_2SIDE")]
+        dshm = times[("directive", "TARGET_COMM_SHMEM")]
+        assert orig / wall == pytest.approx(2.6, rel=0.35)
+        assert orig / dmpi == pytest.approx(4.0, rel=0.4)
+        assert orig / dshm == pytest.approx(38.0, rel=0.5)
+
+
+class TestOverlapBody:
+    def test_body_called_once_per_instance(self):
+        calls = []
+
+        def body(env, p):
+            calls.append((env.rank, p))
+
+        res, _ = run_setevec("directive", overlap_body=body)
+        # Receivers run the body once per instance; the privileged
+        # sender once, after posting (so sends are not delayed).
+        per_group = (TOPO.group_size - 1) ** 2 + 1
+        assert len(calls) == per_group * TOPO.n_lsms

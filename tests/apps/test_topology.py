@@ -1,0 +1,72 @@
+"""WL-LSMS topology: Fig. 1's module structure, Fig. 2's LIZ."""
+
+import pytest
+
+from repro.apps.wllsms import Topology
+
+
+class TestLayout:
+    def test_world_size(self):
+        topo = Topology(n_lsms=2, group_size=16)
+        assert topo.nprocs == 33  # Fig. 3's first x value
+
+    def test_paper_x_axis(self):
+        """M = 2..21 with N = 16 gives exactly 33..337 step 16."""
+        sizes = [Topology(n_lsms=m, group_size=16).nprocs
+                 for m in range(2, 22)]
+        assert sizes == list(range(33, 338, 16))
+
+    def test_one_wl_rank(self):
+        topo = Topology(n_lsms=3, group_size=4)
+        assert topo.is_wl(0)
+        assert not any(topo.is_wl(r) for r in range(1, topo.nprocs))
+
+    def test_privileged_ranks_one_per_group(self):
+        topo = Topology(n_lsms=3, group_size=4)
+        assert topo.privileged_ranks() == [1, 5, 9]
+        for g in range(3):
+            members = topo.members_of(g)
+            assert len(members) == 4
+            assert topo.is_privileged(members[0])
+            assert not any(topo.is_privileged(r) for r in members[1:])
+
+    def test_group_membership_partition(self):
+        topo = Topology(n_lsms=4, group_size=5)
+        seen = []
+        for g in range(4):
+            seen.extend(topo.members_of(g))
+        assert sorted(seen) == list(range(1, topo.nprocs))
+
+    def test_group_of_and_local_index(self):
+        topo = Topology(n_lsms=2, group_size=3)
+        assert topo.group_of(4) == 1
+        assert topo.local_index(4) == 0
+        assert topo.local_index(6) == 2
+
+    def test_wl_rank_has_no_group(self):
+        topo = Topology(n_lsms=2, group_size=3)
+        with pytest.raises(ValueError):
+            topo.group_of(0)
+
+    def test_atom_ownership_round_robin(self):
+        topo = Topology(n_lsms=1, group_size=4)
+        assert [topo.owner_of_atom(0, i) for i in range(4)] == [1, 2, 3, 4]
+
+    def test_for_nprocs(self):
+        topo = Topology.for_nprocs(49, group_size=16)
+        assert topo.n_lsms == 3
+        with pytest.raises(ValueError):
+            Topology.for_nprocs(40, group_size=16)
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(n_lsms=0, group_size=4)
+        with pytest.raises(ValueError):
+            Topology(n_lsms=1, group_size=1)
+
+    def test_rank_bounds_checked(self):
+        topo = Topology(n_lsms=1, group_size=2)
+        with pytest.raises(ValueError):
+            topo.group_of(99)
+        with pytest.raises(ValueError):
+            topo.members_of(5)

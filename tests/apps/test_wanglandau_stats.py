@@ -1,0 +1,89 @@
+"""Statistical validation of the Wang-Landau sampler.
+
+Wang-Landau estimates ln g(E) — the log density of states. For the toy
+Heisenberg chain we can estimate g(E) directly by brute-force uniform
+sampling of spin configurations; a correct WL implementation's ln g
+must agree with the log of that histogram up to an additive constant.
+"""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.apps.wllsms.wanglandau import (
+    WangLandau,
+    heisenberg_energy,
+    random_spins,
+)
+
+N_SPINS = 5
+E_BOUND = float(N_SPINS - 1)
+N_BINS = 10
+
+
+def brute_force_ln_g(samples: int = 40_000,
+                     seed: int = 11) -> tuple[np.ndarray, np.ndarray]:
+    """Log histogram of energies under uniform configuration sampling."""
+    rng = np.random.default_rng(seed)
+    counts = np.zeros(N_BINS)
+    edges = np.linspace(-E_BOUND, E_BOUND, N_BINS + 1)
+    for _ in range(samples):
+        e = heisenberg_energy(random_spins(rng, N_SPINS))
+        b = min(int((e + E_BOUND) / (2 * E_BOUND) * N_BINS), N_BINS - 1)
+        counts[b] += 1
+    mask = counts > 0
+    ln_g = np.zeros(N_BINS)
+    ln_g[mask] = np.log(counts[mask])
+    return ln_g, mask
+
+
+def wang_landau_ln_g(steps: int = 60_000,
+                     seed: int = 5) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    wl = WangLandau(e_min=-E_BOUND, e_max=E_BOUND, n_bins=N_BINS,
+                    flatness=0.7)
+    spins = random_spins(rng, N_SPINS)
+    e = heisenberg_energy(spins)
+    for _ in range(steps):
+        cand = random_spins(rng, N_SPINS)
+        e_new = heisenberg_energy(cand)
+        if wl.accept(e, e_new, rng):
+            spins, e = cand, e_new
+        wl.record(e)
+    ln_g = wl.normalized_ln_g()
+    return ln_g, wl.ln_g > 0
+
+
+@pytest.fixture(scope="module")
+def estimates():
+    bf, bf_mask = brute_force_ln_g()
+    wl, wl_mask = wang_landau_ln_g()
+    return bf, bf_mask, wl, wl_mask
+
+
+class TestDensityOfStates:
+    def test_same_support_discovered(self, estimates):
+        """WL visits (at least) the energy bins brute force finds."""
+        bf, bf_mask, wl, wl_mask = estimates
+        # Ignore the extreme bins, which brute force barely reaches.
+        core = slice(1, N_BINS - 1)
+        assert (wl_mask[core] >= bf_mask[core]).all()
+
+    def test_ln_g_strongly_correlated(self, estimates):
+        """Pearson correlation of the two ln g estimates (common
+        support) must be high — same shape up to a constant."""
+        bf, bf_mask, wl, wl_mask = estimates
+        common = bf_mask & wl_mask
+        assert common.sum() >= 5
+        r, _ = stats.pearsonr(bf[common], wl[common])
+        assert r > 0.9, f"ln g shapes disagree (r={r:.3f})"
+
+    def test_monotone_rank_agreement(self, estimates):
+        bf, bf_mask, wl, wl_mask = estimates
+        common = bf_mask & wl_mask
+        rho, _ = stats.spearmanr(bf[common], wl[common])
+        assert rho > 0.85
+
+    def test_wl_refined_at_least_once(self):
+        _, mask = wang_landau_ln_g(steps=60_000)
+        assert mask.sum() >= 5

@@ -1,0 +1,143 @@
+"""Clause validation rules from Section III-B."""
+
+import pytest
+
+from repro.core.clauses import (
+    DEFAULT_TARGET,
+    ClauseSet,
+    SyncPlacement,
+    Target,
+)
+from repro.errors import ClauseError
+
+
+class TestBuild:
+    def test_unknown_clause_rejected(self):
+        with pytest.raises(ClauseError, match="unknown clause"):
+            ClauseSet.build(directive="p2p", sender=0, receiver=1,
+                            frobnicate=2)
+
+    def test_parameters_only_clauses_rejected_on_p2p(self):
+        with pytest.raises(ClauseError, match="comm_parameters"):
+            ClauseSet.build(directive="p2p", place_sync="END_PARAM_REGION")
+        with pytest.raises(ClauseError, match="comm_parameters"):
+            ClauseSet.build(directive="p2p", max_comm_iter=5)
+
+    def test_parameters_accepts_place_sync_and_max_iter(self):
+        cs = ClauseSet.build(directive="parameters",
+                             place_sync="END_PARAM_REGION",
+                             max_comm_iter=10)
+        assert cs.place_sync is SyncPlacement.END_PARAM_REGION
+        assert cs.max_comm_iter == 10
+
+    def test_unknown_directive_kind_rejected(self):
+        with pytest.raises(ClauseError):
+            ClauseSet.build(directive="collective")
+
+    def test_sendwhen_requires_receivewhen(self):
+        """'they both must be present or both be omitted'"""
+        with pytest.raises(ClauseError, match="both"):
+            ClauseSet.build(directive="p2p", sendwhen=True)
+        with pytest.raises(ClauseError, match="both"):
+            ClauseSet.build(directive="p2p", receivewhen=False)
+        ClauseSet.build(directive="p2p", sendwhen=True, receivewhen=False)
+
+    def test_target_keywords(self):
+        for kw, member in [
+            ("TARGET_COMM_MPI_1SIDE", Target.MPI_1SIDE),
+            ("TARGET_COMM_MPI_2SIDE", Target.MPI_2SIDE),
+            ("TARGET_COMM_SHMEM", Target.SHMEM),
+        ]:
+            cs = ClauseSet.build(directive="p2p", target=kw)
+            assert cs.target is member
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(ClauseError, match="target"):
+            ClauseSet.build(directive="p2p", target="TARGET_COMM_PVM")
+
+    def test_place_sync_keywords(self):
+        for kw in ("END_PARAM_REGION", "BEGIN_NEXT_PARAM_REGION",
+                   "END_ADJ_PARAM_REGIONS"):
+            cs = ClauseSet.build(directive="parameters", place_sync=kw)
+            assert cs.place_sync.value == kw
+
+    def test_bad_place_sync_rejected(self):
+        with pytest.raises(ClauseError):
+            ClauseSet.build(directive="parameters", place_sync="WHEREVER")
+
+    def test_count_must_be_nonnegative_int(self):
+        ClauseSet.build(directive="p2p", count=0)
+        with pytest.raises(ClauseError):
+            ClauseSet.build(directive="p2p", count=-1)
+        with pytest.raises(ClauseError):
+            ClauseSet.build(directive="p2p", count=1.5)
+        with pytest.raises(ClauseError):
+            ClauseSet.build(directive="p2p", count=True)
+
+    def test_max_comm_iter_positive(self):
+        with pytest.raises(ClauseError):
+            ClauseSet.build(directive="parameters", max_comm_iter=0)
+
+
+class TestMerge:
+    def test_region_clauses_apply_to_instances(self):
+        region = ClauseSet.build(directive="parameters", sender=1,
+                                 receiver=2, count=8)
+        inst = ClauseSet.build(directive="p2p", sbuf="S", rbuf="R")
+        merged = region.merged_into(inst)
+        assert merged.sender == 1
+        assert merged.receiver == 2
+        assert merged.count == 8
+        assert merged.sbuf == "S"
+
+    def test_instance_overrides_region(self):
+        region = ClauseSet.build(directive="parameters", sender=1,
+                                 receiver=2)
+        inst = ClauseSet.build(directive="p2p", receiver=7, sbuf="S",
+                               rbuf="R")
+        merged = region.merged_into(inst)
+        assert merged.receiver == 7
+        assert merged.sender == 1
+
+    def test_region_only_clauses_never_merge_down(self):
+        region = ClauseSet.build(directive="parameters",
+                                 place_sync="END_PARAM_REGION",
+                                 max_comm_iter=4)
+        merged = region.merged_into(ClauseSet.build(directive="p2p"))
+        assert not merged.has("place_sync")
+        assert not merged.has("max_comm_iter")
+
+    def test_require_p2p_complete(self):
+        full = ClauseSet.build(directive="p2p", sender=0, receiver=1,
+                               sbuf="S", rbuf="R")
+        full.require_p2p_complete()
+        partial = ClauseSet.build(directive="p2p", sender=0, sbuf="S")
+        with pytest.raises(ClauseError, match="required"):
+            partial.require_p2p_complete()
+
+
+class TestDefaults:
+    def test_default_target_is_two_sided_mpi(self):
+        cs = ClauseSet.build(directive="p2p")
+        assert cs.effective_target is DEFAULT_TARGET is Target.MPI_2SIDE
+
+    def test_absent_when_clauses_mean_everyone(self):
+        cs = ClauseSet.build(directive="p2p")
+        assert cs.effective_sendwhen is True
+        assert cs.effective_receivewhen is True
+
+    def test_present_when_clauses_respected(self):
+        cs = ClauseSet.build(directive="p2p", sendwhen=False,
+                             receivewhen=True)
+        assert cs.effective_sendwhen is False
+        assert cs.effective_receivewhen is True
+
+    def test_with_clauses_copy(self):
+        cs = ClauseSet.build(directive="p2p", sender=1)
+        cs2 = cs.with_clauses(receiver=2)
+        assert cs2.sender == 1 and cs2.receiver == 2
+        assert not cs.has("receiver")
+
+    def test_present_dict(self):
+        cs = ClauseSet.build(directive="p2p", sender=3, count=5)
+        assert cs.present() == {"sender": 3, "count": 5}

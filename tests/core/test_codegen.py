@@ -1,0 +1,150 @@
+"""Static translation: generated C/Fortran from annotated source."""
+
+import pytest
+
+from repro.core.codegen import generate_c, generate_fortran
+from repro.core.pragma import parse_program
+
+RING = """
+double buf1[100];
+double buf2[100];
+#pragma comm_p2p sender(prev) receiver(next) sbuf(buf1) rbuf(buf2)
+"""
+
+REGION = """
+double a[8]; double b[8]; double c[8]; double d[8];
+#pragma comm_parameters sender(rank-1) receiver(rank+1) sendwhen(rank%2==0) receivewhen(rank%2==1)
+{
+#pragma comm_p2p sbuf(a) rbuf(b)
+#pragma comm_p2p sbuf(c) rbuf(d)
+}
+"""
+
+STRUCT = """
+struct Atom {
+    int jmt;
+    double xstart;
+    double evec[3];
+};
+struct Atom scalaratomdata[1];
+#pragma comm_p2p sender(from_rank) receiver(to_rank) sendwhen(rank==from_rank) receivewhen(rank==to_rank) sbuf(scalaratomdata) rbuf(scalaratomdata) count(1)
+"""
+
+SHMEM_SRC = """
+double src[16]; double dst[16];
+#pragma comm_p2p sender(0) receiver(1) sendwhen(rank==0) receivewhen(rank==1) sbuf(src) rbuf(dst) target(TARGET_COMM_SHMEM)
+"""
+
+ONESIDED = """
+double src[16]; double dst[16];
+#pragma comm_p2p sender(0) receiver(1) sendwhen(rank==0) receivewhen(rank==1) sbuf(src) rbuf(dst) target(TARGET_COMM_MPI_1SIDE)
+"""
+
+
+class TestCMpi:
+    def test_ring_emits_isend_irecv_waitall(self):
+        out = generate_c(parse_program(RING))
+        assert "MPI_Isend(buf1, 100, MPI_DOUBLE, (next)" in out
+        assert "MPI_Irecv(buf2, 100, MPI_DOUBLE, (prev)" in out
+        assert out.count("MPI_Waitall") == 1
+
+    def test_region_consolidates_to_one_waitall(self):
+        out = generate_c(parse_program(REGION))
+        assert out.count("MPI_Isend") == 2
+        assert out.count("MPI_Irecv") == 2
+        assert out.count("MPI_Waitall") == 1
+
+    def test_when_guards_emitted(self):
+        out = generate_c(parse_program(REGION))
+        assert "if (rank%2==0) {" in out
+        assert "if (rank%2==1) {" in out
+
+    def test_struct_generates_derived_type_once(self):
+        out = generate_c(parse_program(STRUCT))
+        assert "MPI_Type_create_struct" in out
+        assert "MPI_Type_commit" in out
+        assert "__cd_type_Atom" in out
+        # displacement/blocklength arrays from the composite layout:
+        # int at 0, double at 8, evec[3] at 16.
+        assert "{0, 8, 16}" in out
+        assert "{1, 1, 3}" in out
+        assert "{MPI_INT, MPI_DOUBLE, MPI_DOUBLE}" in out
+
+    def test_struct_type_reused_on_second_instance(self):
+        src = STRUCT + """
+#pragma comm_p2p sender(from_rank) receiver(to_rank) sendwhen(rank==from_rank) receivewhen(rank==to_rank) sbuf(scalaratomdata) rbuf(scalaratomdata) count(1)
+"""
+        out = generate_c(parse_program(src))
+        assert out.count("MPI_Type_create_struct") == 1
+        assert "reused" in out
+
+    def test_shmem_typed_put(self):
+        out = generate_c(parse_program(SHMEM_SRC))
+        assert "shmem_double_put(dst, src, 16, (1));" in out
+        assert "shmem_quiet();" in out
+        assert "MPI_Isend" not in out
+
+    def test_mpi1s_put_and_fence(self):
+        out = generate_c(parse_program(ONESIDED))
+        assert "MPI_Put(src, 16, MPI_DOUBLE, (1)" in out
+        assert "MPI_Win_fence" in out
+
+    def test_count_inferred_from_smallest_array(self):
+        src = """
+        double big[100]; double small[10];
+        #pragma comm_p2p sender(0) receiver(1) sbuf(big) rbuf(small)
+        """
+        out = generate_c(parse_program(src))
+        assert "MPI_Isend(big, 10, MPI_DOUBLE" in out
+
+    def test_raw_code_passes_through(self):
+        out = generate_c(parse_program(RING))
+        assert "double buf1[100];" in out
+
+    def test_buffer_lists_emit_one_call_each(self):
+        src = """
+        double vr[32]; double rhotot[32];
+        #pragma comm_p2p sender(0) receiver(1) sbuf(vr,rhotot) rbuf(vr,rhotot)
+        """
+        out = generate_c(parse_program(src))
+        assert out.count("MPI_Isend") == 2
+        assert out.count("MPI_Irecv") == 2
+        assert out.count("MPI_Waitall") == 1
+
+    def test_generated_tags_distinct_per_instance(self):
+        out = generate_c(parse_program(REGION))
+        # two instances, tags 0 and 1
+        assert ", 0, MPI_COMM_WORLD" in out
+        assert ", 1, MPI_COMM_WORLD" in out
+
+
+class TestFortran:
+    def test_ring_emits_fortran_calls(self):
+        out = generate_fortran(parse_program(RING))
+        assert "call MPI_ISEND(buf1, 100, MPI_DOUBLE_PRECISION" in out
+        assert "call MPI_IRECV(buf2, 100, MPI_DOUBLE_PRECISION" in out
+        assert "subroutine cd_translated" in out
+        assert "end subroutine" in out
+
+    def test_region_waitall(self):
+        out = generate_fortran(parse_program(REGION))
+        assert out.count("call MPI_WAITALL") == 1
+
+    def test_shmem_target(self):
+        out = generate_fortran(parse_program(SHMEM_SRC + """
+#pragma comm_parameters sender(0) receiver(1) sendwhen(rank==0) receivewhen(rank==1) target(TARGET_COMM_SHMEM)
+{
+#pragma comm_p2p sbuf(src) rbuf(dst)
+}
+"""))
+        assert "call shmem_quiet()" in out
+
+    def test_c_code_carried_as_comments(self):
+        out = generate_fortran(parse_program(RING))
+        assert "! C: double buf1[100];" in out
+
+    def test_generator_does_not_mutate_ir(self):
+        prog = parse_program(REGION)
+        before = len(prog.all_p2p()[0].clauses.exprs)
+        generate_fortran(prog)
+        assert len(prog.all_p2p()[0].clauses.exprs) == before

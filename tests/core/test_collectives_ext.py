@@ -1,0 +1,136 @@
+"""The future-work comm_collective extension (paper Section V)."""
+
+import numpy as np
+import pytest
+
+from repro import mpi, shmem
+from repro.core import comm_collective
+from repro.errors import ClauseError, SimProcessError
+from repro.netmodel import zero_model
+from repro.sim import Engine
+
+
+def run(nprocs, fn):
+    model = zero_model()
+    eng = Engine(nprocs)
+
+    def main(env):
+        mpi.init(env, model)
+        return fn(env)
+
+    return eng.run(main), eng
+
+
+class TestOneToMany:
+    def test_mpi_broadcast(self):
+        def prog(env):
+            buf = np.arange(4.0) if env.rank == 0 else np.zeros(4)
+            comm_collective(env, pattern="PATTERN_ONE_TO_MANY", buf=buf)
+            return buf.tolist()
+
+        res, _ = run(4, prog)
+        assert all(v == [0, 1, 2, 3] for v in res.values)
+
+    def test_shmem_broadcast(self):
+        def prog(env):
+            sh = shmem.init(env)
+            buf = sh.malloc(3, np.float64)
+            if env.rank == 1:
+                buf.data[:] = 7.0
+            comm_collective(env, pattern="PATTERN_ONE_TO_MANY", buf=buf,
+                            root=1, target="TARGET_COMM_SHMEM")
+            return buf.data.tolist()
+
+        res, _ = run(3, prog)
+        assert all(v == [7.0] * 3 for v in res.values)
+
+    def test_group_subset(self):
+        def prog(env):
+            if env.rank == 3:
+                return None  # not in the group; never reaches it
+            buf = np.array([9.0]) if env.rank == 0 else np.zeros(1)
+            comm_collective(env, pattern="PATTERN_ONE_TO_MANY", buf=buf,
+                            group=[0, 1, 2])
+            return buf[0]
+
+        res, _ = run(4, prog)
+        assert res.values[:3] == [9.0, 9.0, 9.0]
+
+
+class TestManyToOne:
+    def test_mpi_gather(self):
+        def prog(env):
+            buf = np.zeros((env.size, 2))
+            buf[env.rank] = env.rank + 1
+            comm_collective(env, pattern="PATTERN_MANY_TO_ONE", buf=buf,
+                            root=0)
+            return buf[:, 0].tolist() if env.rank == 0 else None
+
+        res, _ = run(3, prog)
+        assert res.values[0] == [1.0, 2.0, 3.0]
+
+    def test_shmem_gather(self):
+        def prog(env):
+            sh = shmem.init(env)
+            buf = sh.malloc((env.size, 2), np.float64)
+            buf.data[env.rank] = float(env.rank + 10)
+            comm_collective(env, pattern="PATTERN_MANY_TO_ONE", buf=buf,
+                            root=0, target="TARGET_COMM_SHMEM")
+            return buf.data[:, 0].tolist() if env.rank == 0 else None
+
+        res, _ = run(3, prog)
+        assert res.values[0] == [10.0, 11.0, 12.0]
+
+
+class TestAllToAll:
+    def test_mpi_alltoall(self):
+        def prog(env):
+            buf = np.array([[env.rank * 10.0 + j] for j in range(env.size)])
+            comm_collective(env, pattern="PATTERN_ALL_TO_ALL", buf=buf)
+            return buf[:, 0].tolist()
+
+        res, _ = run(3, prog)
+        for r, got in enumerate(res.values):
+            assert got == [j * 10.0 + r for j in range(3)]
+
+    def test_shmem_alltoall(self):
+        def prog(env):
+            sh = shmem.init(env)
+            buf = sh.malloc((env.size, 1), np.float64)
+            for j in range(env.size):
+                buf.data[j] = env.rank * 10.0 + j
+            comm_collective(env, pattern="PATTERN_ALL_TO_ALL", buf=buf,
+                            target="TARGET_COMM_SHMEM")
+            return buf.data[:, 0].tolist()
+
+        res, _ = run(3, prog)
+        for r, got in enumerate(res.values):
+            assert got == [j * 10.0 + r for j in range(3)]
+
+
+class TestValidation:
+    def test_unknown_pattern_rejected(self):
+        def prog(env):
+            comm_collective(env, pattern="PATTERN_RING", buf=np.zeros(1))
+
+        with pytest.raises(SimProcessError) as ei:
+            run(1, prog)
+        assert isinstance(ei.value.original, ClauseError)
+
+    def test_root_outside_group_rejected(self):
+        def prog(env):
+            comm_collective(env, pattern="PATTERN_ONE_TO_MANY",
+                            buf=np.zeros(1), root=5)
+
+        with pytest.raises(SimProcessError) as ei:
+            run(2, prog)
+        assert isinstance(ei.value.original, ClauseError)
+
+    def test_shmem_requires_symmetric_buffer(self):
+        def prog(env):
+            comm_collective(env, pattern="PATTERN_ONE_TO_MANY",
+                            buf=np.zeros(1), target="TARGET_COMM_SHMEM")
+
+        with pytest.raises(SimProcessError) as ei:
+            run(2, prog)
+        assert isinstance(ei.value.original, ClauseError)

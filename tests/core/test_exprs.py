@@ -1,0 +1,75 @@
+"""Safe clause-expression evaluation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.exprs import c_to_python, evaluate, free_names
+from repro.errors import PragmaSyntaxError
+
+
+class TestCToPython:
+    def test_logical_operators(self):
+        assert c_to_python("a && b") == "a  and  b"
+        assert c_to_python("a || b") == "a  or  b"
+
+    def test_not_vs_not_equal(self):
+        assert c_to_python("!a") == " not a"
+        assert c_to_python("a != b") == "a != b"
+
+    def test_ternary_rejected(self):
+        with pytest.raises(PragmaSyntaxError):
+            c_to_python("a ? b : c")
+
+
+class TestEvaluate:
+    @pytest.mark.parametrize("expr,vars,expected", [
+        ("rank-1", {"rank": 3}, 2),
+        ("(rank+1)%nprocs", {"rank": 3, "nprocs": 4}, 0),
+        ("rank%2==0", {"rank": 2}, True),
+        ("rank%2==0 && rank>0", {"rank": 0}, False),
+        ("rank==0 || rank==nprocs-1", {"rank": 4, "nprocs": 5}, True),
+        ("!(rank==1)", {"rank": 1}, False),
+        ("2*size1", {"size1": 7}, 14),
+    ])
+    def test_expressions(self, expr, vars, expected):
+        assert evaluate(expr, vars) == expected
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(PragmaSyntaxError, match="unknown name"):
+            evaluate("rank + bogus", {"rank": 0})
+
+    def test_function_calls_rejected(self):
+        with pytest.raises(PragmaSyntaxError):
+            evaluate("__import__('os')", {})
+
+    def test_attribute_access_rejected(self):
+        with pytest.raises(PragmaSyntaxError):
+            evaluate("rank.__class__", {"rank": 1})
+
+    def test_subscript_rejected(self):
+        with pytest.raises(PragmaSyntaxError):
+            evaluate("a[0]", {"a": [1]})
+
+    def test_syntax_error_reported(self):
+        with pytest.raises(PragmaSyntaxError, match="cannot parse"):
+            evaluate("rank +", {"rank": 0})
+
+    @given(st.integers(min_value=0, max_value=63),
+           st.integers(min_value=1, max_value=64))
+    def test_property_ring_expression_in_range(self, rank, nprocs):
+        if rank >= nprocs:
+            rank = rank % nprocs
+        v = {"rank": rank, "nprocs": nprocs}
+        nxt = evaluate("(rank+1)%nprocs", v)
+        prev = evaluate("(rank-1+nprocs)%nprocs", v)
+        assert 0 <= nxt < nprocs
+        assert 0 <= prev < nprocs
+        assert evaluate("(rank+1)%nprocs", {"rank": prev,
+                                            "nprocs": nprocs}) == rank
+
+
+class TestFreeNames:
+    def test_names_extracted(self):
+        assert free_names("(rank+1)%nprocs") == {"rank", "nprocs"}
+        assert free_names("3+4") == set()
+        assert free_names("a && !b") == {"a", "b"}

@@ -1,0 +1,90 @@
+"""Whole-program directive linting."""
+
+import pytest
+
+from repro.core.analysis import lint_program
+from repro.core.pragma import parse_program
+
+CLEAN = """
+double a[16]; double b[16]; double c[16]; double d[16];
+int rank, nprocs;
+#pragma comm_parameters sender((rank-1+nprocs)%nprocs) receiver((rank+1)%nprocs)
+{
+#pragma comm_p2p sbuf(a) rbuf(b)
+#pragma comm_p2p sbuf(c) rbuf(d)
+}
+"""
+
+DEPENDENT = """
+double a[16]; double b[16]; double c[16];
+#pragma comm_parameters sender(0) receiver(1)
+{
+#pragma comm_p2p sbuf(a) rbuf(b)
+#pragma comm_p2p sbuf(b) rbuf(c)
+}
+"""
+
+BAD_OVERLAP = """
+double a[16]; double b[16];
+#pragma comm_p2p sender(0) receiver(1) sbuf(a) rbuf(b)
+{
+    consume(b);
+}
+"""
+
+BAD_MATCH = """
+double a[16]; double b[16];
+#pragma comm_p2p sender(0) receiver(rank+1) sendwhen(rank==0) receivewhen(rank==3) sbuf(a) rbuf(b)
+"""
+
+MISSING_DECL = """
+double a[16];
+#pragma comm_p2p sender(0) receiver(1) sbuf(a) rbuf(ghost)
+"""
+
+
+class TestLint:
+    def test_clean_program_no_findings(self):
+        report = lint_program(parse_program(CLEAN), nprocs=6)
+        assert not report.errors
+        assert not report.warnings
+        assert report.n_directives == 2
+        assert report.n_regions == 1
+        assert report.sync_calls == 1
+        assert report.sync_reduction == 2.0
+        assert set(report.patterns.values()) == {"ring"}
+
+    def test_dependent_buffers_warned(self):
+        report = lint_program(parse_program(DEPENDENT))
+        assert any("dependent buffer" in d.message
+                   for d in report.warnings)
+        assert report.sync_calls == 2
+
+    def test_illegal_overlap_is_error(self):
+        report = lint_program(parse_program(BAD_OVERLAP))
+        assert any("illegal overlap" in d.message for d in report.errors)
+
+    def test_matching_issue_warned(self):
+        report = lint_program(parse_program(BAD_MATCH), nprocs=4)
+        assert any("unreceived-send" in d.message or
+                   "unsatisfied-receive" in d.message
+                   for d in report.warnings)
+
+    def test_missing_declaration_is_error(self):
+        report = lint_program(parse_program(MISSING_DECL))
+        assert any("declaration" in d.message for d in report.errors)
+
+    def test_render_is_human_readable(self):
+        report = lint_program(parse_program(CLEAN), nprocs=6)
+        out = report.render()
+        assert "2 comm_p2p in 1 region(s)" in out
+        assert "pattern = ring" in out
+
+    def test_extra_vars_forwarded(self):
+        src = """
+        double a[8]; double b[8];
+        #pragma comm_p2p sender(root) receiver(root) sendwhen(rank!=root) receivewhen(rank==root) sbuf(a) rbuf(b)
+        """
+        report = lint_program(parse_program(src), nprocs=4,
+                              extra_vars={"root": 1})
+        assert list(report.patterns.values()) == ["fan-in"]

@@ -1,0 +1,211 @@
+"""The static front end on the paper's listing shapes."""
+
+import pytest
+
+from repro.core.clauses import SyncPlacement, Target
+from repro.core.ir import P2PNode, ParamRegionNode, RawCode
+from repro.core.pragma import parse_program, scan_declarations
+from repro.dtypes.composite import CompositeType
+from repro.errors import CompositeTypeError, PragmaSyntaxError
+
+LISTING1 = """
+double buf1[100];
+double buf2[100];
+int rank, nprocs, prev, next;
+prev = (rank-1+nprocs)%nprocs;
+next = (rank+1)%nprocs;
+#pragma comm_p2p sender(prev) receiver(next) sbuf(buf1) rbuf(buf2)
+"""
+
+LISTING2 = """
+double buf1[10];
+double buf2[10];
+#pragma comm_p2p sbuf(buf1) rbuf(buf2) sender(rank-1) receiver(rank+1) sendwhen(rank%2==0) receivewhen(rank%2==1)
+"""
+
+LISTING3 = """
+double buf1[64];
+double buf2[64];
+int p, n, size;
+#pragma comm_parameters sender(rank-1) receiver(rank+1) sendwhen(rank%2==0) receivewhen(rank%2==1) count(size) max_comm_iter(n) place_sync(END_PARAM_REGION)
+{
+for(p=0; p < n; p++)
+#pragma comm_p2p sbuf(&buf1[p]) rbuf(&buf2[p])
+}
+"""
+
+
+class TestDeclarations:
+    def test_scalar_array_pointer(self):
+        src = "double a; int b[10]; double *p; float c[3], d;"
+        _, decls = scan_declarations(src)
+        assert decls["a"].length is None and not decls["a"].is_pointer
+        assert decls["b"].length == 10
+        assert decls["p"].is_pointer
+        assert decls["c"].length == 3
+        assert decls["d"].length is None
+
+    def test_struct_definition(self):
+        src = """
+        struct Atom {
+            int jmt;
+            double xstart;
+            char header[80];
+            double evec[3];
+        };
+        struct Atom atom;
+        """
+        structs, decls = scan_declarations(src)
+        assert "Atom" in structs
+        atom = structs["Atom"]
+        assert isinstance(atom, CompositeType)
+        assert len(atom.fields) == 4
+        assert decls["atom"].ctype is atom
+
+    def test_typedef_struct(self):
+        src = "typedef struct { double x; int n; } Spin;\nSpin s[4];"
+        structs, decls = scan_declarations(src)
+        assert "Spin" in structs
+        assert decls["s"].length == 4
+
+    def test_nested_struct_by_value(self):
+        src = """
+        struct Inner { double x; };
+        struct Outer { int n; Inner i; };
+        """
+        structs, _ = scan_declarations(src)
+        assert structs["Outer"].triples().blocklengths == (1, 1)
+
+    def test_pointer_in_struct_rejected(self):
+        src = "struct Bad { double *p; };"
+        with pytest.raises(CompositeTypeError, match="prohibited"):
+            scan_declarations(src)
+
+
+class TestParserListings:
+    def test_listing1_standalone_p2p(self):
+        prog = parse_program(LISTING1)
+        p2ps = prog.all_p2p()
+        assert len(p2ps) == 1
+        cl = p2ps[0].clauses
+        assert cl.exprs["sender"] == "prev"
+        assert cl.exprs["receiver"] == "next"
+        assert cl.sbuf == ["buf1"]
+        assert cl.rbuf == ["buf2"]
+        assert not prog.regions()
+
+    def test_listing2_when_clauses(self):
+        prog = parse_program(LISTING2)
+        cl = prog.all_p2p()[0].clauses
+        assert cl.exprs["sendwhen"] == "rank%2==0"
+        assert cl.exprs["receivewhen"] == "rank%2==1"
+
+    def test_listing3_region_with_loop(self):
+        prog = parse_program(LISTING3)
+        regions = prog.regions()
+        assert len(regions) == 1
+        region = regions[0]
+        assert region.place_sync is SyncPlacement.END_PARAM_REGION
+        assert region.clauses.exprs["max_comm_iter"] == "n"
+        inner = region.p2p_instances()
+        assert len(inner) == 1
+        assert inner[0].clauses.sbuf == ["&buf1[p]"]
+        # The for header is preserved as raw code inside the region.
+        raw = [n for n in region.body if isinstance(n, RawCode)]
+        assert any("for" in ln for n in raw for ln in n.lines)
+
+    def test_raw_code_preserved_around_pragmas(self):
+        prog = parse_program(LISTING1)
+        raw = [n for n in prog.nodes if isinstance(n, RawCode)]
+        text = "\n".join(ln for n in raw for ln in n.lines)
+        assert "prev = (rank-1+nprocs)%nprocs;" in text
+
+    def test_multiline_pragma_clauses(self):
+        src = """
+        double a[4]; double b[4];
+        #pragma comm_p2p sender(rank-1)
+            receiver(rank+1)
+            sbuf(a) rbuf(b)
+        """
+        prog = parse_program(src)
+        cl = prog.all_p2p()[0].clauses
+        assert cl.exprs["receiver"] == "rank+1"
+
+    def test_p2p_with_body_block(self):
+        src = """
+        double a[4]; double b[4];
+        #pragma comm_p2p sender(0) receiver(1) sbuf(a) rbuf(b)
+        {
+            compute(x);
+        }
+        """
+        prog = parse_program(src)
+        node = prog.all_p2p()[0]
+        assert len(node.body) == 1
+        assert "compute(x);" in node.body[0].lines[0]
+
+    def test_target_clause_parsed(self):
+        src = """
+        double a[4]; double b[4];
+        #pragma comm_p2p sender(0) receiver(1) sbuf(a) rbuf(b) target(TARGET_COMM_SHMEM)
+        """
+        prog = parse_program(src)
+        assert prog.all_p2p()[0].clauses.target is Target.SHMEM
+
+    def test_buffer_lists(self):
+        src = """
+        double vr[64]; double rhotot[64];
+        #pragma comm_p2p sender(0) receiver(1) sbuf(vr,rhotot) rbuf(vr, rhotot)
+        """
+        prog = parse_program(src)
+        cl = prog.all_p2p()[0].clauses
+        assert cl.sbuf == ["vr", "rhotot"]
+        assert cl.rbuf == ["vr", "rhotot"]
+
+    def test_unknown_target_rejected(self):
+        src = "#pragma comm_p2p target(TARGET_COMM_PVM)"
+        with pytest.raises(PragmaSyntaxError, match="target"):
+            parse_program(src)
+
+    def test_params_only_clause_on_p2p_rejected(self):
+        src = "#pragma comm_p2p place_sync(END_PARAM_REGION)"
+        with pytest.raises(PragmaSyntaxError, match="comm_parameters"):
+            parse_program(src)
+
+    def test_unpaired_when_clause_rejected(self):
+        src = "#pragma comm_p2p sender(0) receiver(1) sbuf(a) rbuf(b) sendwhen(rank==0)"
+        with pytest.raises(PragmaSyntaxError, match="both"):
+            parse_program(src)
+
+    def test_duplicate_clause_rejected(self):
+        src = "#pragma comm_p2p sender(0) sender(1)"
+        with pytest.raises(PragmaSyntaxError, match="duplicate"):
+            parse_program(src)
+
+    def test_other_pragmas_pass_through(self):
+        src = """
+        #pragma omp parallel for
+        for (i = 0; i < n; i++) x[i] = 0;
+        """
+        prog = parse_program(src)
+        assert not prog.all_p2p()
+        text = "\n".join(ln for n in prog.nodes if isinstance(n, RawCode)
+                         for ln in n.lines)
+        assert "#pragma omp parallel" in text
+
+    def test_adjacent_regions_detected(self):
+        src = """
+        double a[2]; double b[2]; double c[2]; double d[2];
+        #pragma comm_parameters sender(0) receiver(1)
+        {
+        #pragma comm_p2p sbuf(a) rbuf(b)
+        }
+        #pragma comm_parameters sender(0) receiver(1)
+        {
+        #pragma comm_p2p sbuf(c) rbuf(d)
+        }
+        """
+        prog = parse_program(src)
+        chains = prog.adjacent_region_chains()
+        assert len(chains) == 1
+        assert len(chains[0]) == 2

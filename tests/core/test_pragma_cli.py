@@ -1,0 +1,75 @@
+"""The translator command-line tool."""
+
+import pytest
+
+from repro.core.pragma.__main__ import main
+
+RING = """\
+double buf1[100];
+double buf2[100];
+int rank, nprocs;
+#pragma comm_p2p sender((rank-1+nprocs)%nprocs) receiver((rank+1)%nprocs) sbuf(buf1) rbuf(buf2)
+"""
+
+BROKEN = "#pragma comm_p2p sender(0) sender(1)\n"
+
+
+@pytest.fixture
+def ring_file(tmp_path):
+    f = tmp_path / "ring.c"
+    f.write_text(RING)
+    return str(f)
+
+
+def test_translate_default_mpi(ring_file, capsys):
+    assert main([ring_file]) == 0
+    out = capsys.readouterr().out
+    assert "MPI_Isend(buf1, 100, MPI_DOUBLE" in out
+    assert "MPI_Waitall" in out
+
+
+def test_translate_shmem(ring_file, capsys):
+    assert main([ring_file, "--target", "shmem"]) == 0
+    out = capsys.readouterr().out
+    assert "shmem_double_put" in out
+    assert "shmem_quiet" in out
+    assert "MPI_Isend" not in out
+
+
+def test_translate_fortran(ring_file, capsys):
+    assert main([ring_file, "--fortran"]) == 0
+    out = capsys.readouterr().out
+    assert "call MPI_ISEND" in out
+    assert "end subroutine" in out
+
+
+def test_analyze(ring_file, capsys):
+    assert main([ring_file, "--analyze", "--nprocs", "6"]) == 0
+    out = capsys.readouterr().out
+    assert "pattern (6 ranks): ring" in out
+    assert "matching: consistent" in out
+    assert "overlap legal: True" in out
+
+
+def test_missing_file(capsys):
+    assert main(["/nonexistent/path.c"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_translation_error_reported(tmp_path, capsys):
+    f = tmp_path / "broken.c"
+    f.write_text(BROKEN)
+    assert main([str(f)]) == 1
+    assert "duplicate" in capsys.readouterr().err
+
+
+def test_analyze_flags_bad_matching(tmp_path, capsys):
+    f = tmp_path / "bad.c"
+    f.write_text("""\
+double a[4];
+double b[4];
+#pragma comm_p2p sender(0) receiver(rank+1) sendwhen(rank==0) receivewhen(rank==2) sbuf(a) rbuf(b)
+""")
+    assert main([str(f), "--analyze", "--nprocs", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "MATCHING ISSUE" in out

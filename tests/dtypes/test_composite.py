@@ -1,0 +1,246 @@
+"""Unit tests for composite-type layout and MPI-struct flattening."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dtypes import (
+    CHAR,
+    DOUBLE,
+    INT,
+    CompositeType,
+    Field,
+    extract_composite,
+)
+from repro.errors import CompositeTypeError
+
+
+def simple_struct() -> CompositeType:
+    # struct { int a; double b; char c[3]; }
+    return CompositeType("S", [
+        Field("a", INT),
+        Field("b", DOUBLE),
+        Field("c", CHAR, 3),
+    ])
+
+
+class TestLayout:
+    def test_c_alignment_rules(self):
+        s = simple_struct()
+        # a at 0; b aligned to 8 -> 8; c at 16; pad to 24.
+        assert s.field_displacements == (0, 8, 16)
+        assert s.size == 24
+        assert s.alignment == 8
+
+    def test_no_padding_when_naturally_aligned(self):
+        s = CompositeType("T", [Field("x", DOUBLE), Field("y", DOUBLE)])
+        assert s.field_displacements == (0, 8)
+        assert s.size == 16
+
+    def test_tail_padding(self):
+        # struct { double d; char c; } -> size 16, not 9.
+        s = CompositeType("T", [Field("d", DOUBLE), Field("c", CHAR)])
+        assert s.size == 16
+
+    def test_matches_numpy_aligned_struct(self):
+        """Our layout must agree with numpy's C-aligned struct layout."""
+        s = simple_struct()
+        np_dt = np.dtype([("a", "i4"), ("b", "f8"), ("c", "i1", (3,))],
+                         align=True)
+        assert s.size == np_dt.itemsize
+        ours = s.to_numpy_dtype()
+        for name in ("a", "b", "c"):
+            assert ours.fields[name][1] == np_dt.fields[name][1]
+
+    def test_displacement_of(self):
+        s = simple_struct()
+        assert s.displacement_of("b") == 8
+        with pytest.raises(CompositeTypeError):
+            s.displacement_of("zz")
+
+    def test_duplicate_field_names_rejected(self):
+        with pytest.raises(CompositeTypeError, match="duplicate"):
+            CompositeType("S", [Field("a", INT), Field("a", DOUBLE)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(CompositeTypeError, match="no fields"):
+            CompositeType("S", [])
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(CompositeTypeError):
+            Field("a", INT, 0)
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(CompositeTypeError):
+            Field("not a name", INT)
+
+
+class TestTriples:
+    def test_flat_struct_triples(self):
+        s = simple_struct()
+        t = s.triples()
+        assert t.displacements == (0, 8, 16)
+        assert t.blocklengths == (1, 1, 3)
+        assert [p.mpi_name for p in t.mpi_types] == \
+            ["MPI_INT", "MPI_DOUBLE", "MPI_CHAR"]
+
+    def test_nested_struct_flattened(self):
+        inner = CompositeType("Inner", [Field("x", DOUBLE), Field("y", INT)])
+        outer = CompositeType("Outer", [
+            Field("head", INT),
+            Field("in1", inner),
+            Field("tail", CHAR),
+        ])
+        t = outer.triples()
+        # head at 0; inner at 8 (x at 8, y at 16); tail after inner.
+        assert t.displacements[0] == 0
+        assert t.displacements[1] == 8
+        assert t.displacements[2] == 16
+        assert [p.mpi_name for p in t.mpi_types] == \
+            ["MPI_INT", "MPI_DOUBLE", "MPI_INT", "MPI_CHAR"]
+
+    def test_nested_array_of_structs(self):
+        inner = CompositeType("Inner", [Field("x", DOUBLE)])
+        outer = CompositeType("Outer", [Field("pair", inner, 2)])
+        t = outer.triples()
+        assert t.displacements == (0, 8)
+        assert t.blocklengths == (1, 1)
+
+    def test_triples_iterate(self):
+        s = simple_struct()
+        rows = list(s.triples())
+        assert rows[0] == (0, 1, INT)
+
+
+class TestNumpyInterop:
+    def test_zeros_roundtrip(self):
+        s = simple_struct()
+        arr = s.zeros(2)
+        arr["a"] = [1, 2]
+        arr["b"] = [1.5, 2.5]
+        assert arr.dtype.itemsize == s.size
+        assert arr[1]["b"] == 2.5
+
+    def test_nested_numpy_dtype(self):
+        inner = CompositeType("Inner", [Field("x", DOUBLE)])
+        outer = CompositeType("Outer", [Field("n", INT), Field("i", inner)])
+        arr = outer.zeros(1)
+        arr["i"]["x"] = 3.0
+        assert arr[0]["i"]["x"] == 3.0
+
+
+class TestRecursionAndPointers:
+    def test_recursive_pointer_field_rejected(self):
+        # In C a recursive struct needs a pointer; the pointer rule fires.
+        with pytest.raises(CompositeTypeError, match="prohibited"):
+            extract_composite("Node", {"next": "Node*"})
+
+    def test_self_named_nested_composite_rejected(self):
+        # A composite embedding a composite of its own name is recursion.
+        inner = CompositeType("A", [Field("x", INT)])
+        with pytest.raises(CompositeTypeError, match="recursive"):
+            extract_composite("A", {"f": inner})
+
+    def test_indirect_recursion_rejected(self):
+        a = CompositeType("A", [Field("x", INT)])
+        b = CompositeType("B", [Field("a", a)])
+        with pytest.raises(CompositeTypeError, match="recursive"):
+            extract_composite("A", {"b": b})
+
+    def test_pointer_field_rejected(self):
+        with pytest.raises(CompositeTypeError, match="prohibited"):
+            extract_composite("S", {"p": "double*"})
+
+    def test_pointer_keyword_rejected(self):
+        with pytest.raises(CompositeTypeError, match="prohibited"):
+            extract_composite("S", {"p": "ptr"})
+
+
+class TestExtract:
+    def test_extract_from_mapping(self):
+        s = extract_composite("Atom", {
+            "jmt": "int",
+            "xstart": "double",
+            "header": ("char", 80),
+            "evec": ("double", 3),
+        })
+        assert s.size > 0
+        assert s.fields[2].count == 80
+        t = s.triples()
+        assert t.blocklengths == (1, 1, 80, 3)
+
+    def test_extract_nested_mapping(self):
+        s = extract_composite("Outer", {
+            "n": "int",
+            "inner": {"x": "double"},
+        })
+        assert isinstance(s.fields[1].type, CompositeType)
+        assert len(s.triples()) == 2
+
+    def test_extract_from_dataclass(self):
+        import dataclasses
+
+        @dataclasses.dataclass
+        class Spin:
+            sx: str = dataclasses.field(default="0", metadata={"ctype": "double"})
+            sy: str = dataclasses.field(default="0", metadata={"ctype": "double"})
+            n: str = dataclasses.field(default="0", metadata={"ctype": "int"})
+
+        s = extract_composite("Spin", Spin)
+        assert [f.name for f in s.fields] == ["sx", "sy", "n"]
+        assert s.size == 24  # 8 + 8 + 4 -> padded to 24
+
+    def test_extract_bad_spec_rejected(self):
+        with pytest.raises(CompositeTypeError):
+            extract_composite("S", {"x": 3.14})
+
+    def test_extract_bad_array_spec_rejected(self):
+        with pytest.raises(CompositeTypeError, match="array spec"):
+            extract_composite("S", {"x": ("double", "not-an-int")})
+
+    def test_extract_empty_rejected(self):
+        with pytest.raises(CompositeTypeError):
+            extract_composite("S", {})
+
+
+# A hypothesis strategy for random (non-nested) struct definitions.
+_prim_names = st.sampled_from(["char", "short", "int", "long", "float",
+                               "double"])
+_field = st.tuples(_prim_names, st.integers(min_value=1, max_value=16))
+_struct_def = st.lists(_field, min_size=1, max_size=12)
+
+
+@given(_struct_def)
+def test_property_layout_agrees_with_numpy(fields):
+    """For arbitrary structs, our C layout equals numpy's align=True."""
+    definition = {f"f{i}": spec for i, spec in enumerate(fields)}
+    s = extract_composite("P", definition)
+    np_dt = np.dtype(
+        [(f"f{i}", np.dtype(_np_name(t)), (c,)) for i, (t, c) in
+         enumerate(fields)],
+        align=True,
+    )
+    assert s.size == np_dt.itemsize
+    for i in range(len(fields)):
+        assert s.field_displacements[i] == np_dt.fields[f"f{i}"][1]
+
+
+@given(_struct_def)
+def test_property_triples_cover_struct_without_overlap(fields):
+    """Flattened triples never overlap and stay inside the struct."""
+    definition = {f"f{i}": spec for i, spec in enumerate(fields)}
+    s = extract_composite("P", definition)
+    spans = sorted(
+        (d, d + b * t.size)
+        for d, b, t in s.triples()
+    )
+    for (a0, a1), (b0, b1) in zip(spans, spans[1:]):
+        assert a1 <= b0  # no overlap
+    assert spans[-1][1] <= s.size
+
+
+def _np_name(c_name: str) -> str:
+    return {
+        "char": "i1", "short": "i2", "int": "i4", "long": "i8",
+        "float": "f4", "double": "f8",
+    }[c_name]

@@ -1,0 +1,94 @@
+"""Unit and property tests for contiguous pack/unpack."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dtypes import pack_arrays, unpack_arrays, extract_composite
+from repro.errors import DatatypeError
+
+
+def test_roundtrip_single_array():
+    src = np.arange(10, dtype=np.float64)
+    dst = np.zeros(10, dtype=np.float64)
+    unpack_arrays(pack_arrays([src]), [dst])
+    assert np.array_equal(src, dst)
+
+
+def test_roundtrip_mixed_dtypes():
+    a = np.arange(5, dtype=np.int32)
+    b = np.linspace(0, 1, 7)
+    a2 = np.zeros(5, dtype=np.int32)
+    b2 = np.zeros(7)
+    unpack_arrays(pack_arrays([a, b]), [a2, b2])
+    assert np.array_equal(a, a2)
+    assert np.array_equal(b, b2)
+
+
+def test_roundtrip_structured_dtype():
+    s = extract_composite("S", {"n": "int", "x": ("double", 3)})
+    src = s.zeros(4)
+    src["n"] = np.arange(4)
+    src["x"] = np.arange(12).reshape(4, 3)
+    dst = s.zeros(4)
+    unpack_arrays(pack_arrays([src]), [dst])
+    assert np.array_equal(src, dst)
+
+
+def test_roundtrip_2d_matrix():
+    src = np.arange(12, dtype=np.float64).reshape(3, 4)
+    dst = np.zeros((3, 4))
+    unpack_arrays(pack_arrays([src]), [dst])
+    assert np.array_equal(src, dst)
+
+
+def test_noncontiguous_source_packed_correctly():
+    base = np.arange(20, dtype=np.float64)
+    src = base[::2]  # strided view
+    dst = np.zeros(10)
+    unpack_arrays(pack_arrays([src]), [dst])
+    assert np.array_equal(dst, base[::2])
+
+
+def test_size_mismatch_rejected():
+    with pytest.raises(DatatypeError, match="mismatch"):
+        unpack_arrays(b"\x00" * 8, [np.zeros(2)])
+
+
+def test_empty_buffer_list_rejected():
+    with pytest.raises(DatatypeError):
+        pack_arrays([])
+    with pytest.raises(DatatypeError):
+        unpack_arrays(b"", [])
+
+
+def test_non_array_rejected():
+    with pytest.raises(DatatypeError):
+        pack_arrays([[1, 2, 3]])
+
+
+def test_noncontiguous_destination_rejected():
+    base = np.zeros(20)
+    with pytest.raises(DatatypeError, match="contiguous"):
+        unpack_arrays(b"\x00" * 80, [base[::2]])
+
+
+@given(st.lists(
+    st.tuples(st.sampled_from(["i1", "i4", "i8", "f4", "f8"]),
+              st.integers(min_value=1, max_value=32)),
+    min_size=1, max_size=8,
+))
+def test_property_pack_unpack_roundtrip(shapes):
+    rng = np.random.default_rng(0)
+    srcs = []
+    for dt, n in shapes:
+        if dt.startswith("f"):
+            srcs.append(rng.random(n).astype(dt))
+        else:
+            srcs.append(rng.integers(-100, 100, n).astype(dt))
+    dsts = [np.zeros_like(s) for s in srcs]
+    data = pack_arrays(srcs)
+    assert len(data) == sum(s.nbytes for s in srcs)
+    unpack_arrays(data, dsts)
+    for s, d in zip(srcs, dsts):
+        assert np.array_equal(s, d)

@@ -1,0 +1,67 @@
+"""Unit tests for the basic-type registry."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import (
+    CHAR,
+    DOUBLE,
+    FLOAT,
+    INT,
+    LONG,
+    PRIMITIVES,
+    from_numpy_dtype,
+    primitive,
+)
+from repro.errors import DatatypeError
+
+
+def test_registry_contains_c_core_types():
+    for name in ("char", "short", "int", "long", "float", "double"):
+        assert name in PRIMITIVES
+
+
+def test_sizes_match_c_expectations():
+    assert CHAR.size == 1
+    assert INT.size == 4
+    assert LONG.size == 8
+    assert FLOAT.size == 4
+    assert DOUBLE.size == 8
+
+
+def test_mpi_names():
+    assert INT.mpi_name == "MPI_INT"
+    assert DOUBLE.mpi_name == "MPI_DOUBLE"
+    assert CHAR.mpi_name == "MPI_CHAR"
+
+
+def test_lookup_by_c_name_and_mpi_name():
+    assert primitive("double") is DOUBLE
+    assert primitive("MPI_DOUBLE") is DOUBLE
+
+
+def test_lookup_unknown_raises():
+    with pytest.raises(DatatypeError, match="unknown primitive"):
+        primitive("quaternion")
+
+
+def test_from_numpy_dtype_roundtrip():
+    assert from_numpy_dtype(np.float64) is DOUBLE
+    assert from_numpy_dtype(np.dtype("i4")) is INT
+    assert from_numpy_dtype(np.int64).size == 8
+
+
+def test_from_numpy_rejects_structured():
+    dt = np.dtype([("a", "f8")])
+    with pytest.raises(DatatypeError, match="composite"):
+        from_numpy_dtype(dt)
+
+
+def test_from_numpy_rejects_exotic():
+    with pytest.raises(DatatypeError):
+        from_numpy_dtype(np.dtype("U10"))
+
+
+def test_alignment_equals_itemsize_for_scalars():
+    assert DOUBLE.alignment == 8
+    assert INT.alignment == 4

@@ -1,0 +1,98 @@
+"""Cartesian topologies."""
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.errors import MPIError, SimProcessError
+from repro.mpi.cart import dims_create
+
+from tests._spmd import mpi_run
+
+
+class TestDimsCreate:
+    @pytest.mark.parametrize("n,d,expected", [
+        (4, 2, [2, 2]),
+        (6, 2, [3, 2]),
+        (12, 2, [4, 3]),
+        (12, 3, [3, 2, 2]),
+        (7, 2, [7, 1]),
+        (8, 1, [8]),
+    ])
+    def test_balanced_factorization(self, n, d, expected):
+        assert dims_create(n, d) == expected
+
+    def test_invalid_rejected(self):
+        with pytest.raises(MPIError):
+            dims_create(0, 2)
+
+
+class TestCartComm:
+    def test_coords_roundtrip(self):
+        def prog(comm):
+            cart = mpi.Cart_create(comm, [2, 3])
+            c = cart.coords
+            return (c, cart.rank_of(c))
+
+        res, _ = mpi_run(6, prog)
+        for rank, (coords, back) in enumerate(res.values):
+            assert back == rank
+        assert res.values[0][0] == (0, 0)
+        assert res.values[5][0] == (1, 2)
+
+    def test_dims_must_cover_comm(self):
+        def prog(comm):
+            mpi.Cart_create(comm, [2, 2])
+
+        with pytest.raises(SimProcessError) as ei:
+            mpi_run(6, prog)
+        assert isinstance(ei.value.original, MPIError)
+
+    def test_shift_interior_and_edges(self):
+        def prog(comm):
+            cart = mpi.Cart_create(comm, [2, 3])
+            return (cart.Shift(0), cart.Shift(1))
+
+        res, _ = mpi_run(6, prog)
+        # rank 1 = (0, 1): row shift -> (NULL, 4); col -> (0, 2)
+        assert res.values[1] == ((mpi.PROC_NULL, 4), (0, 2))
+        # rank 5 = (1, 2): col shift hits the east edge
+        assert res.values[5][1] == (4, mpi.PROC_NULL)
+
+    def test_periodic_shift_wraps(self):
+        def prog(comm):
+            cart = mpi.Cart_create(comm, [4], periods=[True])
+            return cart.Shift(0)
+
+        res, _ = mpi_run(4, prog)
+        assert res.values[0] == (3, 1)
+        assert res.values[3] == (2, 0)
+
+    def test_nonperiodic_out_of_range_coords_rejected(self):
+        def prog(comm):
+            cart = mpi.Cart_create(comm, [4])
+            cart.rank_of([5])
+
+        with pytest.raises(SimProcessError):
+            mpi_run(4, prog)
+
+    def test_cart_comm_still_communicates(self):
+        """CartComm is a Comm: Sendrecv along a periodic ring."""
+        def prog(comm):
+            cart = mpi.Cart_create(comm, [comm.size], periods=[True])
+            src, dst = cart.Shift(0)
+            out = np.array([float(cart.rank)])
+            inb = np.zeros(1)
+            cart.Sendrecv(out, dest=dst, recvbuf=inb, source=src)
+            return inb[0]
+
+        res, _ = mpi_run(5, prog)
+        assert res.values == [4.0, 0.0, 1.0, 2.0, 3.0]
+
+    def test_shift_with_displacement_two(self):
+        def prog(comm):
+            cart = mpi.Cart_create(comm, [6], periods=[True])
+            return cart.Shift(0, disp=2)
+
+        res, _ = mpi_run(6, prog)
+        assert res.values[1] == (5, 3)

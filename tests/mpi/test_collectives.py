@@ -1,0 +1,213 @@
+"""Collectives: data correctness and cost emergence."""
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.errors import MPIError, SimProcessError
+from repro.netmodel import uniform_model
+
+from tests._spmd import mpi_run
+
+
+class TestBarrier:
+    def test_barrier_aligns_clocks(self):
+        def prog(comm):
+            comm.env.compute(float(comm.rank))
+            comm.Barrier()
+            return comm.env.now
+
+        res, _ = mpi_run(4, prog, model=uniform_model())
+        assert len(set(res.values)) == 1
+        assert res.values[0] >= 3.0
+
+    def test_barrier_counts_stats(self):
+        def prog(comm):
+            comm.Barrier()
+            comm.Barrier()
+
+        _, eng = mpi_run(3, prog)
+        assert eng.stats.sync_calls["barrier"] == 6  # 2 per rank
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 4, 5, 8, 13])
+class TestBcast:
+    def test_bcast_from_zero(self, size):
+        def prog(comm):
+            buf = (np.arange(5.0) if comm.rank == 0 else np.zeros(5))
+            comm.Bcast(buf, root=0)
+            return buf.tolist()
+
+        res, _ = mpi_run(size, prog)
+        assert all(v == [0, 1, 2, 3, 4] for v in res.values)
+
+    def test_bcast_nonzero_root(self, size):
+        root = size - 1
+
+        def prog(comm):
+            buf = (np.full(3, 9.0) if comm.rank == root else np.zeros(3))
+            comm.Bcast(buf, root=root)
+            return buf.tolist()
+
+        res, _ = mpi_run(size, prog)
+        assert all(v == [9.0] * 3 for v in res.values)
+
+
+class TestReduce:
+    @pytest.mark.parametrize("size", [1, 2, 4, 7])
+    def test_reduce_sum(self, size):
+        def prog(comm):
+            send = np.full(3, float(comm.rank + 1))
+            recv = np.zeros(3) if comm.rank == 0 else None
+            comm.Reduce(send, recv, op="sum", root=0)
+            return None if recv is None else recv.tolist()
+
+        res, _ = mpi_run(size, prog)
+        expected = float(sum(range(1, size + 1)))
+        assert res.values[0] == [expected] * 3
+
+    def test_reduce_max_nonzero_root(self):
+        def prog(comm):
+            send = np.array([float(comm.rank)])
+            recv = np.zeros(1) if comm.rank == 2 else None
+            comm.Reduce(send, recv, op="max", root=2)
+            return None if recv is None else recv[0]
+
+        res, _ = mpi_run(5, prog)
+        assert res.values[2] == 4.0
+
+    def test_unknown_op_rejected(self):
+        def prog(comm):
+            comm.Reduce(np.zeros(1), np.zeros(1), op="xor", root=0)
+
+        with pytest.raises(SimProcessError) as ei:
+            mpi_run(2, prog)
+        assert isinstance(ei.value.original, MPIError)
+
+    def test_root_without_recvbuf_rejected(self):
+        def prog(comm):
+            comm.Reduce(np.zeros(1), None, op="sum", root=0)
+
+        with pytest.raises(SimProcessError):
+            mpi_run(2, prog)
+
+
+class TestAllreduce:
+    @pytest.mark.parametrize("size", [1, 3, 6])
+    def test_allreduce_sum(self, size):
+        def prog(comm):
+            send = np.array([float(comm.rank)])
+            recv = np.zeros(1)
+            comm.Allreduce(send, recv, op="sum")
+            return recv[0]
+
+        res, _ = mpi_run(size, prog)
+        expected = float(sum(range(size)))
+        assert res.values == [expected] * size
+
+
+class TestGatherScatter:
+    def test_gather(self):
+        def prog(comm):
+            send = np.full(2, float(comm.rank))
+            recv = np.zeros((comm.size, 2)) if comm.rank == 0 else None
+            comm.Gather(send, recv, root=0)
+            return None if recv is None else recv[:, 0].tolist()
+
+        res, _ = mpi_run(4, prog)
+        assert res.values[0] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_scatter(self):
+        def prog(comm):
+            send = None
+            if comm.rank == 0:
+                send = np.arange(float(comm.size * 3)).reshape(comm.size, 3)
+            recv = np.zeros(3)
+            comm.Scatter(send, recv, root=0)
+            return recv.tolist()
+
+        res, _ = mpi_run(3, prog)
+        assert res.values[1] == [3.0, 4.0, 5.0]
+
+    def test_gather_wrong_shape_rejected(self):
+        def prog(comm):
+            recv = np.zeros((2, 2)) if comm.rank == 0 else None
+            comm.Gather(np.zeros(2), recv, root=0)
+
+        with pytest.raises(SimProcessError):
+            mpi_run(4, prog)
+
+    def test_allgather(self):
+        def prog(comm):
+            send = np.array([float(comm.rank) * 10])
+            recv = np.zeros((comm.size, 1))
+            comm.Allgather(send, recv)
+            return recv[:, 0].tolist()
+
+        res, _ = mpi_run(4, prog)
+        assert all(v == [0.0, 10.0, 20.0, 30.0] for v in res.values)
+
+
+class TestAlltoall:
+    @pytest.mark.parametrize("size", [1, 2, 4, 5])
+    def test_alltoall_permutes_blocks(self, size):
+        def prog(comm):
+            send = np.array([[comm.rank * 100.0 + j] for j in range(size)])
+            recv = np.zeros((size, 1))
+            comm.Alltoall(send, recv)
+            return recv[:, 0].tolist()
+
+        res, _ = mpi_run(size, prog)
+        for r, got in enumerate(res.values):
+            assert got == [j * 100.0 + r for j in range(size)]
+
+
+class TestCollectiveIsolation:
+    def test_collective_traffic_invisible_to_wildcard_recv(self):
+        """A pending wildcard recv must not swallow bcast tree traffic."""
+        def prog(comm):
+            if comm.rank == 1:
+                user = np.zeros(1)
+                req = comm.Irecv(user, source=mpi.ANY_SOURCE,
+                                 tag=mpi.ANY_TAG)
+                buf = np.zeros(4)
+                comm.Bcast(buf, root=0)
+                comm.Send(np.array([1.0]), dest=1)  # satisfy the irecv
+                comm.Wait(req)
+                return (buf.tolist(), user[0])
+            buf = np.arange(4.0) if comm.rank == 0 else np.zeros(4)
+            comm.Bcast(buf, root=0)
+            return buf.tolist()
+
+        res, _ = mpi_run(3, prog)
+        assert res.values[1] == ([0.0, 1.0, 2.0, 3.0], 1.0)
+
+    def test_collectives_on_split_subgroups(self):
+        def prog(comm):
+            sub = comm.Split(color=comm.rank % 2)
+            send = np.array([1.0])
+            recv = np.zeros(1)
+            sub.Allreduce(send, recv, op="sum")
+            return recv[0]
+
+        res, _ = mpi_run(5, prog)
+        # evens: ranks 0,2,4 -> 3 members; odds: 1,3 -> 2 members.
+        assert res.values == [3.0, 2.0, 3.0, 2.0, 3.0]
+
+
+class TestCollectiveCost:
+    def test_bcast_cost_scales_logarithmically(self):
+        def prog_factory():
+            def prog(comm):
+                buf = np.zeros(8)
+                comm.Bcast(buf, root=0)
+                return comm.env.now
+            return prog
+
+        res4, _ = mpi_run(4, prog_factory(), model=uniform_model())
+        res16, _ = mpi_run(16, prog_factory(), model=uniform_model())
+        t4 = max(res4.values)
+        t16 = max(res16.values)
+        # Binomial tree: depth 2 -> depth 4, not 4x the ranks' cost.
+        assert t16 < t4 * 3
+        assert t16 > t4

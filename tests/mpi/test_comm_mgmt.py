@@ -1,0 +1,126 @@
+"""Communicator management: world init, Split, Dup, isolation."""
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.errors import MPIError, SimProcessError
+from repro.netmodel import zero_model
+from repro.sim import Engine
+
+from tests._spmd import mpi_run
+
+
+class TestInit:
+    def test_world_rank_and_size(self):
+        def prog(comm):
+            return (comm.rank, comm.size)
+
+        res, _ = mpi_run(3, prog)
+        assert res.values == [(0, 3), (1, 3), (2, 3)]
+
+    def test_conflicting_models_rejected(self):
+        m1, m2 = zero_model(), zero_model()
+        eng = Engine(2)
+
+        def prog(env):
+            mpi.init(env, m1 if env.rank == 0 else m2)
+
+        with pytest.raises(SimProcessError) as ei:
+            eng.run(prog)
+        assert isinstance(ei.value.original, MPIError)
+
+    def test_default_model_is_gemini(self):
+        eng = Engine(1)
+
+        def prog(env):
+            return mpi.init(env).world.model.name
+
+        assert eng.run(prog).values[0] == "cray-xk7-gemini"
+
+
+class TestSplit:
+    def test_split_groups_by_color(self):
+        def prog(comm):
+            sub = comm.Split(color=comm.rank % 2)
+            return (sub.rank, sub.size)
+
+        res, _ = mpi_run(5, prog)
+        # evens 0,2,4 -> local 0,1,2 of size 3; odds 1,3 -> 0,1 of size 2.
+        assert res.values == [(0, 3), (0, 2), (1, 3), (1, 2), (2, 3)]
+
+    def test_split_key_orders_ranks(self):
+        def prog(comm):
+            sub = comm.Split(color=0, key=-comm.rank)  # reverse order
+            return sub.rank
+
+        res, _ = mpi_run(4, prog)
+        assert res.values == [3, 2, 1, 0]
+
+    def test_split_comms_have_isolated_matching(self):
+        """Same-tag traffic in two subcommunicators never crosses."""
+        def prog(comm):
+            sub = comm.Split(color=comm.rank % 2)
+            if sub.size < 2:
+                return None
+            if sub.rank == 0:
+                comm_val = float(comm.rank)
+                sub.Send(np.array([comm_val]), dest=1, tag=0)
+                return None
+            buf = np.zeros(1)
+            sub.Recv(buf, source=0, tag=0)
+            return buf[0]
+
+        res, _ = mpi_run(4, prog)
+        # world ranks: evens (0,2): 0 sends to 2; odds (1,3): 1 sends to 3.
+        assert res.values[2] == 0.0
+        assert res.values[3] == 1.0
+
+    def test_repeated_splits(self):
+        def prog(comm):
+            a = comm.Split(color=0)
+            b = a.Split(color=a.rank % 2)
+            return b.size
+
+        res, _ = mpi_run(4, prog)
+        assert res.values == [2, 2, 2, 2]
+
+
+class TestDup:
+    def test_dup_same_members_fresh_space(self):
+        def prog(comm):
+            dup = comm.Dup()
+            assert dup.size == comm.size and dup.rank == comm.rank
+            if comm.rank == 0:
+                comm.Send(np.array([1.0]), dest=1, tag=7)
+                dup.Send(np.array([2.0]), dest=1, tag=7)
+                return None
+            a, b = np.zeros(1), np.zeros(1)
+            dup.Recv(b, source=0, tag=7)   # dup's message, not comm's
+            comm.Recv(a, source=0, tag=7)
+            return (a[0], b[0])
+
+        res, _ = mpi_run(2, prog)
+        assert res.values[1] == (1.0, 2.0)
+
+
+class TestGroupTranslation:
+    def test_local_ranks_used_in_subcomm(self):
+        def prog(comm):
+            # Put ranks 2,0 in one group; key orders them (2 first).
+            color = 0 if comm.rank in (0, 2) else 1
+            key = 0 if comm.rank == 2 else 1
+            sub = comm.Split(color=color, key=key)
+            if color == 1:
+                return None
+            if sub.rank == 0:  # world rank 2
+                sub.Send(np.array([42.0]), dest=1)
+                return "sent"
+            buf = np.zeros(1)
+            st = mpi.Status()
+            sub.Recv(buf, source=mpi.ANY_SOURCE, status=st)
+            return (buf[0], st.source)
+
+        res, _ = mpi_run(3, prog)
+        assert res.values[2] == "sent"
+        assert res.values[0] == (42.0, 0)  # local source rank 0 == world 2

@@ -1,0 +1,165 @@
+"""Datatype objects: basic types, derived structs, commit discipline."""
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.dtypes import extract_composite
+from repro.errors import MPIError, SimProcessError
+from repro.mpi.datatypes import basic, type_for_composite
+from repro.netmodel import uniform_model
+
+from tests._spmd import mpi_run
+
+
+class TestBasicTypes:
+    def test_sizes(self):
+        assert mpi.INT.size == 4
+        assert mpi.DOUBLE.size == 8
+        assert mpi.CHAR.size == 1
+        assert mpi.BYTE.size == 1
+        assert mpi.PACKED.size == 1
+
+    def test_basic_lookup(self):
+        assert basic("MPI_DOUBLE") is mpi.DOUBLE
+        with pytest.raises(MPIError):
+            basic("MPI_COMPLEX128")
+
+    def test_basic_types_always_committed(self):
+        assert mpi.DOUBLE.committed
+        mpi.DOUBLE.check_usable()
+
+    def test_free_basic_rejected(self):
+        with pytest.raises(MPIError):
+            mpi.INT.Free()
+
+
+class TestDerivedTypes:
+    def test_create_struct_extent(self):
+        def prog(comm):
+            dt = mpi.Type_create_struct(
+                comm,
+                blocklengths=[1, 1],
+                displacements=[0, 8],
+                types=[mpi.INT, mpi.DOUBLE])
+            return dt.size
+
+        res, _ = mpi_run(1, prog)
+        assert res.values[0] == 16
+
+    def test_uncommitted_use_rejected(self):
+        def prog(comm):
+            dt = mpi.Type_create_struct(
+                comm, [1], [0], [mpi.DOUBLE])
+            buf = np.zeros(1)
+            comm.Send((buf, 1, dt), dest=0)
+
+        with pytest.raises(SimProcessError) as ei:
+            mpi_run(1, prog)
+        assert isinstance(ei.value.original, MPIError)
+        assert "Commit" in str(ei.value.original)
+
+    def test_commit_then_use(self):
+        def prog(comm):
+            s = extract_composite("S", {"n": "int", "x": ("double", 3)})
+            dt = type_for_composite(comm, s).Commit(comm)
+            arr = s.zeros(2)
+            arr["n"] = [1, 2]
+            arr["x"][1] = [7.0, 8.0, 9.0]
+            if comm.rank == 0:
+                comm.Send((arr, 2, dt), dest=1)
+                return None
+            out = s.zeros(2)
+            comm.Recv(out, source=0)
+            return (int(out["n"][1]), out["x"][1].tolist())
+
+        res, _ = mpi_run(2, prog)
+        assert res.values[1] == (2, [7.0, 8.0, 9.0])
+
+    def test_freed_type_rejected(self):
+        def prog(comm):
+            dt = mpi.Type_create_struct(comm, [1], [0], [mpi.DOUBLE])
+            dt.Commit(comm)
+            dt.Free()
+            comm.Send((np.zeros(1), 1, dt), dest=0)
+
+        with pytest.raises(SimProcessError) as ei:
+            mpi_run(1, prog)
+        assert "freed" in str(ei.value.original)
+
+    def test_nested_derived_rejected(self):
+        def prog(comm):
+            inner = mpi.Type_create_struct(comm, [1], [0], [mpi.DOUBLE])
+            mpi.Type_create_struct(comm, [1], [0], [inner])
+
+        with pytest.raises(SimProcessError) as ei:
+            mpi_run(1, prog)
+        assert "nested" in str(ei.value.original)
+
+    def test_mismatched_arrays_rejected(self):
+        def prog(comm):
+            mpi.Type_create_struct(comm, [1, 2], [0], [mpi.INT])
+
+        with pytest.raises(SimProcessError):
+            mpi_run(1, prog)
+
+    def test_creation_charges_model_cost(self):
+        def prog(comm):
+            t0 = comm.env.now
+            dt = mpi.Type_create_struct(
+                comm, [1] * 5, [0, 8, 16, 24, 32], [mpi.DOUBLE] * 5)
+            dt.Commit(comm)
+            return comm.env.now - t0
+
+        res, _ = mpi_run(1, prog, model=uniform_model())
+        m = uniform_model()
+        assert res.values[0] == pytest.approx(m.struct_create_cost(5))
+
+    def test_commit_idempotent(self):
+        def prog(comm):
+            dt = mpi.Type_create_struct(comm, [1], [0], [mpi.DOUBLE])
+            dt.Commit(comm)
+            t0 = comm.env.now
+            dt.Commit(comm)  # second commit is free
+            return comm.env.now - t0
+
+        res, _ = mpi_run(1, prog, model=uniform_model())
+        assert res.values[0] == 0.0
+
+    def test_type_for_composite_matches_struct_size(self):
+        def prog(comm):
+            s = extract_composite("Atom", {
+                "jmt": "int", "xstart": "double", "header": ("char", 80),
+            })
+            dt = type_for_composite(comm, s)
+            return (dt.size, s.size)
+
+        res, _ = mpi_run(1, prog)
+        size_dt, size_s = res.values[0]
+        assert size_dt == size_s
+
+    def test_stats_count_struct_creation(self):
+        def prog(comm):
+            dt = mpi.Type_create_struct(comm, [1], [0], [mpi.DOUBLE])
+            dt.Commit(comm)
+
+        _, eng = mpi_run(1, prog)
+        assert eng.stats.datatype_ops["struct_created"] == 1
+        assert eng.stats.datatype_ops["struct_committed"] == 1
+
+
+class TestBufferInference:
+    def test_structured_array_sendable_without_explicit_type(self):
+        def prog(comm):
+            dt = np.dtype([("a", "i4"), ("b", "f8")], align=True)
+            if comm.rank == 0:
+                arr = np.zeros(3, dtype=dt)
+                arr["b"] = [1.0, 2.0, 3.0]
+                comm.Send(arr, dest=1)
+                return None
+            out = np.zeros(3, dtype=dt)
+            comm.Recv(out, source=0)
+            return out["b"].tolist()
+
+        res, _ = mpi_run(2, prog)
+        assert res.values[1] == [1.0, 2.0, 3.0]

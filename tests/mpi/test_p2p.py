@@ -1,0 +1,457 @@
+"""Point-to-point semantics: matching, protocols, wildcards, timing."""
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.errors import MPIError, SimDeadlockError, SimProcessError, \
+    TruncationError
+from repro.netmodel import uniform_model, zero_model
+from repro.netmodel.base import MPI_2SIDED, TransportParams
+from repro.netmodel.base import MachineModel
+from repro.util.units import usec
+
+from tests._spmd import mpi_run
+
+
+class TestBlocking:
+    def test_send_recv_delivers_data(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.Send(np.arange(8.0), dest=1, tag=3)
+                return None
+            buf = np.zeros(8)
+            comm.Recv(buf, source=0, tag=3)
+            return buf.tolist()
+
+        res, _ = mpi_run(2, prog)
+        assert res.values[1] == list(range(8))
+
+    def test_recv_fills_status(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.Send(np.arange(4, dtype=np.int32), dest=1, tag=9)
+                return None
+            buf = np.zeros(4, dtype=np.int32)
+            st = mpi.Status()
+            comm.Recv(buf, source=mpi.ANY_SOURCE, tag=mpi.ANY_TAG, status=st)
+            return (st.source, st.tag, st.nbytes, st.Get_count(mpi.INT))
+
+        res, _ = mpi_run(2, prog)
+        assert res.values[1] == (0, 9, 16, 4)
+
+    def test_messages_nonovertaking_same_pair(self):
+        def prog(comm):
+            if comm.rank == 0:
+                for i in range(5):
+                    comm.Send(np.array([float(i)]), dest=1, tag=7)
+                return None
+            got = []
+            for _ in range(5):
+                buf = np.zeros(1)
+                comm.Recv(buf, source=0, tag=7)
+                got.append(buf[0])
+            return got
+
+        res, _ = mpi_run(2, prog)
+        assert res.values[1] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_tag_selectivity(self):
+        """A recv with tag B skips an earlier tag-A message."""
+        def prog(comm):
+            if comm.rank == 0:
+                comm.Send(np.array([1.0]), dest=1, tag=1)
+                comm.Send(np.array([2.0]), dest=1, tag=2)
+                return None
+            b2 = np.zeros(1)
+            comm.Recv(b2, source=0, tag=2)
+            b1 = np.zeros(1)
+            comm.Recv(b1, source=0, tag=1)
+            return (b1[0], b2[0])
+
+        res, _ = mpi_run(2, prog)
+        assert res.values[1] == (1.0, 2.0)
+
+    def test_any_source_matches_first_posted(self):
+        def prog(comm):
+            if comm.rank == 0:
+                got = []
+                for _ in range(2):
+                    buf = np.zeros(1)
+                    st = mpi.Status()
+                    comm.Recv(buf, source=mpi.ANY_SOURCE, tag=0, status=st)
+                    got.append((st.source, buf[0]))
+                return got
+            comm.Send(np.array([float(comm.rank)]), dest=0, tag=0)
+            return None
+
+        res, _ = mpi_run(3, prog)
+        # Deterministic scheduling: rank 1 sends before rank 2.
+        assert res.values[0] == [(1, 1.0), (2, 2.0)]
+
+    def test_truncation_rejected(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.Send(np.zeros(10), dest=1)
+            else:
+                comm.Recv(np.zeros(2), source=0)
+
+        with pytest.raises(SimProcessError) as ei:
+            mpi_run(2, prog)
+        assert isinstance(ei.value.original, TruncationError)
+
+    def test_shorter_message_ok(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.Send(np.array([5.0]), dest=1)
+                return None
+            buf = np.zeros(10)
+            st = mpi.Status()
+            comm.Recv(buf, source=0, status=st)
+            return (buf[0], st.nbytes)
+
+        res, _ = mpi_run(2, prog)
+        assert res.values[1] == (5.0, 8)
+
+    def test_proc_null_send_recv_noop(self):
+        def prog(comm):
+            buf = np.full(3, 7.0)
+            comm.Send(buf, dest=mpi.PROC_NULL)
+            comm.Recv(buf, source=mpi.PROC_NULL)
+            return buf.tolist()
+
+        res, _ = mpi_run(1, prog)
+        assert res.values[0] == [7.0] * 3
+
+    def test_unmatched_recv_deadlocks_with_diagnostic(self):
+        def prog(comm):
+            if comm.rank == 1:
+                comm.Recv(np.zeros(1), source=0, tag=5)
+
+        with pytest.raises(SimDeadlockError) as ei:
+            mpi_run(2, prog)
+        assert 1 in ei.value.blocked
+
+    def test_send_to_self_with_posted_irecv(self):
+        def prog(comm):
+            buf = np.zeros(3)
+            req = comm.Irecv(buf, source=0, tag=1)
+            comm.Send(np.arange(3.0), dest=0, tag=1)
+            comm.Wait(req)
+            return buf.tolist()
+
+        res, _ = mpi_run(1, prog)
+        assert res.values[0] == [0.0, 1.0, 2.0]
+
+    def test_invalid_peer_rejected(self):
+        def prog(comm):
+            comm.Send(np.zeros(1), dest=5)
+
+        with pytest.raises(SimProcessError) as ei:
+            mpi_run(2, prog)
+        assert isinstance(ei.value.original, MPIError)
+
+    def test_negative_tag_rejected(self):
+        def prog(comm):
+            comm.Send(np.zeros(1), dest=0, tag=-7)
+
+        with pytest.raises(SimProcessError) as ei:
+            mpi_run(1, prog)
+        assert isinstance(ei.value.original, MPIError)
+
+    def test_count_prefix_send(self):
+        def prog(comm):
+            if comm.rank == 0:
+                data = np.arange(10.0)
+                comm.Send((data, 4, mpi.DOUBLE), dest=1)
+                return None
+            buf = np.zeros(4)
+            comm.Recv(buf, source=0)
+            return buf.tolist()
+
+        res, _ = mpi_run(2, prog)
+        assert res.values[1] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_count_exceeding_buffer_rejected(self):
+        def prog(comm):
+            comm.Send((np.zeros(2), 5, mpi.DOUBLE), dest=0)
+
+        with pytest.raises(SimProcessError) as ei:
+            mpi_run(1, prog)
+        assert isinstance(ei.value.original, MPIError)
+
+
+class TestNonblocking:
+    def test_isend_irecv_wait(self):
+        def prog(comm):
+            if comm.rank == 0:
+                req = comm.Isend(np.array([42.0]), dest=1)
+                comm.Wait(req)
+                return None
+            buf = np.zeros(1)
+            req = comm.Irecv(buf, source=0)
+            comm.Wait(req)
+            return buf[0]
+
+        res, _ = mpi_run(2, prog)
+        assert res.values[1] == 42.0
+
+    def test_waitall_completes_everything(self):
+        def prog(comm):
+            n = 5
+            if comm.rank == 0:
+                reqs = [comm.Isend(np.array([float(i)]), dest=1, tag=i)
+                        for i in range(n)]
+                comm.Waitall(reqs)
+                return None
+            bufs = [np.zeros(1) for _ in range(n)]
+            reqs = [comm.Irecv(bufs[i], source=0, tag=i) for i in range(n)]
+            comm.Waitall(reqs)
+            return [b[0] for b in bufs]
+
+        res, _ = mpi_run(2, prog)
+        assert res.values[1] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_wait_on_done_request_is_idempotent(self):
+        def prog(comm):
+            buf = np.zeros(1)
+            req = comm.Irecv(buf, source=0)
+            comm.Send(np.array([1.0]), dest=0)
+            comm.Wait(req)
+            comm.Wait(req)  # second wait: no-op
+            return buf[0]
+
+        res, _ = mpi_run(1, prog)
+        assert res.values[0] == 1.0
+
+    def test_test_polls_until_complete(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.compute_marker = None
+                buf = np.zeros(1)
+                req = comm.Irecv(buf, source=1)
+                polls = 0
+                while not comm.Test(req):
+                    polls += 1
+                return (buf[0], polls >= 0)
+            comm.env.compute(1e-3)
+            comm.Send(np.array([9.0]), dest=0)
+            return None
+
+        res, _ = mpi_run(2, prog, model=uniform_model(),
+                         max_time=10.0)
+        assert res.values[0][0] == 9.0
+
+    def test_null_request_wait(self):
+        def prog(comm):
+            req = comm.Isend(np.zeros(1), dest=mpi.PROC_NULL)
+            comm.Wait(req)
+            req2 = comm.Irecv(np.zeros(1), source=mpi.PROC_NULL)
+            comm.Wait(req2)
+            return "ok"
+
+        res, _ = mpi_run(1, prog)
+        assert res.values[0] == "ok"
+
+
+class TestSendrecv:
+    def test_ring_shift_no_deadlock(self):
+        """The classic ring exchange that deadlocks with blocking sends
+        of rendezvous size works with Sendrecv."""
+        def prog(comm):
+            nxt = (comm.rank + 1) % comm.size
+            prev = (comm.rank - 1) % comm.size
+            out = np.full(2000, float(comm.rank))  # rendezvous-sized
+            inb = np.zeros(2000)
+            comm.Sendrecv(out, dest=nxt, recvbuf=inb, source=prev)
+            return inb[0]
+
+        res, _ = mpi_run(4, prog, model=uniform_model())
+        assert res.values == [3.0, 0.0, 1.0, 2.0]
+
+
+class TestProtocols:
+    def test_blocking_rendezvous_requires_receiver(self):
+        """A large blocking Send genuinely blocks until the recv posts."""
+        def prog(comm):
+            if comm.rank == 0:
+                big = np.zeros(10_000)  # > uniform eager threshold (1024B)
+                comm.Send(big, dest=1)
+                return comm.env.now
+            comm.env.compute(5.0)  # receiver is late
+            comm.Recv(np.zeros(10_000), source=0)
+            return comm.env.now
+
+        res, _ = mpi_run(2, prog, model=uniform_model())
+        # The sender cannot complete before the receiver showed up at t=5.
+        assert res.values[0] >= 5.0
+
+    def test_eager_send_returns_immediately(self):
+        def prog(comm):
+            if comm.rank == 0:
+                small = np.zeros(8)  # eager
+                comm.Send(small, dest=1)
+                return comm.env.now
+            comm.env.compute(5.0)
+            comm.Recv(np.zeros(8), source=0)
+            return comm.env.now
+
+        res, _ = mpi_run(2, prog, model=uniform_model())
+        assert res.values[0] < 1.0  # sender long done before t=5
+
+    def test_unmatched_rendezvous_sends_deadlock(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.Send(np.zeros(10_000), dest=1)
+            # rank 1 never posts the receive
+
+        with pytest.raises(SimDeadlockError):
+            mpi_run(2, prog, model=uniform_model())
+
+
+class TestTiming:
+    def test_eager_timing_hand_computed(self):
+        """Uniform model: o=1us, L=1us, 1GB/s. 100B eager message."""
+        def prog(comm):
+            if comm.rank == 0:
+                comm.Send(np.zeros(100, dtype=np.uint8), dest=1)
+                return comm.env.now
+            comm.Recv(np.zeros(100, dtype=np.uint8), source=0)
+            return comm.env.now
+
+        res, _ = mpi_run(2, prog, model=uniform_model())
+        # Sender: o_send = 1us.
+        assert res.values[0] == pytest.approx(1 * usec)
+        # Receiver: sender posts at 1us, wire = 1us + 100ns, recv
+        # overhead 1us -> 3.1us.
+        assert res.values[1] == pytest.approx(3.1 * usec)
+
+    def test_recv_posted_late_completes_at_post_plus_overhead(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.Send(np.zeros(100, dtype=np.uint8), dest=1)
+                return None
+            comm.env.compute(1.0)  # message long since arrived
+            comm.Recv(np.zeros(100, dtype=np.uint8), source=0)
+            return comm.env.now
+
+        res, _ = mpi_run(2, prog, model=uniform_model())
+        assert res.values[1] == pytest.approx(1.0 + 1 * usec)
+
+    def test_wait_overhead_charged_per_call(self):
+        model = uniform_model()
+
+        def prog(comm):
+            if comm.rank == 0:
+                reqs = [comm.Isend(np.zeros(8), dest=1, tag=i, pooled=True)
+                        for i in range(10)]
+                t0 = comm.env.now
+                for r in reqs:
+                    comm.Wait(r)
+                return comm.env.now - t0
+            for i in range(10):
+                comm.Recv(np.zeros(8), source=0, tag=i)
+            return None
+
+        res, _ = mpi_run(2, prog, model=model)
+        # 10 waits x 1us overhead; all requests already complete (eager).
+        assert res.values[0] == pytest.approx(10 * usec)
+
+    def test_waitall_cheaper_than_wait_loop(self):
+        """The heart of the paper's Figure 4 ablation."""
+        model = uniform_model()
+        n = 50
+
+        def sender_waits(comm):
+            if comm.rank == 0:
+                reqs = [comm.Isend(np.zeros(8), dest=1, tag=i, pooled=True)
+                        for i in range(n)]
+                t0 = comm.env.now
+                for r in reqs:
+                    comm.Wait(r)
+                return comm.env.now - t0
+            for i in range(n):
+                comm.Recv(np.zeros(8), source=0, tag=i)
+            return None
+
+        def sender_waitall(comm):
+            if comm.rank == 0:
+                reqs = [comm.Isend(np.zeros(8), dest=1, tag=i, pooled=True)
+                        for i in range(n)]
+                t0 = comm.env.now
+                comm.Waitall(reqs)
+                return comm.env.now - t0
+            for i in range(n):
+                comm.Recv(np.zeros(8), source=0, tag=i)
+            return None
+
+        r1, _ = mpi_run(2, sender_waits, model=model)
+        r2, _ = mpi_run(2, sender_waitall, model=model)
+        assert r2.values[0] < r1.values[0]
+
+    def test_request_alloc_charged_only_unpooled(self):
+        tp = TransportParams(name=MPI_2SIDED, alpha=0.0, bandwidth=1e30,
+                             eager_threshold=1 << 62)
+        model = MachineModel(name="alloc-test",
+                             transports={MPI_2SIDED: tp},
+                             request_alloc_overhead=1.0 * usec)
+
+        def prog(comm):
+            if comm.rank == 0:
+                t0 = comm.env.now
+                comm.Isend(np.zeros(8), dest=1)
+                user = comm.env.now - t0
+                t0 = comm.env.now
+                comm.Isend(np.zeros(8), dest=1, tag=1, pooled=True)
+                pooled = comm.env.now - t0
+                return (user, pooled)
+            comm.Recv(np.zeros(8), source=0, tag=0)
+            comm.Recv(np.zeros(8), source=0, tag=1)
+            return None
+
+        res, _ = mpi_run(2, prog, model=model)
+        user, pooled = res.values[0]
+        assert user == pytest.approx(1 * usec)
+        assert pooled == pytest.approx(0.0)
+
+
+class TestProbe:
+    def test_iprobe_sees_unexpected_message(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.Send(np.arange(3.0), dest=1, tag=4)
+                return None
+            # Let the message arrive first.
+            comm.env.compute(1.0)
+            st = mpi.Status()
+            found = comm.Iprobe(source=0, tag=4, status=st)
+            buf = np.zeros(3)
+            comm.Recv(buf, source=0, tag=4)
+            return (found, st.nbytes)
+
+        res, _ = mpi_run(2, prog)
+        assert res.values[1] == (True, 24)
+
+    def test_iprobe_false_when_nothing(self):
+        def prog(comm):
+            return comm.Iprobe(source=mpi.ANY_SOURCE)
+
+        res, _ = mpi_run(2, prog)
+        assert res.values == [False, False]
+
+
+class TestManyToOne:
+    def test_fan_in_any_source(self):
+        def prog(comm):
+            if comm.rank == 0:
+                total = 0.0
+                for _ in range(comm.size - 1):
+                    buf = np.zeros(1)
+                    comm.Recv(buf, source=mpi.ANY_SOURCE)
+                    total += buf[0]
+                return total
+            comm.Send(np.array([float(comm.rank)]), dest=0)
+            return None
+
+        res, _ = mpi_run(6, prog)
+        assert res.values[0] == sum(range(1, 6))

@@ -1,0 +1,102 @@
+"""MPI_Pack / MPI_Unpack semantics (the Listing-4 code path)."""
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.errors import MPIError, SimProcessError
+from repro.netmodel import uniform_model
+
+from tests._spmd import mpi_run
+
+
+def test_pack_unpack_roundtrip_over_send():
+    """Transcription of the Listing-4 idiom: pack scalars + arrays,
+    ship as MPI_PACKED, unpack on the other side."""
+    def prog(comm):
+        s = 1024
+        if comm.rank == 0:
+            buf = bytearray(s)
+            pos = 0
+            pos = mpi.Pack(comm, np.array([7], dtype=np.int32), buf, pos)
+            pos = mpi.Pack(comm, np.array([3.5]), buf, pos)
+            pos = mpi.Pack(comm, np.arange(6.0), buf, pos)
+            comm.Send((np.frombuffer(bytes(buf), dtype=np.uint8), pos,
+                       mpi.PACKED), dest=1)
+            return None
+        raw = np.zeros(s, dtype=np.uint8)
+        st = mpi.Status()
+        comm.Recv(raw, source=0, status=st)
+        data = raw.tobytes()
+        pos = 0
+        n = np.zeros(1, dtype=np.int32)
+        pos = mpi.Unpack(comm, data, pos, n)
+        x = np.zeros(1)
+        pos = mpi.Unpack(comm, data, pos, x)
+        arr = np.zeros(6)
+        pos = mpi.Unpack(comm, data, pos, arr)
+        return (int(n[0]), float(x[0]), arr.tolist(), st.nbytes)
+
+    res, _ = mpi_run(2, prog)
+    n, x, arr, nbytes = res.values[1]
+    assert n == 7
+    assert x == 3.5
+    assert arr == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+    assert nbytes == 4 + 8 + 48
+
+
+def test_pack_size():
+    assert mpi.pack_size(10, mpi.DOUBLE) == 80
+    assert mpi.pack_size(3, mpi.INT) == 12
+
+
+def test_pack_overflow_rejected():
+    def prog(comm):
+        buf = bytearray(4)
+        mpi.Pack(comm, np.zeros(10), buf, 0)
+
+    with pytest.raises(SimProcessError) as ei:
+        mpi_run(1, prog)
+    assert isinstance(ei.value.original, MPIError)
+
+
+def test_unpack_underflow_rejected():
+    def prog(comm):
+        mpi.Unpack(comm, b"\x00" * 4, 0, np.zeros(10))
+
+    with pytest.raises(SimProcessError) as ei:
+        mpi_run(1, prog)
+    assert "underflow" in str(ei.value.original)
+
+
+def test_pack_charges_per_byte_cost():
+    def prog(comm):
+        buf = bytearray(8000)
+        t0 = comm.env.now
+        mpi.Pack(comm, np.zeros(1000), buf, 0)
+        return comm.env.now - t0
+
+    res, _ = mpi_run(1, prog, model=uniform_model())
+    m = uniform_model()
+    assert res.values[0] == pytest.approx(m.pack_cost(8000))
+
+
+def test_pack_counts_stats():
+    def prog(comm):
+        buf = bytearray(64)
+        pos = mpi.Pack(comm, np.zeros(2), buf, 0)
+        mpi.Unpack(comm, bytes(buf), 0, np.zeros(2))
+        return pos
+
+    _, eng = mpi_run(1, prog)
+    assert eng.stats.datatype_ops["pack"] == 1
+    assert eng.stats.datatype_ops["unpack"] == 1
+
+
+def test_pack_non_array_rejected():
+    def prog(comm):
+        mpi.Pack(comm, [1, 2, 3], bytearray(64), 0)
+
+    with pytest.raises(SimProcessError) as ei:
+        mpi_run(1, prog)
+    assert isinstance(ei.value.original, MPIError)

@@ -1,0 +1,133 @@
+"""Blocking Probe and the dynamic-size receive idiom."""
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.netmodel import uniform_model, zero_model
+from repro.mpi.constants import UNDEFINED
+
+from tests._spmd import mpi_run
+
+
+def test_probe_then_sized_recv():
+    """The classic idiom: probe, size the buffer, receive."""
+    def prog(comm):
+        if comm.rank == 0:
+            comm.Send(np.arange(13.0), dest=1, tag=4)
+            return None
+        st = mpi.Status()
+        comm.Probe(source=mpi.ANY_SOURCE, tag=mpi.ANY_TAG, status=st)
+        n = st.Get_count(mpi.DOUBLE)
+        buf = np.zeros(n)
+        comm.Recv(buf, source=st.source, tag=st.tag)
+        return (n, buf.tolist())
+
+    res, _ = mpi_run(2, prog)
+    n, data = res.values[1]
+    assert n == 13
+    assert data == list(range(13))
+
+
+def test_probe_blocks_until_message_exists():
+    def prog(comm):
+        if comm.rank == 0:
+            comm.env.compute(3.0)
+            comm.Send(np.zeros(4), dest=1, tag=1)
+            return None
+        st = mpi.Status()
+        comm.Probe(source=0, tag=1, status=st)
+        probed_at = comm.env.now
+        comm.Recv(np.zeros(4), source=0, tag=1)
+        return probed_at
+
+    res, _ = mpi_run(2, prog, model=uniform_model())
+    assert res.values[1] >= 3.0
+
+
+def test_probe_does_not_consume_message():
+    def prog(comm):
+        if comm.rank == 0:
+            comm.Send(np.array([9.0]), dest=1, tag=2)
+            return None
+        comm.Probe(source=0, tag=2)
+        comm.Probe(source=0, tag=2)  # still there
+        buf = np.zeros(1)
+        comm.Recv(buf, source=0, tag=2)
+        return buf[0]
+
+    res, _ = mpi_run(2, prog)
+    assert res.values[1] == 9.0
+
+
+def test_probe_respects_tag_selectivity():
+    def prog(comm):
+        if comm.rank == 0:
+            comm.Send(np.array([1.0]), dest=1, tag=10)
+            comm.env.compute(1.0)
+            comm.Send(np.array([2.0]), dest=1, tag=20)
+            return None
+        st = mpi.Status()
+        comm.Probe(source=0, tag=20, status=st)  # skips tag 10
+        assert st.tag == 20
+        b20, b10 = np.zeros(1), np.zeros(1)
+        comm.Recv(b20, source=0, tag=20)
+        comm.Recv(b10, source=0, tag=10)
+        return (b10[0], b20[0])
+
+    res, _ = mpi_run(2, prog, model=uniform_model())
+    assert res.values[1] == (1.0, 2.0)
+
+
+def test_probe_arrival_time_covered():
+    """Probing an already-arrived message advances at least to its
+    arrival time on the wire."""
+    def prog(comm):
+        if comm.rank == 0:
+            comm.Send(np.zeros(1000, dtype=np.uint8), dest=1)
+            return None
+        comm.env.compute(1e-2)
+        t0 = comm.env.now
+        comm.Probe(source=0)
+        assert comm.env.now >= t0
+        comm.Recv(np.zeros(1000, dtype=np.uint8), source=0)
+        return True
+
+    res, _ = mpi_run(2, prog, model=uniform_model())
+    assert res.values[1]
+
+
+def test_get_count_undefined_for_partial_element():
+    def prog(comm):
+        if comm.rank == 0:
+            comm.Send(np.zeros(3, dtype=np.uint8), dest=1, tag=0)
+            return None
+        st = mpi.Status()
+        comm.Probe(source=0, status=st)
+        comm.Recv(np.zeros(3, dtype=np.uint8), source=0, status=None)
+        return st.Get_count(mpi.DOUBLE)  # 3 bytes != k * 8
+
+    res, _ = mpi_run(2, prog)
+    assert res.values[1] == UNDEFINED
+
+
+def test_two_probers_one_each():
+    """Two messages, two blocking probes on different tags."""
+    def prog(comm):
+        if comm.rank == 0:
+            comm.env.compute(1.0)
+            comm.Send(np.array([1.0]), dest=1, tag=1)
+            comm.env.compute(1.0)
+            comm.Send(np.array([2.0]), dest=1, tag=2)
+            return None
+        st2 = mpi.Status()
+        comm.Probe(source=0, tag=2, status=st2)  # waits for the later
+        st1 = mpi.Status()
+        comm.Probe(source=0, tag=1, status=st1)  # already there
+        a, b = np.zeros(1), np.zeros(1)
+        comm.Recv(a, source=0, tag=1)
+        comm.Recv(b, source=0, tag=2)
+        return (st1.tag, st2.tag, a[0], b[0])
+
+    res, _ = mpi_run(2, prog)
+    assert res.values[1] == (1, 2, 1.0, 2.0)

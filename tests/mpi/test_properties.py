@@ -1,0 +1,163 @@
+"""Property-based tests of the MPI layer's core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import mpi
+from repro.netmodel import uniform_model, zero_model
+from repro.sim import Engine
+
+from tests._spmd import mpi_run
+
+
+# A schedule: for each of R rounds, each sender rank sends one tagged
+# message to a receiver; receivers post matching receives in the same
+# per-pair order. Well-formed by construction.
+@st.composite
+def schedules(draw):
+    nprocs = draw(st.integers(min_value=2, max_value=5))
+    n_msgs = draw(st.integers(min_value=1, max_value=12))
+    msgs = []
+    for i in range(n_msgs):
+        src = draw(st.integers(min_value=0, max_value=nprocs - 1))
+        dst = draw(st.integers(min_value=0, max_value=nprocs - 1))
+        size = draw(st.integers(min_value=1, max_value=64))
+        msgs.append((src, dst, i, size))
+    return nprocs, msgs
+
+
+@given(schedules())
+@settings(max_examples=40, deadline=None)
+def test_property_every_message_delivered_exactly_once(schedule):
+    nprocs, msgs = schedule
+
+    def prog(comm):
+        reqs = []
+        received = {}
+        for src, dst, tag, size in msgs:
+            if comm.rank == dst:
+                buf = np.zeros(size)
+                received[tag] = buf
+                reqs.append(comm.Irecv(buf, source=src, tag=tag))
+        for src, dst, tag, size in msgs:
+            if comm.rank == src:
+                payload = np.full(size, float(tag + 1))
+                reqs.append(comm.Isend(payload, dest=dst, tag=tag))
+        comm.Waitall(reqs)
+        return {tag: buf[0] for tag, buf in received.items()}
+
+    res, _ = mpi_run(nprocs, prog)
+    for src, dst, tag, size in msgs:
+        assert res.values[dst][tag] == float(tag + 1)
+
+
+@given(st.integers(min_value=2, max_value=6),
+       st.integers(min_value=1, max_value=20))
+@settings(max_examples=30, deadline=None)
+def test_property_fifo_per_pair_with_same_tag(nprocs, n):
+    """Same (source, dest, tag): messages never overtake."""
+    def prog(comm):
+        if comm.rank == 0:
+            for i in range(n):
+                comm.Send(np.array([float(i)]), dest=nprocs - 1, tag=5)
+            return None
+        if comm.rank == nprocs - 1:
+            got = []
+            for _ in range(n):
+                buf = np.zeros(1)
+                comm.Recv(buf, source=0, tag=5)
+                got.append(buf[0])
+            return got
+        return None
+
+    res, _ = mpi_run(nprocs, prog)
+    assert res.values[nprocs - 1] == [float(i) for i in range(n)]
+
+
+@given(st.integers(min_value=2, max_value=5),
+       st.integers(min_value=0, max_value=3),
+       st.booleans())
+@settings(max_examples=25, deadline=None)
+def test_property_clocks_monotone_and_finite(nprocs, extra_compute, eager):
+    """Virtual finish times are finite and >= any compute charged."""
+    model = uniform_model() if eager else zero_model()
+
+    def prog(comm):
+        comm.env.compute(extra_compute * 1e-6)
+        nxt = (comm.rank + 1) % comm.size
+        prev = (comm.rank - 1) % comm.size
+        out = np.full(16, float(comm.rank))
+        inb = np.zeros(16)
+        comm.Sendrecv(out, dest=nxt, recvbuf=inb, source=prev)
+        return comm.env.now
+
+    res, _ = mpi_run(nprocs, prog, model=model)
+    for t in res.values:
+        assert np.isfinite(t)
+        assert t >= extra_compute * 1e-6
+
+
+@given(st.lists(st.integers(min_value=1, max_value=100), min_size=1,
+                max_size=10))
+@settings(max_examples=30, deadline=None)
+def test_property_waitall_time_equals_max_of_waits(sizes):
+    """Waiting on requests in any order ends at the same virtual time
+    (completion is a max, not a sum)."""
+    model = uniform_model()
+
+    def make(order_reversed):
+        def prog(comm):
+            reqs = []
+            if comm.rank == 0:
+                for i, n in enumerate(sizes):
+                    reqs.append(comm.Isend(np.zeros(n), dest=1, tag=i,
+                                           pooled=True))
+            else:
+                for i, n in enumerate(sizes):
+                    reqs.append(comm.Irecv(np.zeros(n), source=0,
+                                           tag=i, pooled=True))
+            if order_reversed:
+                reqs = reqs[::-1]
+            for r in reqs:
+                comm._wait_quiet(r)
+            return comm.env.now
+
+        return prog
+
+    res_a, _ = mpi_run(2, make(False), model=model)
+    res_b, _ = mpi_run(2, make(True), model=model)
+    assert res_a.values == pytest.approx(res_b.values)
+
+
+@given(st.integers(min_value=2, max_value=6))
+@settings(max_examples=15, deadline=None)
+def test_property_barrier_is_synchronizing(nprocs):
+    """After a barrier, everyone's clock >= every arrival time."""
+    model = uniform_model()
+
+    def prog(comm):
+        comm.env.compute(comm.rank * 1e-6)
+        arrival = comm.env.now
+        comm.Barrier()
+        return (arrival, comm.env.now)
+
+    res, _ = mpi_run(nprocs, prog, model=model)
+    max_arrival = max(a for a, _ in res.values)
+    for _, after in res.values:
+        assert after >= max_arrival
+
+
+@given(st.integers(min_value=1, max_value=6),
+       st.integers(min_value=1, max_value=32))
+@settings(max_examples=20, deadline=None)
+def test_property_bcast_delivers_everywhere(nprocs, size):
+    def prog(comm):
+        buf = (np.arange(float(size)) if comm.rank == 0
+               else np.zeros(size))
+        comm.Bcast(buf, root=0)
+        return buf.sum()
+
+    res, _ = mpi_run(nprocs, prog)
+    expected = float(sum(range(size)))
+    assert res.values == [expected] * nprocs

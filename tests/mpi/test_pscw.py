@@ -1,0 +1,149 @@
+"""Generalized active-target RMA sync (Post/Start/Complete/Wait)."""
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.errors import MPIError, SimProcessError
+from repro.netmodel import uniform_model
+
+from tests._spmd import mpi_run
+
+
+def test_pscw_basic_put():
+    def prog(comm):
+        mem = np.zeros(4)
+        win = mpi.Win.create(comm, mem)
+        if comm.rank == 1:
+            win.Post([0])
+            win.Wait()
+            return mem.tolist()
+        if comm.rank == 0:
+            win.Start([1])
+            win.Put(np.arange(4.0), target_rank=1)
+            win.Complete()
+        return None
+
+    res, _ = mpi_run(2, prog)
+    assert res.values[1] == [0.0, 1.0, 2.0, 3.0]
+
+
+def test_pscw_start_blocks_until_post():
+    def prog(comm):
+        mem = np.zeros(1)
+        win = mpi.Win.create(comm, mem)
+        if comm.rank == 1:
+            comm.env.compute(5.0)  # late exposure
+            win.Post([0])
+            win.Wait()
+            return comm.env.now
+        win.Start([1])
+        started_at = comm.env.now
+        win.Put(np.ones(1), target_rank=1)
+        win.Complete()
+        return started_at
+
+    res, _ = mpi_run(2, prog)
+    assert res.values[0] >= 5.0  # origin waited for the post
+
+
+def test_pscw_wait_covers_put_visibility():
+    def prog(comm):
+        mem = np.zeros(1000)
+        win = mpi.Win.create(comm, mem)
+        if comm.rank == 1:
+            win.Post([0])
+            win.Wait()
+            return comm.env.now
+        win.Start([1])
+        win.Put(np.ones(1000), target_rank=1)
+        win.Complete()
+        return None
+
+    res, _ = mpi_run(2, prog, model=uniform_model())
+    wire = uniform_model().transport("mpi1s").wire_time(8000)
+    assert res.values[1] >= wire
+
+
+def test_pscw_many_origins_one_target():
+    def prog(comm):
+        mem = np.zeros(comm.size)
+        win = mpi.Win.create(comm, mem)
+        if comm.rank == 0:
+            win.Post(list(range(1, comm.size)))
+            win.Wait()
+            return mem.tolist()
+        win.Start([0])
+        win.Put(np.array([float(comm.rank * 10)]), target_rank=0,
+                target_offset=comm.rank)
+        win.Complete()
+        return None
+
+    res, _ = mpi_run(4, prog)
+    assert res.values[0] == [0.0, 10.0, 20.0, 30.0]
+
+
+def test_pscw_repeated_epochs():
+    def prog(comm):
+        mem = np.zeros(1)
+        win = mpi.Win.create(comm, mem)
+        seen = []
+        for step in range(3):
+            if comm.rank == 1:
+                win.Post([0])
+                win.Wait()
+                seen.append(mem[0])
+            else:
+                win.Start([1])
+                win.Put(np.array([float(step + 1)]), target_rank=1)
+                win.Complete()
+        return seen
+
+    res, _ = mpi_run(2, prog)
+    assert res.values[1] == [1.0, 2.0, 3.0]
+
+
+def test_put_outside_access_group_rejected():
+    def prog(comm):
+        win = mpi.Win.create(comm, np.zeros(1))
+        if comm.rank == 1:
+            win.Post([0])
+            win.Wait()
+            return None
+        if comm.rank == 2:
+            win.Post([0])
+            win.Wait()
+            return None
+        win.Start([1])
+        try:
+            win.Put(np.ones(1), target_rank=2)  # not in the group
+        finally:
+            win.Put(np.ones(1), target_rank=1)
+            win.Complete()
+            win.Start([2])
+            win.Put(np.ones(1), target_rank=2)
+            win.Complete()
+
+    with pytest.raises(SimProcessError) as ei:
+        mpi_run(3, prog)
+    assert isinstance(ei.value.original, MPIError)
+
+
+def test_complete_without_start_rejected():
+    def prog(comm):
+        win = mpi.Win.create(comm, np.zeros(1))
+        win.Complete()
+
+    with pytest.raises(SimProcessError) as ei:
+        mpi_run(1, prog)
+    assert isinstance(ei.value.original, MPIError)
+
+
+def test_wait_without_post_rejected():
+    def prog(comm):
+        win = mpi.Win.create(comm, np.zeros(1))
+        win.Wait()
+
+    with pytest.raises(SimProcessError) as ei:
+        mpi_run(1, prog)
+    assert isinstance(ei.value.original, MPIError)

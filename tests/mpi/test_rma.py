@@ -1,0 +1,185 @@
+"""One-sided RMA window semantics (the MPI_1SIDE directive target)."""
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.errors import MPIError, SimProcessError
+from repro.netmodel import uniform_model
+
+from tests._spmd import mpi_run
+
+
+class TestPutGet:
+    def test_put_fence_delivers(self):
+        def prog(comm):
+            mem = np.zeros(4)
+            win = mpi.Win.create(comm, mem)
+            if comm.rank == 0:
+                win.Put(np.arange(4.0), target_rank=1)
+            win.Fence()
+            return mem.tolist()
+
+        res, _ = mpi_run(2, prog)
+        assert res.values[1] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_put_with_offset(self):
+        def prog(comm):
+            mem = np.zeros(6)
+            win = mpi.Win.create(comm, mem)
+            if comm.rank == 0:
+                win.Put(np.array([9.0, 8.0]), target_rank=1,
+                        target_offset=3)
+            win.Fence()
+            return mem.tolist()
+
+        res, _ = mpi_run(2, prog)
+        assert res.values[1] == [0, 0, 0, 9.0, 8.0, 0]
+
+    def test_get_reads_remote(self):
+        def prog(comm):
+            mem = np.full(3, float(comm.rank + 1))
+            win = mpi.Win.create(comm, mem)
+            win.Fence()
+            out = np.zeros(3)
+            if comm.rank == 1:
+                win.Get(out, target_rank=0)
+            win.Fence()
+            return out.tolist()
+
+        res, _ = mpi_run(2, prog)
+        assert res.values[1] == [1.0, 1.0, 1.0]
+
+    def test_put_out_of_bounds_rejected(self):
+        def prog(comm):
+            win = mpi.Win.create(comm, np.zeros(2))
+            win.Put(np.zeros(5), target_rank=0)
+
+        with pytest.raises(SimProcessError) as ei:
+            mpi_run(1, prog)
+        assert isinstance(ei.value.original, MPIError)
+
+    def test_put_dtype_mismatch_rejected(self):
+        def prog(comm):
+            win = mpi.Win.create(comm, np.zeros(4))
+            win.Put(np.zeros(2, dtype=np.int32), target_rank=0)
+
+        with pytest.raises(SimProcessError) as ei:
+            mpi_run(1, prog)
+        assert "dtype" in str(ei.value.original)
+
+    def test_asymmetric_window_sizes_allowed(self):
+        def prog(comm):
+            mem = np.zeros(10 if comm.rank == 0 else 2)
+            win = mpi.Win.create(comm, mem)
+            if comm.rank == 1:
+                win.Put(np.full(8, 5.0), target_rank=0, target_offset=2)
+            win.Fence()
+            return mem.sum()
+
+        res, _ = mpi_run(2, prog)
+        assert res.values[0] == 40.0
+
+
+class TestFenceTiming:
+    def test_fence_covers_put_completion(self):
+        def prog(comm):
+            win = mpi.Win.create(comm, np.zeros(1000))
+            t0 = comm.env.now
+            if comm.rank == 0:
+                win.Put(np.ones(1000), target_rank=1)
+            win.Fence()
+            return comm.env.now - t0
+
+        res, _ = mpi_run(2, prog, model=uniform_model())
+        m = uniform_model()
+        wire = m.transport("mpi1s").wire_time(8000)
+        # Everyone leaves the fence no earlier than the put's visibility.
+        assert all(t >= wire for t in res.values)
+
+    def test_fence_epochs_are_separate(self):
+        """Reads happen in put-free epochs (the MPI RMA rules require
+        this; reading concurrently with a same-epoch put is a race)."""
+        def prog(comm):
+            mem = np.zeros(1)
+            win = mpi.Win.create(comm, mem)
+            win.Fence()
+            if comm.rank == 0:
+                win.Put(np.array([1.0]), target_rank=1)
+            win.Fence()
+            first = mem[0]   # epoch with no puts: safe to read
+            win.Fence()
+            if comm.rank == 1:
+                win.Put(np.array([2.0]), target_rank=0)
+            win.Fence()
+            return (first, mem[0])
+
+        res, _ = mpi_run(2, prog)
+        assert res.values[0] == (0.0, 2.0)
+        assert res.values[1] == (1.0, 1.0)
+
+
+class TestLockUnlock:
+    def test_passive_target_epoch(self):
+        def prog(comm):
+            mem = np.zeros(2)
+            win = mpi.Win.create(comm, mem)
+            if comm.rank == 0:
+                win.Lock(1)
+                win.Put(np.array([3.0, 4.0]), target_rank=1)
+                win.Unlock(1)
+                comm.Send(np.zeros(0, dtype=np.uint8), dest=1)  # notify
+            else:
+                comm.Recv(np.zeros(0, dtype=np.uint8), source=0)
+            return mem.tolist()
+
+        res, _ = mpi_run(2, prog)
+        assert res.values[1] == [3.0, 4.0]
+
+    def test_double_lock_rejected(self):
+        def prog(comm):
+            win = mpi.Win.create(comm, np.zeros(1))
+            win.Lock(0)
+            win.Lock(0)
+
+        with pytest.raises(SimProcessError) as ei:
+            mpi_run(1, prog)
+        assert "locked" in str(ei.value.original)
+
+    def test_unlock_without_lock_rejected(self):
+        def prog(comm):
+            win = mpi.Win.create(comm, np.zeros(1))
+            win.Unlock(0)
+
+        with pytest.raises(SimProcessError):
+            mpi_run(1, prog)
+
+
+class TestMultipleWindows:
+    def test_two_windows_are_independent(self):
+        def prog(comm):
+            a = np.zeros(2)
+            b = np.zeros(2)
+            win_a = mpi.Win.create(comm, a)
+            win_b = mpi.Win.create(comm, b)
+            if comm.rank == 0:
+                win_a.Put(np.array([1.0, 1.0]), target_rank=1)
+                win_b.Put(np.array([2.0, 2.0]), target_rank=1)
+            win_a.Fence()
+            win_b.Fence()
+            return (a.tolist(), b.tolist())
+
+        res, _ = mpi_run(2, prog)
+        assert res.values[1] == ([1.0, 1.0], [2.0, 2.0])
+
+    def test_stats_count_rma_messages(self):
+        def prog(comm):
+            win = mpi.Win.create(comm, np.zeros(4))
+            if comm.rank == 0:
+                win.Put(np.ones(4), target_rank=1)
+            win.Fence()
+
+        _, eng = mpi_run(2, prog)
+        assert eng.stats.messages["mpi1s"] == 1
+        assert eng.stats.bytes["mpi1s"] == 32
+        assert eng.stats.sync_calls["fence"] == 2

@@ -1,0 +1,121 @@
+"""Gatherv/Scatterv, Sendrecv_replace, and remaining reduce ops."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MPIError, SimProcessError
+
+from tests._spmd import mpi_run
+
+
+class TestGatherv:
+    def test_variable_counts(self):
+        def prog(comm):
+            counts = [r + 1 for r in range(comm.size)]
+            mine = np.full(counts[comm.rank], float(comm.rank))
+            recv = (np.zeros(sum(counts)) if comm.rank == 0 else None)
+            comm.Gatherv(mine, recv, counts if comm.rank == 0 else None,
+                         root=0)
+            return recv.tolist() if comm.rank == 0 else None
+
+        res, _ = mpi_run(3, prog)
+        assert res.values[0] == [0.0, 1.0, 1.0, 2.0, 2.0, 2.0]
+
+    def test_zero_count_contribution(self):
+        def prog(comm):
+            counts = [0, 2]
+            mine = np.full(counts[comm.rank], 7.0)
+            recv = np.zeros(2) if comm.rank == 0 else None
+            comm.Gatherv(mine, recv, counts if comm.rank == 0 else None,
+                         root=0)
+            return recv.tolist() if comm.rank == 0 else None
+
+        res, _ = mpi_run(2, prog)
+        assert res.values[0] == [7.0, 7.0]
+
+    def test_counts_overflow_rejected(self):
+        def prog(comm):
+            recv = np.zeros(1) if comm.rank == 0 else None
+            comm.Gatherv(np.zeros(2), recv,
+                         [2, 2] if comm.rank == 0 else None, root=0)
+
+        with pytest.raises(SimProcessError) as ei:
+            mpi_run(2, prog)
+        assert isinstance(ei.value.original, MPIError)
+
+
+class TestScatterv:
+    def test_variable_counts(self):
+        def prog(comm):
+            counts = [1, 3]
+            send = (np.arange(4.0) if comm.rank == 0 else None)
+            recv = np.zeros(counts[comm.rank])
+            comm.Scatterv(send, counts if comm.rank == 0 else None,
+                          recv, root=0)
+            return recv.tolist()
+
+        res, _ = mpi_run(2, prog)
+        assert res.values[0] == [0.0]
+        assert res.values[1] == [1.0, 2.0, 3.0]
+
+    def test_roundtrip_with_gatherv(self):
+        def prog(comm):
+            counts = [2, 1, 3]
+            send = (np.arange(6.0) * 10 if comm.rank == 1 else None)
+            recv = np.zeros(counts[comm.rank])
+            comm.Scatterv(send, counts if comm.rank == 1 else None,
+                          recv, root=1)
+            recv += 1.0
+            back = np.zeros(6) if comm.rank == 1 else None
+            comm.Gatherv(recv, back,
+                         counts if comm.rank == 1 else None, root=1)
+            return back.tolist() if comm.rank == 1 else None
+
+        res, _ = mpi_run(3, prog)
+        assert res.values[1] == [1.0, 11.0, 21.0, 31.0, 41.0, 51.0]
+
+
+class TestSendrecvReplace:
+    def test_ring_rotation_in_place(self):
+        def prog(comm):
+            buf = np.full(3, float(comm.rank))
+            nxt = (comm.rank + 1) % comm.size
+            prev = (comm.rank - 1) % comm.size
+            comm.Sendrecv_replace(buf, dest=nxt, source=prev)
+            return buf[0]
+
+        res, _ = mpi_run(4, prog)
+        assert res.values == [3.0, 0.0, 1.0, 2.0]
+
+    def test_pairwise_swap(self):
+        def prog(comm):
+            buf = np.array([float(comm.rank * 100)])
+            partner = comm.rank ^ 1
+            comm.Sendrecv_replace(buf, dest=partner, source=partner)
+            return buf[0]
+
+        res, _ = mpi_run(2, prog)
+        assert res.values == [100.0, 0.0]
+
+    def test_non_array_rejected(self):
+        def prog(comm):
+            comm.Sendrecv_replace([1, 2], dest=0, source=0)
+
+        with pytest.raises(SimProcessError) as ei:
+            mpi_run(1, prog)
+        assert isinstance(ei.value.original, MPIError)
+
+
+class TestReduceOps:
+    @pytest.mark.parametrize("op,expected", [
+        ("sum", 6.0), ("prod", 6.0), ("max", 3.0), ("min", 1.0),
+    ])
+    def test_all_ops(self, op, expected):
+        def prog(comm):
+            send = np.array([float(comm.rank + 1)])
+            recv = np.zeros(1) if comm.rank == 0 else None
+            comm.Reduce(send, recv, op=op, root=0)
+            return recv[0] if comm.rank == 0 else None
+
+        res, _ = mpi_run(3, prog)
+        assert res.values[0] == expected

@@ -1,0 +1,142 @@
+"""2-D halo and butterfly patterns."""
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.netmodel import zero_model
+from repro.patterns import butterfly, halo2d
+from repro.patterns.halo2d import HaloBuffers, grid_shape, neighbours
+from repro.sim import Engine
+
+
+def run(nprocs, fn):
+    model = zero_model()
+    eng = Engine(nprocs)
+
+    def main(env):
+        comm = mpi.init(env, model)
+        return fn(env, comm)
+
+    return eng.run(main), eng
+
+
+class TestGridHelpers:
+    @pytest.mark.parametrize("n,expected", [
+        (4, (2, 2)), (6, (2, 3)), (9, (3, 3)), (12, (3, 4)), (7, (1, 7)),
+    ])
+    def test_grid_shape_most_square(self, n, expected):
+        assert grid_shape(n) == expected
+
+    def test_neighbours_interior(self):
+        # 3x3 grid, rank 4 is the centre.
+        nbr = neighbours(4, 3, 3)
+        assert nbr == {"north": 1, "south": 7, "west": 3, "east": 5}
+
+    def test_neighbours_corner(self):
+        nbr = neighbours(0, 3, 3)
+        assert nbr["north"] is None and nbr["west"] is None
+        assert nbr["south"] == 3 and nbr["east"] == 1
+
+
+class TestHalo2D:
+    NY, NX = 4, 5
+
+    def _block(self, rank):
+        return (np.arange(self.NY * self.NX, dtype=float)
+                .reshape(self.NY, self.NX) + 1000.0 * rank)
+
+    @pytest.mark.parametrize("variant", ["directive", "mpi"])
+    @pytest.mark.parametrize("nprocs", [4, 6, 9])
+    def test_halos_match_neighbour_edges(self, variant, nprocs):
+        py, px = grid_shape(nprocs)
+
+        def prog(env, comm):
+            block = self._block(env.rank)
+            bufs = HaloBuffers(self.NY, self.NX)
+            if variant == "directive":
+                halo2d.run_directive(env, block, bufs, py, px)
+            else:
+                halo2d.run_mpi(comm, block, bufs, py, px)
+            return {d: h.copy() for d, h in bufs.halo.items()}
+
+        res, _ = run(nprocs, prog)
+        for rank in range(nprocs):
+            nbr = neighbours(rank, py, px)
+            halos = res.values[rank]
+            if nbr["north"] is not None:
+                expect = self._block(nbr["north"])[-1, :]
+                assert np.array_equal(halos["north"], expect)
+            else:
+                assert not halos["north"].any()
+            if nbr["south"] is not None:
+                expect = self._block(nbr["south"])[0, :]
+                assert np.array_equal(halos["south"], expect)
+            if nbr["west"] is not None:
+                expect = self._block(nbr["west"])[:, -1]
+                assert np.array_equal(halos["west"], expect)
+            if nbr["east"] is not None:
+                expect = self._block(nbr["east"])[:, 0]
+                assert np.array_equal(halos["east"], expect)
+
+    def test_directive_consolidates_all_four_directions(self):
+        py, px = grid_shape(9)
+
+        def prog(env, comm):
+            block = self._block(env.rank)
+            bufs = HaloBuffers(self.NY, self.NX)
+            halo2d.run_directive(env, block, bufs, py, px)
+
+        _, eng = run(9, prog)
+        # One waitall per rank, though interior ranks move 8 messages.
+        assert eng.stats.sync_calls["waitall"] == 9
+        assert eng.stats.sync_calls["wait"] == 0
+
+    def test_repeated_exchanges(self):
+        py, px = grid_shape(4)
+
+        def prog(env, comm):
+            block = self._block(env.rank)
+            bufs = HaloBuffers(self.NY, self.NX)
+            for _ in range(3):
+                halo2d.run_directive(env, block, bufs, py, px)
+                block = block + 1.0
+            return bufs.halo["east"].copy()
+
+        res, _ = run(4, prog)
+        # rank 0's east neighbour is 1; last exchange saw block+2.
+        expect = self._block(1)[:, 0] + 2.0
+        assert np.array_equal(res.values[0], expect)
+
+
+class TestButterfly:
+    @pytest.mark.parametrize("variant", ["directive", "mpi"])
+    @pytest.mark.parametrize("nprocs", [2, 4, 8, 16])
+    def test_allgather_by_recursive_doubling(self, variant, nprocs):
+        def prog(env, comm):
+            contribution = float(env.rank + 1) ** 2
+            if variant == "directive":
+                return butterfly.run_directive(env, contribution)
+            return butterfly.run_mpi(comm, contribution).tolist()
+
+        res, _ = run(nprocs, prog)
+        expected = [float(r + 1) ** 2 for r in range(nprocs)]
+        for got in res.values:
+            assert list(got) == expected
+
+    def test_non_power_of_two_rejected(self):
+        def prog(env, comm):
+            butterfly.run_directive(env, 1.0)
+
+        from repro.errors import SimProcessError
+        with pytest.raises(SimProcessError) as ei:
+            run(3, prog)
+        assert isinstance(ei.value.original, ValueError)
+
+    def test_round_count_is_logarithmic(self):
+        def prog(env, comm):
+            butterfly.run_directive(env, 1.0)
+
+        _, eng = run(8, prog)
+        # 3 rounds x 8 ranks, each round one message per rank.
+        assert eng.stats.messages["mpi2s"] == 24

@@ -1,0 +1,101 @@
+"""Property-based tests over the pattern catalog."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import mpi
+from repro.netmodel import zero_model
+from repro.patterns import butterfly, get_pattern, halo2d
+from repro.patterns.halo2d import HaloBuffers, grid_shape, neighbours
+from repro.sim import Engine
+
+
+def run(nprocs, fn):
+    model = zero_model()
+    eng = Engine(nprocs)
+
+    def main(env):
+        comm = mpi.init(env, model)
+        return fn(env, comm)
+
+    return eng.run(main)
+
+
+@given(st.integers(min_value=2, max_value=9),
+       st.integers(min_value=1, max_value=24))
+@settings(max_examples=25, deadline=None)
+def test_property_ring_directive_equals_handwritten(nprocs, payload):
+    spec = get_pattern("ring")
+    results = {}
+    for variant in ("directive", "mpi"):
+        def prog(env, comm, _v=variant):
+            out = np.arange(float(payload)) + 1000 * env.rank
+            inb = np.zeros(payload)
+            if _v == "directive":
+                spec.run_directive(env, out, inb)
+            else:
+                spec.run_mpi(comm, out, inb)
+            return inb.tolist()
+
+        results[variant] = run(nprocs, prog).values
+    assert results["directive"] == results["mpi"]
+
+
+@given(st.integers(min_value=2, max_value=12))
+@settings(max_examples=20, deadline=None)
+def test_property_grid_shape_covers_all_ranks(nprocs):
+    py, px = grid_shape(nprocs)
+    assert py * px == nprocs
+    assert py <= px
+
+
+@given(st.integers(min_value=2, max_value=12))
+@settings(max_examples=20, deadline=None)
+def test_property_neighbour_relation_symmetric(nprocs):
+    """r is my north neighbour iff I am r's south neighbour, etc."""
+    py, px = grid_shape(nprocs)
+    opposite = {"north": "south", "south": "north",
+                "west": "east", "east": "west"}
+    for rank in range(nprocs):
+        for d, peer in neighbours(rank, py, px).items():
+            if peer is not None:
+                back = neighbours(peer, py, px)[opposite[d]]
+                assert back == rank
+
+
+@given(st.integers(min_value=1, max_value=4),
+       st.floats(min_value=-100, max_value=100, allow_nan=False))
+@settings(max_examples=20, deadline=None)
+def test_property_butterfly_assembles_all_contributions(log_p, base):
+    nprocs = 1 << log_p
+
+    def prog(env, comm):
+        return butterfly.run_directive(env, base + env.rank).tolist()
+
+    res = run(nprocs, prog)
+    expected = [base + r for r in range(nprocs)]
+    for got in res.values:
+        assert got == pytest.approx(expected)
+
+
+@given(st.integers(min_value=2, max_value=9),
+       st.integers(min_value=1, max_value=4),
+       st.integers(min_value=2, max_value=6))
+@settings(max_examples=15, deadline=None)
+def test_property_halo2d_directive_equals_handwritten(nprocs, ny, nx):
+    py, px = grid_shape(nprocs)
+    results = {}
+    for variant in ("directive", "mpi"):
+        def prog(env, comm, _v=variant):
+            block = (np.arange(float(ny * nx)).reshape(ny, nx)
+                     + 31.0 * env.rank)
+            bufs = HaloBuffers(ny, nx)
+            if _v == "directive":
+                halo2d.run_directive(env, block, bufs, py, px)
+            else:
+                halo2d.run_mpi(comm, block, bufs, py, px)
+            return {d: h.tolist() for d, h in bufs.halo.items()}
+
+        results[variant] = run(nprocs, prog).values
+    assert results["directive"] == results["mpi"]

@@ -1,0 +1,118 @@
+"""SHMEM atomic memory operations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShmemError, SimProcessError
+
+from tests._spmd import shmem_run
+
+
+class TestAtomicAdd:
+    def test_concurrent_adds_accumulate(self):
+        def prog(sh):
+            counter = sh.malloc(1, np.int64)
+            sh.barrier_all()
+            sh.atomic_add(counter, 0, sh.my_pe + 1, pe=0)
+            sh.barrier_all()
+            return int(counter.data[0])
+
+        res, _ = shmem_run(4, prog)
+        assert res.values[0] == 1 + 2 + 3 + 4
+        assert res.values[1] == 0  # only PE 0's mirror was targeted
+
+    def test_out_of_range_index_rejected(self):
+        def prog(sh):
+            counter = sh.malloc(1, np.int64)
+            sh.atomic_add(counter, 5, 1, pe=0)
+
+        with pytest.raises(SimProcessError) as ei:
+            shmem_run(1, prog)
+        assert isinstance(ei.value.original, ShmemError)
+
+
+class TestFetchInc:
+    def test_returns_preincrement_values(self):
+        """Classic ticket counter: every PE gets a distinct ticket."""
+        def prog(sh):
+            counter = sh.malloc(1, np.int64)
+            sh.barrier_all()
+            ticket = int(sh.atomic_fetch_inc(counter, 0, pe=0))
+            sh.barrier_all()
+            return (ticket, int(counter.data[0]))
+
+        res, _ = shmem_run(4, prog)
+        tickets = sorted(t for t, _ in res.values)
+        assert tickets == [0, 1, 2, 3]
+        assert res.values[0][1] == 4
+
+    def test_fetch_inc_blocks_for_round_trip(self):
+        from repro.netmodel import uniform_model
+
+        def prog(sh):
+            counter = sh.malloc(1, np.int64)
+            sh.barrier_all()
+            t0 = sh.env.now
+            sh.atomic_fetch_inc(counter, 0, pe=(sh.my_pe + 1) % 2)
+            return sh.env.now - t0
+
+        res, _ = shmem_run(2, prog, model=uniform_model())
+        tp = uniform_model().transport("shmem")
+        assert all(t >= tp.wire_time(8) for t in res.values)
+
+
+class TestCompareSwap:
+    def test_swap_when_equal(self):
+        def prog(sh):
+            cell = sh.malloc(1, np.int64)
+            sh.barrier_all()
+            if sh.my_pe == 1:
+                old = sh.atomic_compare_swap(cell, 0, cond=0, value=42,
+                                             pe=0)
+                return int(old)
+            sh.barrier_all() if False else None
+            return None
+
+        res, _ = shmem_run(2, prog)
+        assert res.values[1] == 0
+
+    def test_no_swap_when_unequal(self):
+        def prog(sh):
+            cell = sh.malloc(1, np.int64)
+            cell.data[0] = 7 if sh.my_pe == 0 else 0
+            sh.barrier_all()
+            if sh.my_pe == 1:
+                old = sh.atomic_compare_swap(cell, 0, cond=0, value=42,
+                                             pe=0)
+                sh.quiet()
+                return int(old)
+            return None
+
+        res, _ = shmem_run(2, prog)
+        assert res.values[1] == 7
+
+    def test_lock_idiom(self):
+        """A spin lock from compare-and-swap + wait_until."""
+        def prog(sh):
+            lock = sh.malloc(1, np.int64)
+            shared = sh.malloc(1, np.float64)
+            sh.barrier_all()
+            # Acquire (0 -> my_pe+1), do the critical increment,
+            # release (back to 0). Single-threaded-at-a-time virtual
+            # execution makes this deterministic but still exercises
+            # the retry path.
+            while True:
+                got = sh.atomic_compare_swap(lock, 0, cond=0,
+                                             value=sh.my_pe + 1, pe=0)
+                if got == 0:
+                    break
+                sh.wait_until(lock, 0, "eq", 0) if sh.my_pe == 0 \
+                    else sh.env.compute(1e-7)
+            sh.atomic_add(shared, 0, 1.0, pe=0)
+            sh.atomic_compare_swap(lock, 0, cond=sh.my_pe + 1,
+                                   value=0, pe=0)
+            sh.barrier_all()
+            return float(shared.data[0])
+
+        res, _ = shmem_run(3, prog)
+        assert res.values[0] == 3.0

@@ -1,0 +1,274 @@
+"""SHMEM semantics: symmetric heap, typed puts, completion calls."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShmemError, SimProcessError, SymmetryError
+from repro.netmodel import uniform_model
+from repro.util.units import usec
+
+from tests._spmd import shmem_run
+
+
+class TestSymmetricHeap:
+    def test_malloc_is_collective_and_mirrored(self):
+        def prog(sh):
+            arr = sh.malloc(4, np.float64)
+            return (arr.sid, arr.shape)
+
+        res, _ = shmem_run(3, prog)
+        assert res.values == [(0, (4,)), (0, (4,)), (0, (4,))]
+
+    def test_sequential_allocations_get_distinct_sids(self):
+        def prog(sh):
+            a = sh.malloc(2)
+            b = sh.malloc(2)
+            return (a.sid, b.sid)
+
+        res, _ = shmem_run(2, prog)
+        assert res.values[0] == (0, 1)
+
+    def test_asymmetric_malloc_rejected(self):
+        def prog(sh):
+            sh.malloc(4 if sh.my_pe == 0 else 8)
+
+        with pytest.raises(SimProcessError) as ei:
+            shmem_run(2, prog)
+        assert isinstance(ei.value.original, SymmetryError)
+
+    def test_put_to_non_symmetric_buffer_rejected(self):
+        def prog(sh):
+            local = np.zeros(4)  # plain array, not symmetric
+            sh.put(local, np.ones(4), pe=0)
+
+        with pytest.raises(SimProcessError) as ei:
+            shmem_run(1, prog)
+        assert isinstance(ei.value.original, SymmetryError)
+
+
+class TestPut:
+    def test_put_writes_remote_mirror(self):
+        def prog(sh):
+            dst = sh.malloc(4)
+            if sh.my_pe == 0:
+                sh.put(dst, np.arange(4.0), pe=1)
+                sh.quiet()
+            sh.barrier_all()
+            return dst.data.tolist()
+
+        res, _ = shmem_run(2, prog)
+        assert res.values[1] == [0.0, 1.0, 2.0, 3.0]
+        assert res.values[0] == [0.0] * 4  # own mirror untouched
+
+    def test_put_with_offset(self):
+        def prog(sh):
+            dst = sh.malloc(6)
+            if sh.my_pe == 0:
+                sh.put(dst, np.array([7.0]), pe=1, offset=5)
+            sh.barrier_all()
+            return dst.data.tolist()
+
+        res, _ = shmem_run(2, prog)
+        assert res.values[1][5] == 7.0
+
+    def test_typed_put_size_enforced(self):
+        def prog(sh):
+            dst = sh.malloc(4, np.float64)
+            sh.put_int(dst, np.zeros(2, dtype=np.int32), pe=0)
+
+        with pytest.raises(SimProcessError) as ei:
+            shmem_run(1, prog)
+        assert isinstance(ei.value.original, ShmemError)
+
+    def test_typed_put_double(self):
+        def prog(sh):
+            dst = sh.malloc(3, np.float64)
+            if sh.my_pe == 0:
+                sh.put_double(dst, np.array([1.0, 2.0, 3.0]), pe=1)
+            sh.barrier_all()
+            return dst.data.tolist()
+
+        res, _ = shmem_run(2, prog)
+        assert res.values[1] == [1.0, 2.0, 3.0]
+
+    def test_put64_on_int64(self):
+        def prog(sh):
+            dst = sh.malloc(2, np.int64)
+            if sh.my_pe == 0:
+                sh.put64(dst, np.array([5, 6], dtype=np.int64), pe=1)
+            sh.barrier_all()
+            return dst.data.tolist()
+
+        res, _ = shmem_run(2, prog)
+        assert res.values[1] == [5, 6]
+
+    def test_putmem_reinterprets_bytes(self):
+        def prog(sh):
+            dst = sh.malloc(8, np.uint8)
+            if sh.my_pe == 0:
+                sh.putmem(dst, np.array([1.0]).view(np.uint8), pe=1)
+            sh.barrier_all()
+            return bytes(dst.data).hex()
+
+        res, _ = shmem_run(2, prog)
+        assert res.values[1] == np.array([1.0]).tobytes().hex()
+
+    def test_put_out_of_range_rejected(self):
+        def prog(sh):
+            dst = sh.malloc(2)
+            sh.put(dst, np.zeros(5), pe=0)
+
+        with pytest.raises(SimProcessError) as ei:
+            shmem_run(1, prog)
+        assert isinstance(ei.value.original, ShmemError)
+
+    def test_bad_pe_rejected(self):
+        def prog(sh):
+            dst = sh.malloc(2)
+            sh.put(dst, np.zeros(2), pe=9)
+
+        with pytest.raises(SimProcessError) as ei:
+            shmem_run(2, prog)
+        assert isinstance(ei.value.original, ShmemError)
+
+
+class TestGet:
+    def test_get_reads_remote(self):
+        def prog(sh):
+            src = sh.malloc(3)
+            src.data[:] = float(sh.my_pe + 1)
+            sh.barrier_all()
+            out = np.zeros(3)
+            sh.get(src, out, pe=(sh.my_pe + 1) % sh.n_pes)
+            return out.tolist()
+
+        res, _ = shmem_run(2, prog)
+        assert res.values[0] == [2.0, 2.0, 2.0]
+        assert res.values[1] == [1.0, 1.0, 1.0]
+
+    def test_get_blocks_for_round_trip(self):
+        def prog(sh):
+            src = sh.malloc(1000)
+            sh.barrier_all()
+            t0 = sh.env.now
+            out = np.zeros(1000)
+            sh.get(src, out, pe=(sh.my_pe + 1) % sh.n_pes)
+            return sh.env.now - t0
+
+        res, _ = shmem_run(2, prog, model=uniform_model())
+        tp = uniform_model().transport("shmem")
+        assert res.values[0] >= tp.wire_time(8000)
+
+
+class TestCompletion:
+    def test_quiet_waits_for_put_visibility(self):
+        def prog(sh):
+            dst = sh.malloc(1000)
+            if sh.my_pe == 0:
+                t0 = sh.env.now
+                sh.put(dst, np.ones(1000), pe=1)
+                issue = sh.env.now - t0
+                sh.quiet()
+                total = sh.env.now - t0
+                return (issue, total)
+            return None
+
+        res, _ = shmem_run(2, prog, model=uniform_model())
+        issue, total = res.values[0]
+        tp = uniform_model().transport("shmem")
+        assert issue == pytest.approx(tp.send_overhead(8000))
+        assert total >= tp.wire_time(8000)
+
+    def test_quiet_without_pending_is_cheap(self):
+        def prog(sh):
+            t0 = sh.env.now
+            sh.quiet()
+            return sh.env.now - t0
+
+        res, _ = shmem_run(1, prog, model=uniform_model())
+        assert res.values[0] == pytest.approx(1 * usec)
+
+    def test_barrier_all_synchronizes(self):
+        def prog(sh):
+            sh.env.compute(float(sh.my_pe))
+            sh.barrier_all()
+            return sh.env.now
+
+        res, _ = shmem_run(3, prog, model=uniform_model())
+        assert len(set(res.values)) == 1
+
+    def test_group_barrier_subset(self):
+        def prog(sh):
+            if sh.my_pe in (0, 2):
+                sh.env.compute(1.0 + sh.my_pe)
+                sh.barrier([0, 2])
+            return sh.env.now
+
+        res, _ = shmem_run(3, prog)
+        assert res.values[0] == res.values[2] == 3.0
+        assert res.values[1] == 0.0
+
+    def test_stats_count_shmem_traffic(self):
+        def prog(sh):
+            dst = sh.malloc(4)
+            if sh.my_pe == 0:
+                sh.put(dst, np.ones(4), pe=1)
+                sh.quiet()
+            sh.barrier_all()
+
+        _, eng = shmem_run(2, prog)
+        assert eng.stats.messages["shmem"] == 1
+        assert eng.stats.bytes["shmem"] == 32
+        assert eng.stats.sync_calls["quiet"] >= 1
+
+
+class TestWaitUntil:
+    def test_flag_notification(self):
+        def prog(sh):
+            data = sh.malloc(4)
+            flag = sh.malloc(1, np.int64)
+            if sh.my_pe == 0:
+                sh.env.compute(2.0)
+                sh.put(data, np.full(4, 5.0), pe=1)
+                sh.fence()  # order data before flag
+                sh.put64(flag, np.array([1], dtype=np.int64), pe=1)
+                return None
+            sh.wait_until(flag, 0, "eq", 1)
+            return (sh.env.now >= 2.0, data.data.tolist())
+
+        res, _ = shmem_run(2, prog, model=uniform_model())
+        arrived_late, data = res.values[1]
+        assert arrived_late
+        assert data == [5.0] * 4
+
+    def test_wait_until_already_satisfied(self):
+        def prog(sh):
+            flag = sh.malloc(1, np.int64)
+            flag.data[0] = 3
+            sh.wait_until(flag, 0, "ge", 2)
+            return "ok"
+
+        res, _ = shmem_run(1, prog)
+        assert res.values[0] == "ok"
+
+    def test_bad_op_rejected(self):
+        def prog(sh):
+            flag = sh.malloc(1, np.int64)
+            sh.wait_until(flag, 0, "xor", 1)
+
+        with pytest.raises(SimProcessError) as ei:
+            shmem_run(1, prog)
+        assert isinstance(ei.value.original, ShmemError)
+
+
+class TestBroadcast:
+    def test_root_data_everywhere(self):
+        def prog(sh):
+            buf = sh.malloc(3)
+            if sh.my_pe == 1:
+                buf.data[:] = [4.0, 5.0, 6.0]
+            sh.broadcast(buf, root=1)
+            return buf.data.tolist()
+
+        res, _ = shmem_run(4, prog)
+        assert all(v == [4.0, 5.0, 6.0] for v in res.values)

@@ -1,0 +1,69 @@
+"""Trace and stats plumbing."""
+
+import pytest
+
+from repro.sim import Engine
+from repro.sim.tracing import Trace, TraceEvent
+
+
+class TestTrace:
+    def test_record_and_query(self):
+        tr = Trace()
+        tr.record(0.0, 0, "send", dest=1)
+        tr.record(1.0, 1, "recv", source=0)
+        tr.record(2.0, 0, "send", dest=2)
+        assert len(tr) == 3
+        assert len(tr.of_kind("send")) == 2
+        assert len(tr.by_rank(1)) == 1
+        assert tr.kind_counts()["send"] == 2
+
+    def test_maxlen_truncates_and_flags(self):
+        tr = Trace(maxlen=2)
+        for i in range(5):
+            tr.record(float(i), 0, "x")
+        assert len(tr) == 2
+        assert tr.truncated
+
+    def test_event_str(self):
+        e = TraceEvent(1.5e-6, 3, "mpi.send_post", {"dest": 1})
+        s = str(e)
+        assert "rank 3" in s
+        assert "mpi.send_post" in s
+        assert "dest=1" in s
+
+    def test_render_limits(self):
+        tr = Trace()
+        for i in range(10):
+            tr.record(float(i), 0, "k")
+        out = tr.render(limit=3)
+        assert "7 more events" in out
+
+    def test_iteration(self):
+        tr = Trace()
+        tr.record(0.0, 0, "a")
+        assert [e.kind for e in tr] == ["a"]
+
+
+class TestEngineTraceIntegration:
+    def test_engine_without_trace_records_nothing(self):
+        eng = Engine(2, trace=False)
+        eng.run(lambda env: env.compute(1.0, label="x"))
+        assert eng.trace is None
+
+    def test_engine_trace_bounded(self):
+        eng = Engine(1, trace=True, trace_maxlen=3)
+
+        def prog(env):
+            for _ in range(10):
+                env.compute(0.1, label="k")
+
+        eng.run(prog)
+        assert len(eng.trace) == 3
+        assert eng.trace.truncated
+
+    def test_stats_summary_readable(self):
+        eng = Engine(2)
+        eng.run(lambda env: env.compute(1.0))
+        s = eng.stats.summary()
+        assert "compute=2" in s
+        assert "messages=0" in s
