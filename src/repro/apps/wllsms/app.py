@@ -161,13 +161,22 @@ class AppResult:
     wang_landau: WangLandau
     makespan: float
     trace: Any = None
+    #: Per-rank virtual finish times (determinism regression tests
+    #: compare these across scheduler implementations).
+    finish_times: list[float] | None = None
 
 
-def run_app(config: AppConfig) -> AppResult:
-    """Execute one configured WL-LSMS run on the simulator."""
+def run_app(config: AppConfig, *, engine_cls: type[Engine] = Engine
+            ) -> AppResult:
+    """Execute one configured WL-LSMS run on the simulator.
+
+    ``engine_cls`` selects the scheduler implementation — the default
+    :class:`~repro.sim.Engine`, or e.g.
+    :class:`~repro.sim.SeedEngine` for determinism regressions.
+    """
     topo = config.topology
     model = config.model or gemini_model()
-    engine = Engine(topo.nprocs, trace=config.trace)
+    engine = engine_cls(topo.nprocs, trace=config.trace)
     phases = PhaseTimes()
     num_types = topo.atoms_per_group()
 
@@ -229,6 +238,7 @@ def run_app(config: AppConfig) -> AppResult:
         wang_landau=wl,
         makespan=run.makespan,
         trace=engine.trace,
+        finish_times=run.finish_times,
     )
 
 

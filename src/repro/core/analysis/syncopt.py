@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 
 from repro.core.analysis.independence import independent_groups
 from repro.core.clauses import SyncPlacement
-from repro.core.ir import ParamRegionNode, Program
+from repro.core.ir import P2PNode, ParamRegionNode, Program
 
 
 @dataclass
@@ -33,10 +33,32 @@ class SyncPoint:
 
     #: "end" or "begin"
     position: str
-    #: The region the call is textually attached to.
-    region: ParamRegionNode
+    #: The IR node the call is textually attached to: a region for
+    #: consolidated syncs, or a standalone ``comm_p2p`` instance (one
+    #: outside any region) that synchronizes individually.
+    node: ParamRegionNode | P2PNode
     #: Number of p2p instances the call covers.
     covered_instances: int
+
+    @property
+    def region(self) -> ParamRegionNode:
+        """The region the call is attached to.
+
+        Raises :class:`TypeError` for a standalone-instance point; use
+        :attr:`node` (or :meth:`p2p_instances`) when the point may be
+        attached to a bare ``comm_p2p``.
+        """
+        if not isinstance(self.node, ParamRegionNode):
+            raise TypeError(
+                "SyncPoint is attached to a standalone comm_p2p, not a "
+                "region; use .node instead of .region")
+        return self.node
+
+    def p2p_instances(self) -> list[P2PNode]:
+        """The p2p instances this synchronization call covers."""
+        if isinstance(self.node, ParamRegionNode):
+            return self.node.p2p_instances()
+        return [self.node]
 
 
 @dataclass
@@ -75,9 +97,8 @@ def plan_synchronization(program: Program) -> SyncPlan:
     for r in program.regions():
         region_members.update(id(p) for p in r.p2p_instances())
     for node in program.nodes:
-        from repro.core.ir import P2PNode
         if isinstance(node, P2PNode) and id(node) not in region_members:
-            plan.points.append(SyncPoint("end", node, 1))  # type: ignore[arg-type]
+            plan.points.append(SyncPoint("end", node, 1))
     return plan
 
 

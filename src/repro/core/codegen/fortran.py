@@ -49,8 +49,8 @@ def generate_fortran(program: Program,
         "  cd_nreq = 0",
     ]
     plan = plan_synchronization(program)
-    end_syncs = {id(p.region) for p in plan.points if p.position == "end"}
-    begin_syncs = {id(p.region) for p in plan.points
+    end_syncs = {id(p.node) for p in plan.points if p.position == "end"}
+    begin_syncs = {id(p.node) for p in plan.points
                    if p.position == "begin"}
     tag = [0]
 

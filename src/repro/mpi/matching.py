@@ -71,10 +71,17 @@ def _wake_probers(world: "World", env: "Env", op: SendOp) -> None:
     arrival = op.post_time + tp.wire_time(op.nbytes)
     still_waiting = []
     for source, tag, waiter in probers:
+        if waiter.woken:
+            # Stale registration: this waiter was already woken by an
+            # earlier send. Its owner has resumed (or will resume) and,
+            # if still probing, re-registers a *fresh* waiter — so the
+            # dead entry is discarded here rather than kept (it could
+            # never be woken again) or re-woken (waiters are single-use).
+            continue
         pattern = RecvOp(gid=op.gid, channel=op.channel, dst=op.dst,
                          source=source, tag=tag,
                          buf=np.empty(0, dtype=np.uint8), post_time=0.0)
-        if _recv_accepts(pattern, op) and not waiter.woken:
+        if _recv_accepts(pattern, op):
             env.engine.wake(waiter, arrival, payload=op)
         else:
             still_waiting.append((source, tag, waiter))
@@ -124,12 +131,12 @@ def _complete_match(world: "World", env: "Env", s: SendOp, r: RecvOp) -> None:
     r.matched = True
     world.stats.count_message(s.kind, s.nbytes)
 
-    if r.waiter is not None:
-        env.engine.wake(r.waiter, r.completion)
-        r.waiter = None
-    if s.waiter is not None:
-        env.engine.wake(s.waiter, s.completion)
-        s.waiter = None
+    # The deterministic wake order (receiver before sender) is part of
+    # the engine's (virtual time, rank) dispatch contract: both wakes
+    # enqueue into the ready heap, and dispatch order then depends only
+    # on the wake times and ranks, not on queue insertion order.
+    r.wake_waiter(env, r.completion)
+    s.wake_waiter(env, s.completion)
 
 
 def _deliver(s: SendOp, r: RecvOp) -> None:

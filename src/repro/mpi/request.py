@@ -46,6 +46,20 @@ class SendOp:
         self.waiter: "Waiter | None" = None
         self.kind = kind        # transport kind, for stats
 
+    def wake_waiter(self, env, time: float) -> None:
+        """Wake the blocked owner of this op, if any, and detach it.
+
+        The engine's :meth:`~repro.sim.engine.Engine.wake` requires the
+        waiter's owner to actually be blocked; an op's waiter satisfies
+        that by construction (it is installed immediately before
+        ``block()`` and only another, running rank can reach this op to
+        complete it). Detaching keeps the single-use waiter from being
+        woken twice if the op is revisited.
+        """
+        if self.waiter is not None:
+            env.engine.wake(self.waiter, time)
+            self.waiter = None
+
     def __repr__(self) -> str:
         proto = "eager" if self.eager else "rndv"
         return (f"<SendOp {self.src}->{self.dst} tag={self.tag} "
@@ -74,6 +88,8 @@ class RecvOp:
         self.status_source: int | None = None
         self.status_tag: int | None = None
         self.status_nbytes: int = 0
+
+    wake_waiter = SendOp.wake_waiter
 
     def __repr__(self) -> str:
         return (f"<RecvOp dst={self.dst} source={self.source} "

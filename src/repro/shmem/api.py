@@ -337,8 +337,12 @@ class Shmem:
         waiters = self.heap.cell_waiters.pop(key, [])
         for w in waiters:
             # Re-check happens in the waiter's own while loop; wake at
-            # the put's visibility time.
-            self.env.engine.wake(w, completion)
+            # the put's visibility time. Waiters are single-use and the
+            # engine requires their owner to be blocked, so skip any
+            # entry already woken by an earlier update of the same cell
+            # (its owner re-registers a fresh waiter if it blocks again).
+            if not w.woken:
+                self.env.engine.wake(w, completion)
 
     # ------------------------------------------------------------------
 

@@ -21,6 +21,7 @@ Key properties:
 
 from repro.sim.commstats import CommMatrix, comm_matrix
 from repro.sim.engine import Engine, RunResult
+from repro.sim.legacy import SeedEngine
 from repro.sim.process import Env
 from repro.sim.stats import SimStats
 from repro.sim.sync import Rendezvous
@@ -31,6 +32,7 @@ __all__ = [
     "comm_matrix",
     "Engine",
     "RunResult",
+    "SeedEngine",
     "Env",
     "SimStats",
     "Rendezvous",

@@ -1,12 +1,26 @@
 """The cooperative virtual-time scheduler.
 
 One host thread is created per simulated rank, but *exactly one* thread
-ever runs at a time: the scheduler (on the caller's thread) hands a baton
-to the runnable rank with the smallest ``(virtual time, rank)`` and waits
-for it to come back — either because the rank finished, blocked on a
-communication condition, or yielded after advancing its clock. Host
-threads are used purely as resumable stacks (coroutine carriers); there
-is no true concurrency, which is what makes the simulation deterministic.
+ever runs at a time: control is handed as a baton to the runnable rank
+with the smallest ``(virtual time, rank)``. Host threads are used purely
+as resumable stacks (coroutine carriers); there is no true concurrency,
+which is what makes the simulation deterministic.
+
+Scheduling machinery (this module's hot path):
+
+* **Ready min-heap** — runnable ranks live in a binary heap keyed by
+  ``(virtual time, rank)``, maintained incrementally by
+  :meth:`Engine.wake` / :meth:`Engine.yield_` / :meth:`Engine.block`.
+  Selecting the next rank is ``O(log P)`` instead of the ``O(P)``
+  ready-list rebuild a linear scan would cost per dispatch.
+* **Run-to-block batching** — a rank keeps its OS thread across any
+  number of yields while it remains the earliest runnable rank (the
+  *fast yield* path), and when it genuinely stops (blocks, yields
+  behind an earlier rank, or finishes) it hands the baton *directly* to
+  the next runnable rank without bouncing through the scheduler thread.
+  A scheduled slice therefore costs one OS-thread switch, not two; the
+  scheduler thread only wakes when no rank is runnable (run end,
+  deadlock, abort).
 
 Virtual time is per-rank. It advances only through
 :meth:`repro.sim.process.Env.compute`/:meth:`~repro.sim.process.Env.advance`
@@ -14,14 +28,21 @@ Virtual time is per-rank. It advances only through
 times computed by the communication libraries' cost models. Causality is
 preserved because every wake time is ``max(waiter's clock, cause's
 completion time)`` — clocks are monotone per rank.
+
+The pre-heap seed scheduler is preserved as
+:class:`repro.sim.legacy.SeedEngine`; determinism regression tests and
+``benchmarks/bench_engine_scaling.py`` run both and assert identical
+virtual-time results.
 """
 
 from __future__ import annotations
 
 import enum
+import heapq
 import threading
+import time as _time
 from collections.abc import Callable, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import SimDeadlockError, SimProcessError, SimStateError
@@ -81,7 +102,13 @@ class Proc:
         self.fn = fn
         self.now: float = 0.0
         self.state = ProcState.NEW
-        self.baton = threading.Event()
+        #: The baton is a pre-acquired ``Lock`` used as a binary
+        #: semaphore: ``_wait_baton`` blocks in ``acquire()`` until the
+        #: scheduling party ``release()``s it. A raw lock is markedly
+        #: cheaper per handoff than ``threading.Event`` (no Condition
+        #: machinery), which matters at thousands of slices per run.
+        self.baton = threading.Lock()
+        self.baton.acquire()
         self.env = Env(engine, self)
         self.waiter: Waiter | None = None
         self.error: BaseException | None = None
@@ -97,22 +124,19 @@ class Proc:
             self.result = self.fn(self.env)
             self.state = ProcState.DONE
         except _Poisoned:
+            # Shutdown unwind: the scheduler is not waiting on us and the
+            # baton chain must not continue.
             self.state = ProcState.FAILED
+            return
         except BaseException as exc:  # noqa: BLE001 - reported to the scheduler
             self.error = exc
             self.state = ProcState.FAILED
-        self.engine._sched_evt.set()
+        self.engine._on_proc_exit(self)
 
     def _wait_baton(self) -> None:
-        self.baton.wait()
-        self.baton.clear()
+        self.baton.acquire()
         if self.engine._poison:
             raise _Poisoned()
-
-    def _switch_to_scheduler(self) -> None:
-        """Hand control back; returns when this rank is scheduled again."""
-        self.engine._sched_evt.set()
-        self._wait_baton()
 
     def __repr__(self) -> str:
         return f"<Proc rank={self.rank} t={self.now:.9f} {self.state.value}>"
@@ -165,10 +189,19 @@ class Engine:
         self.stats = SimStats()
         self.trace: Trace | None = Trace(trace_maxlen) if trace else None
         self.procs: list[Proc] = []
+        #: Runnable ranks as a ``(virtual time, rank)`` min-heap. Keys are
+        #: stable while a proc stays READY (only a RUNNING rank can move
+        #: its own clock, and ``wake`` refuses non-BLOCKED targets), so
+        #: every proc appears at most once and entries only go stale when
+        #: a run is abandoned mid-flight.
+        self._ready_heap: list[tuple[float, int]] = []
         self._sched_evt = threading.Event()
         self._poison = False
         self._running = False
         self._current: Proc | None = None
+        #: Engine-level abort raised on a rank's thread during a direct
+        #: handoff (e.g. the max_time guard); surfaced by the scheduler.
+        self._abort_error: SimDeadlockError | None = None
         #: Free slot for cross-cutting services (communicators, symmetric
         #: heaps) to stash per-world state, keyed by service name.
         self.services: dict[str, Any] = {}
@@ -195,12 +228,16 @@ class Engine:
                     f"got {len(fns)} callables for {self.nprocs} ranks")
         self.procs = [Proc(self, r, fns[r]) for r in range(self.nprocs)]
         self._running = True
+        self._ready_heap = []
+        self._abort_error = None
+        t0 = _time.perf_counter()
         try:
             for p in self.procs:
-                p.state = ProcState.READY
+                self._make_ready(p)
                 p.thread.start()
             self._schedule_loop()
         finally:
+            self.stats.dispatch_wall_seconds += _time.perf_counter() - t0
             self._shutdown_threads()
             self._running = False
         failed = [p for p in self.procs if p.error is not None]
@@ -243,7 +280,7 @@ class Engine:
                                 "use make_waiter() first")
         proc.state = ProcState.BLOCKED
         self._trace(proc, "block", reason=reason)
-        proc._switch_to_scheduler()
+        self._switch_from(proc)
         # We only get here after wake() marked the waiter woken and the
         # scheduler picked us again.
         proc.waiter = None
@@ -263,23 +300,33 @@ class Engine:
 
         The blocked rank resumes with its clock advanced to
         ``max(its clock, time)``. Waking an already-woken waiter is an
-        error (each waiter is single-use).
+        error (each waiter is single-use), as is waking a waiter whose
+        owner has not actually blocked on it yet: a rank that is still
+        RUNNING (it created the waiter via ``make_waiter`` but has not
+        called ``block()``) or already READY must not be re-queued, or
+        the ready heap would hold it twice and its state machine would be
+        corrupted. Libraries must register a waiter and wake it only from
+        *another* rank's execution — which, since exactly one rank runs
+        at a time, guarantees the owner reached ``block()`` first.
         """
         if waiter.woken:
             raise SimStateError("waiter was already woken")
+        proc = waiter.proc
+        if proc.state is not ProcState.BLOCKED:
+            raise SimStateError(
+                f"cannot wake rank {proc.rank}: it is {proc.state.value}, "
+                "not blocked — wake() may only target a rank that has "
+                "called block() on this waiter")
         waiter.woken = True
         waiter.wake_time = time
         waiter.payload = payload
-        proc = waiter.proc
         proc.now = max(proc.now, time)
-        proc.state = ProcState.READY
+        self._make_ready(proc)
 
     def check_time(self, proc: Proc) -> None:
         """Abort if ``proc`` ran past ``max_time`` (runaway-loop guard)."""
-        if self.max_time is not None and proc.now > self.max_time:
-            raise SimDeadlockError(
-                f"virtual time {proc.now} exceeded max_time "
-                f"{self.max_time} on rank {proc.rank}")
+        if self._past_max_time(proc):
+            raise self._max_time_error(proc)
 
     def yield_(self, proc: Proc) -> None:
         """Cooperatively reschedule; other ranks at earlier times run first."""
@@ -287,21 +334,14 @@ class Engine:
             raise SimStateError("a rank may only yield itself")
         self.check_time(proc)
         # Fast path: if this rank is still the earliest runnable one, no
-        # other rank could be scheduled before it, so skip the two context
-        # switches entirely. BLOCKED ranks resume only via wake() calls
+        # other rank could be scheduled before it, so skip the context
+        # switch entirely. BLOCKED ranks resume only via wake() calls
         # made by *running* ranks, so they cannot be starved by this.
-        if not self._someone_ready_before(proc):
+        if not self._ready_before(proc):
+            self.stats.fast_yields += 1
             return
-        proc.state = ProcState.READY
-        proc._switch_to_scheduler()
-
-    def _someone_ready_before(self, proc: Proc) -> bool:
-        for p in self.procs:
-            if p is proc or p.state is not ProcState.READY:
-                continue
-            if (p.now, p.rank) < (proc.now, proc.rank):
-                return True
-        return False
+        self._make_ready(proc)
+        self._switch_from(proc)
 
     def _trace(self, proc: Proc, kind: str, **fields: Any) -> None:
         if self.trace is not None:
@@ -314,37 +354,127 @@ class Engine:
                               kind, **fields)
 
     # ------------------------------------------------------------------
+    # Ready-queue maintenance
+
+    def _make_ready(self, proc: Proc) -> None:
+        """Transition ``proc`` to READY and enqueue it for dispatch."""
+        proc.state = ProcState.READY
+        heapq.heappush(self._ready_heap, (proc.now, proc.rank))
+        self.stats.heap_ops += 1
+
+    def _pop_next_ready(self) -> Proc | None:
+        """Remove and return the earliest runnable proc, or ``None``."""
+        heap = self._ready_heap
+        while heap:
+            now, rank = heapq.heappop(heap)
+            self.stats.heap_ops += 1
+            proc = self.procs[rank]
+            if proc.state is ProcState.READY and proc.now == now:
+                return proc
+            # Stale entry (abandoned after an abort): drop and continue.
+        return None
+
+    def _ready_before(self, proc: Proc) -> bool:
+        """True if some READY rank orders strictly before ``proc``."""
+        heap = self._ready_heap
+        while heap:
+            now, rank = heap[0]
+            p = self.procs[rank]
+            if p.state is ProcState.READY and p.now == now:
+                return (now, rank) < (proc.now, proc.rank)
+            heapq.heappop(heap)
+            self.stats.heap_ops += 1
+        return False
+
+    # ------------------------------------------------------------------
+    # Control transfer (run-to-block batching)
+
+    def _switch_from(self, proc: Proc) -> None:
+        """Give up ``proc``'s slice; returns when it is scheduled again.
+
+        Runs on ``proc``'s own thread: the next runnable rank receives
+        the baton directly (one OS-thread switch), and only when nothing
+        is runnable does control return to the scheduler thread.
+        """
+        self._handoff(proc)
+        proc._wait_baton()
+
+    def _on_proc_exit(self, proc: Proc) -> None:
+        """Called on ``proc``'s own thread as its program ends."""
+        if proc.state is ProcState.FAILED:
+            # Let the scheduler thread abort the run.
+            self._current = None
+            self._sched_evt.set()
+            return
+        self._handoff(proc)
+
+    def _handoff(self, proc: Proc) -> None:
+        """Pass the baton to the next runnable rank, or end the chain."""
+        nxt = self._pop_next_ready()
+        if nxt is None:
+            self._current = None
+            self._sched_evt.set()
+            return
+        if self._past_max_time(nxt):
+            # Same abort as the scheduler-side guard, surfaced through
+            # the scheduler thread so it unwinds the run.
+            self._abort_error = self._max_time_error(nxt)
+            self._current = None
+            self._sched_evt.set()
+            return
+        nxt.state = ProcState.RUNNING
+        self._current = nxt
+        self.stats.switches += 1
+        self.stats.direct_handoffs += 1
+        nxt.baton.release()
+
+    # ------------------------------------------------------------------
     # Scheduler internals
+
+    def _past_max_time(self, proc: Proc) -> bool:
+        return self.max_time is not None and proc.now > self.max_time
+
+    def _max_time_error(self, proc: Proc) -> SimDeadlockError:
+        # The single constructor for the max_time abort: every pathway
+        # (rank-thread check_time, scheduler dispatch, direct handoff)
+        # raises this exact shape.
+        return SimDeadlockError(
+            f"virtual time {proc.now} exceeded max_time "
+            f"{self.max_time} on rank {proc.rank}")
 
     def _schedule_loop(self) -> None:
         while True:
-            ready = [p for p in self.procs if p.state is ProcState.READY]
-            if not ready:
+            proc = self._pop_next_ready()
+            if proc is None:
                 blocked = [p for p in self.procs
                            if p.state is ProcState.BLOCKED]
                 if blocked:
                     self._raise_deadlock(blocked)
                 return  # all ranks DONE (or FAILED: handled by caller)
-            proc = min(ready, key=lambda p: (p.now, p.rank))
-            if self.max_time is not None and proc.now > self.max_time:
-                raise SimDeadlockError(
-                    f"virtual time {proc.now} exceeded max_time "
-                    f"{self.max_time} on rank {proc.rank}")
+            if self._past_max_time(proc):
+                raise self._max_time_error(proc)
             self._dispatch(proc)
-            if proc.error is not None:
+            if self._abort_error is not None:
+                err, self._abort_error = self._abort_error, None
+                raise err
+            failed = [p for p in self.procs if p.error is not None]
+            if failed:
                 # Abort: remaining ranks are unwound in _shutdown_threads.
-                if isinstance(proc.error, SimDeadlockError):
+                first = min(failed, key=lambda p: p.rank)
+                if isinstance(first.error, SimDeadlockError):
                     # Engine-level abort (e.g. max_time guard), not a user
                     # bug: surface it unwrapped.
-                    raise proc.error
-                raise SimProcessError(proc.rank, proc.error) from proc.error
+                    raise first.error
+                raise SimProcessError(first.rank, first.error) \
+                    from first.error
 
     def _dispatch(self, proc: Proc) -> None:
+        """Start a baton chain at ``proc``; returns when the chain ends."""
         proc.state = ProcState.RUNNING
         self._current = proc
         self.stats.switches += 1
         self._sched_evt.clear()
-        proc.baton.set()
+        proc.baton.release()
         self._sched_evt.wait()
         self._current = None
 
@@ -365,7 +495,12 @@ class Engine:
         self._poison = True
         for p in self.procs:
             if p.thread.is_alive():
-                p.baton.set()
+                try:
+                    p.baton.release()
+                except RuntimeError:
+                    # Baton already released (the thread is mid-exit and
+                    # never re-acquired): nothing to unblock.
+                    pass
         for p in self.procs:
             if p.thread.is_alive():
                 p.thread.join(timeout=5.0)

@@ -4,6 +4,15 @@
 rank, exposes the virtual clock, and models computation. Communication
 libraries take an ``Env`` as their first argument and build on its
 blocking primitives.
+
+Scheduling cost model (see ``docs/SCHEDULER.md``): a yield — explicit
+or via :meth:`Env.compute` — is free while this rank remains the
+earliest runnable one (the engine's fast path batches the whole
+run-to-block stretch onto one OS-thread slice); only a yield that
+actually reorders ranks, or a genuine :meth:`Env.block`, costs a
+context switch. Libraries should therefore prefer ``advance`` for
+small local overheads and reserve ``compute``/``yield_`` for points
+where other ranks may legitimately need to run first.
 """
 
 from __future__ import annotations

@@ -29,9 +29,22 @@ class SimStats:
     datatype_ops: Counter = field(default_factory=Counter)
     #: Modelled compute seconds, summed over all ranks.
     compute_seconds: float = 0.0
-    #: Scheduler context switches (a proxy for simulation cost, not a
-    #: modelled quantity).
+    #: Scheduler context switches — baton transfers to a rank, whether
+    #: dispatched from the scheduler thread or handed off rank-to-rank
+    #: (a proxy for simulation cost, not a modelled quantity).
     switches: int = 0
+    #: Ready-heap pushes and pops performed by the scheduler.
+    heap_ops: int = 0
+    #: Yields satisfied on the fast path (the rank stayed the earliest
+    #: runnable one, so no context switch happened).
+    fast_yields: int = 0
+    #: Baton transfers passed directly rank-to-rank, without bouncing
+    #: through the scheduler thread (run-to-block batching).
+    direct_handoffs: int = 0
+    #: Host wall-clock seconds spent inside the scheduler (the whole
+    #: dispatch loop, including rank execution) — the quantity
+    #: ``benchmarks/bench_engine_scaling.py`` tracks against P.
+    dispatch_wall_seconds: float = 0.0
 
     def count_message(self, kind: str, nbytes: int) -> None:
         """Record one completed transfer of ``nbytes``."""
@@ -69,5 +82,9 @@ class SimStats:
             f"sync_calls={self.total_sync_calls}",
             f"compute={self.compute_seconds:.6g}s",
             f"switches={self.switches}",
+            f"fast_yields={self.fast_yields}",
+            f"direct_handoffs={self.direct_handoffs}",
+            f"heap_ops={self.heap_ops}",
+            f"dispatch_wall={self.dispatch_wall_seconds:.3g}s",
         ]
         return ", ".join(parts)

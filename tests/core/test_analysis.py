@@ -140,6 +140,40 @@ class TestSyncPlanning:
         assert plan.forced_splits[id(r)] == 1
         assert plan.total_sync_calls == 2
 
+    def test_reduction_factor_zero_sync_points(self):
+        """A program with no communication plans no syncs; the factor
+        must not divide by zero (0 naive / clamped 1 planned = 0)."""
+        prog = Program(nodes=[RawCode(lines=["x = 1;"])])
+        plan = plan_synchronization(prog)
+        assert plan.points == []
+        assert plan.total_sync_calls == 0
+        assert plan.reduction_factor(prog) == 0.0
+
+    def test_standalone_p2p_syncs_individually(self):
+        node = p2p(["a"], ["b"])
+        plan = plan_synchronization(Program(nodes=[node]))
+        assert len(plan.points) == 1
+        point = plan.points[0]
+        assert point.position == "end"
+        assert point.node is node
+        assert point.covered_instances == 1
+        assert point.p2p_instances() == [node]
+
+    def test_standalone_point_region_accessor_rejected(self):
+        """`.region` is only defined for region-attached points; a
+        standalone comm_p2p point directs callers to `.node`."""
+        plan = plan_synchronization(Program(nodes=[p2p(["a"], ["b"])]))
+        with pytest.raises(TypeError, match="standalone"):
+            plan.points[0].region
+
+    def test_region_point_accessors_consistent(self):
+        r = self.region([p2p(["a"], ["b"]), p2p(["c"], ["d"])])
+        plan = plan_synchronization(Program(nodes=[r]))
+        point = plan.points[0]
+        assert point.region is r
+        assert point.node is r
+        assert point.p2p_instances() == r.p2p_instances()
+
 
 class TestInference:
     def decls(self):
@@ -157,6 +191,16 @@ class TestInference:
     def test_smallest_array_inferred(self):
         node = p2p(["big"], ["small"])
         assert infer_count_static(node.clauses, self.decls()) == "10"
+
+    def test_indexed_buffer_uses_base_declaration(self):
+        """`&buf[p]`-style expressions resolve to the base array's
+        declaration for length inference."""
+        node = p2p(["&big[p]"], ["&small[p]"])
+        assert infer_count_static(node.clauses, self.decls()) == "10"
+
+    def test_indexed_buffer_element_type(self):
+        node = p2p(["&big[3]"], ["small"])
+        assert infer_element_type(node.clauses, self.decls()) is DOUBLE
 
     def test_pointer_only_requires_count(self):
         node = p2p(["p"], ["p"])

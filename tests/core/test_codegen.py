@@ -54,6 +54,23 @@ class TestCMpi:
         assert out.count("MPI_Irecv") == 2
         assert out.count("MPI_Waitall") == 1
 
+    def test_standalone_p2p_outside_region_syncs_alone(self):
+        """A bare comm_p2p next to a region keeps its own sync point
+        (the plan attaches the point to the P2PNode itself)."""
+        src = """
+double a[8]; double b[8]; double x[8]; double y[8];
+#pragma comm_p2p sender(prev) receiver(next) sbuf(x) rbuf(y)
+#pragma comm_parameters sender(rank-1) receiver(rank+1)
+{
+#pragma comm_p2p sbuf(a) rbuf(b)
+}
+"""
+        out = generate_c(parse_program(src))
+        assert out.count("MPI_Isend") == 2
+        # One consolidated wait for the region, one for the standalone.
+        assert out.count("MPI_Waitall") == 2
+        assert "standalone" in out
+
     def test_when_guards_emitted(self):
         out = generate_c(parse_program(REGION))
         assert "if (rank%2==0) {" in out

@@ -4,8 +4,10 @@ import numpy as np
 import pytest
 
 from repro import mpi
+from repro.errors import SimDeadlockError
 from repro.netmodel import uniform_model, zero_model
 from repro.mpi.constants import UNDEFINED
+from repro.sim.engine import Waiter
 
 from tests._spmd import mpi_run
 
@@ -109,6 +111,73 @@ def test_get_count_undefined_for_partial_element():
 
     res, _ = mpi_run(2, prog)
     assert res.values[1] == UNDEFINED
+
+
+def test_two_blocking_probes_consume_waiters_exactly_once():
+    """Two blocking probes, one unexpected send each: every probe's
+    waiter is registered, woken exactly once, and removed — no stale
+    registrations survive in ``world.probe_waiters``."""
+    def prog(comm):
+        if comm.rank == 0:
+            comm.env.compute(1.0)
+            comm.Send(np.array([1.0]), dest=1, tag=1)
+            comm.env.compute(1.0)
+            comm.Send(np.array([2.0]), dest=1, tag=2)
+            return None
+        st1, st2 = mpi.Status(), mpi.Status()
+        comm.Probe(source=mpi.ANY_SOURCE, tag=mpi.ANY_TAG, status=st1)
+        a = np.zeros(1)
+        comm.Recv(a, source=st1.source, tag=st1.tag)
+        comm.Probe(source=mpi.ANY_SOURCE, tag=mpi.ANY_TAG, status=st2)
+        b = np.zeros(1)
+        comm.Recv(b, source=st2.source, tag=st2.tag)
+        assert not comm.world.probe_waiters  # nothing left behind
+        return (st1.tag, a[0], st2.tag, b[0])
+
+    res, _ = mpi_run(2, prog, model=uniform_model())
+    assert res.values[1] == (1, 1.0, 2, 2.0)
+
+
+def test_non_matching_probe_stays_blocked():
+    """A blocked probe whose pattern the unexpected send does NOT match
+    keeps waiting (its waiter stays registered); if no matching message
+    ever arrives, that is a deadlock — as on a real machine."""
+    def prog(comm):
+        if comm.rank == 0:
+            comm.Send(np.array([1.0]), dest=1, tag=1)  # wrong tag
+            return None
+        comm.Probe(source=0, tag=7)  # never satisfied
+
+    with pytest.raises(SimDeadlockError) as ei:
+        mpi_run(2, prog)
+    assert "MPI_Probe" in ei.value.blocked[1]
+
+
+def test_stale_woken_probe_waiter_is_dropped():
+    """White-box: an already-woken waiter left in ``probe_waiters`` is
+    dead (waiters are single-use, its owner has resumed); the wake scan
+    must discard it rather than keep it forever or re-wake it."""
+    def prog(comm):
+        if comm.rank == 0:
+            comm.env.compute(1.0)  # let rank 1 register + block first
+            comm.Send(np.array([5.0]), dest=1, tag=2)
+            return None
+        # Plant a stale (woken) entry under this rank's key before the
+        # real probe registers alongside it.
+        stale = Waiter(comm.env._proc, "stale probe entry")
+        stale.woken = True
+        key = (comm.group.gid, "p2p", comm.env.rank)
+        comm.world.probe_waiters.setdefault(key, []).append(
+            (mpi.ANY_SOURCE, mpi.ANY_TAG, stale))
+        st = mpi.Status()
+        comm.Probe(source=0, tag=2, status=st)
+        assert key not in comm.world.probe_waiters  # stale entry gone too
+        buf = np.zeros(1)
+        comm.Recv(buf, source=0, tag=2)
+        return (st.tag, buf[0])
+
+    res, _ = mpi_run(2, prog, model=uniform_model())
+    assert res.values[1] == (2, 5.0)
 
 
 def test_two_probers_one_each():

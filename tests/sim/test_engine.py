@@ -1,5 +1,7 @@
 """Unit tests for the cooperative virtual-time scheduler."""
 
+import re
+
 import pytest
 
 from repro.errors import SimDeadlockError, SimProcessError, SimStateError
@@ -152,6 +154,85 @@ def test_wake_twice_rejected():
                 env.engine.wake(w, 3.0)
 
     Engine(2).run(prog)
+
+
+def test_wake_of_unblocked_rank_rejected():
+    """wake() may only target a rank that has actually blocked: waking
+    a READY/RUNNING rank would enqueue it into the ready heap twice."""
+    def prog(env):
+        if env.rank == 0:
+            # Install a waiter but keep running — never call block().
+            env.make_waiter("never blocked on")
+            env.engine.services["w"] = env._proc.waiter
+            env.compute(10.0)
+        else:
+            env.compute(1.0)  # rank 0 has yielded but is READY, not blocked
+            with pytest.raises(SimStateError, match="not blocked"):
+                env.engine.wake(env.engine.services["w"], 2.0)
+
+    Engine(2).run(prog)
+
+
+_MAX_TIME_MSG = re.compile(
+    r"virtual time .* exceeded max_time .* on rank \d+")
+
+
+def test_max_time_same_error_from_compute_path():
+    """The rank-thread guard (check_time) raises the unified shape."""
+    def prog(env):
+        while True:
+            env.compute(1.0)
+
+    with pytest.raises(SimDeadlockError) as ei:
+        Engine(1, max_time=100.0).run(prog)
+    assert _MAX_TIME_MSG.search(str(ei.value))
+
+
+def test_max_time_same_error_from_wake_path():
+    """A rank woken *past* max_time is aborted by the dispatch-side
+    guard (scheduler/handoff path) with the identical error shape."""
+    def prog(env):
+        if env.rank == 0:
+            env.make_waiter("late wake")
+            env.engine.services["w"] = env._proc.waiter
+            env.block("w")
+            env.compute(1.0)  # never reached: woken past max_time
+        else:
+            env.compute(1.0)
+            env.engine.wake(env.engine.services["w"], 500.0)
+
+    with pytest.raises(SimDeadlockError) as ei:
+        Engine(2, max_time=100.0).run(prog)
+    assert _MAX_TIME_MSG.search(str(ei.value))
+
+
+def test_scheduler_counters_populate():
+    def prog(env):
+        for _ in range(5):
+            env.compute(1.0)
+        if env.rank == 0:
+            w = env.make_waiter("ping")
+            env.engine.services["w"] = w
+            env.block("ping")
+        else:
+            env.engine.wake(env.engine.services["w"], env.now)
+
+    eng = Engine(2)
+    eng.run(prog)
+    # Every READY transition goes through the heap...
+    assert eng.stats.heap_ops > 0
+    # ...blocked->running resumptions use rank-to-rank handoff...
+    assert eng.stats.direct_handoffs > 0
+    # ...and the dispatch loop's wall time is accounted.
+    assert eng.stats.dispatch_wall_seconds > 0.0
+
+
+def test_fast_yield_skips_switch():
+    """A lone rank never has anyone ahead of it: all its yields take
+    the no-switch fast path."""
+    eng = Engine(1)
+    eng.run(lambda env: [env.compute(1.0) for _ in range(10)])
+    assert eng.stats.fast_yields >= 10
 
 
 def test_wake_never_moves_clock_backwards():
