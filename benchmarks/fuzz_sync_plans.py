@@ -1,0 +1,64 @@
+"""Sync-plan correctness fuzzer — CLI driver.
+
+Runs every communication pattern (ring, evenodd, halo2d, butterfly and
+WL-LSMS quick) on every lowering target (MPI two-sided, MPI one-sided,
+SHMEM) under many seed-deterministic adversarial timing schedules, and
+asserts the final user-visible data is bit-identical to an unperturbed
+baseline. Failures print their ``(pattern, target, seed)`` triple for
+bit-identical replay.
+
+Run:  PYTHONPATH=src python benchmarks/fuzz_sync_plans.py
+      PYTHONPATH=src python benchmarks/fuzz_sync_plans.py --seeds 200
+      PYTHONPATH=src python benchmarks/fuzz_sync_plans.py \
+          --patterns ring halo2d --targets TARGET_COMM_SHMEM
+
+Exit status 0 when every schedule passed, 1 otherwise — suitable as a
+CI gate (the ``fuzz`` job runs exactly this).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.faults import CASE_NAMES, FUZZ_TARGETS, fuzz
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fuzz sync-plan correctness under adversarial timing")
+    parser.add_argument("--seeds", type=int, default=50,
+                        help="seeds per (pattern, target) [%(default)s]")
+    parser.add_argument("--seed-base", type=int, default=0,
+                        help="first seed of the sweep [%(default)s]")
+    parser.add_argument("--patterns", nargs="+", default=list(CASE_NAMES),
+                        choices=list(CASE_NAMES), metavar="PATTERN",
+                        help=f"subset of {', '.join(CASE_NAMES)}")
+    parser.add_argument("--targets", nargs="+", default=list(FUZZ_TARGETS),
+                        choices=list(FUZZ_TARGETS), metavar="TARGET",
+                        help=f"subset of {', '.join(FUZZ_TARGETS)}")
+    args = parser.parse_args(argv)
+
+    seeds = range(args.seed_base, args.seed_base + args.seeds)
+    total = len(args.patterns) * len(args.targets) * args.seeds
+    print(f"fuzzing {len(args.patterns)} pattern(s) x "
+          f"{len(args.targets)} target(s) x {args.seeds} seed(s) "
+          f"= {total} schedules")
+    t0 = time.perf_counter()
+    failures = fuzz(patterns=args.patterns, targets=args.targets,
+                    seeds=seeds, progress=print)
+    dt = time.perf_counter() - t0
+
+    if failures:
+        print(f"\n{len(failures)} failing schedule(s):")
+        for f in failures:
+            print(str(f))
+        print(f"\nFAILED in {dt:.1f}s")
+        return 1
+    print(f"\nall {total} schedules passed in {dt:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

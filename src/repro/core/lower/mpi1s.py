@@ -18,7 +18,7 @@ from repro.core.buffers import array_of
 from repro.core.clauses import Target
 from repro.core.lower.base import Backend, RecvHandle, SendHandle
 from repro.core.lower.notify import ExposureService
-from repro.errors import LoweringError
+from repro.errors import TruncationError
 from repro.netmodel.base import MPI_1SIDED
 
 
@@ -36,26 +36,41 @@ class Mpi1sBackend(Backend):
         self.svc = ExposureService.attach(env.engine)
 
     def post_send(self, dest: int, sbuf, rbuf, count: int) -> SendHandle:
+        self.env.engine.check_peer_alive(dest)
         src = array_of(sbuf)
         nbytes = count * src.dtype.itemsize
         seq = self.svc.next_send_seq(self.env.rank, dest)
         target_arr = self.svc.await_exposure(self.env, self.env.rank,
                                              dest, seq)
         if target_arr.nbytes < nbytes:
-            raise LoweringError(
+            raise TruncationError(
                 f"MPI_Put of {nbytes} bytes exceeds the exposed "
                 f"{target_arr.nbytes}-byte target buffer")
         self.env.advance(self.tp.send_overhead(nbytes))
         dst_bytes = target_arr.reshape(-1).view(np.uint8)
         src_bytes = np.ascontiguousarray(src).reshape(-1).view(np.uint8)
-        dst_bytes[:nbytes] = src_bytes[:nbytes]
-        completion = self.env.now + self.tp.wire_time(nbytes)
+        faults = self.env.engine.faults
+        if faults is not None and faults.deferred_delivery:
+            # The put reads the source now, but the target-side write is
+            # parked until the receiver's sync consumes the notify.
+            data = src_bytes[:nbytes].copy()
+
+            def commit(dst_bytes=dst_bytes, data=data, nbytes=nbytes):
+                dst_bytes[:nbytes] = data
+
+            self.svc.stage(self.env.rank, dest, seq, commit)
+        else:
+            dst_bytes[:nbytes] = src_bytes[:nbytes]
+        extra = (faults.message_delay(self.tp, self.env.rank, dest, nbytes)
+                 if faults is not None else 0.0)
+        completion = self.env.now + self.tp.wire_time(nbytes) + extra
         self.comm.world.stats.count_message(MPI_1SIDED, nbytes)
         self.env.trace("dir.mpi1s.put", dest=dest, nbytes=nbytes)
         return SendHandle(backend=self, dest=dest, seq=seq, nbytes=nbytes,
                           payload=completion)
 
     def post_recv(self, source: int, rbuf, count: int) -> RecvHandle:
+        self.env.engine.check_peer_alive(source)
         arr = array_of(rbuf)
         seq = self.svc.next_recv_seq(source, self.env.rank)
         self.svc.expose(self.env, source, self.env.rank, seq, arr)

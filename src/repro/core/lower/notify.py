@@ -55,6 +55,10 @@ class ExposureService:
         #: per-(src, dst) message sequence counters, per side.
         self.send_seq: dict[tuple[int, int], int] = {}
         self.recv_seq: dict[tuple[int, int], int] = {}
+        #: (src, dst, seq) -> deferred-delivery commit callable (fault
+        #: injection): the payload write parked until the receiver's
+        #: synchronization consumes the matching notify.
+        self.staged: dict[tuple[int, int, int], object] = {}
 
     @classmethod
     def attach(cls, engine: Engine) -> "ExposureService":
@@ -116,6 +120,21 @@ class ExposureService:
         if waiter is not None:
             env.engine.wake(waiter, visible_at)
 
+    def stage(self, src: int, dst: int, seq: int, commit) -> None:
+        """Park one message's deferred payload write (fault injection).
+
+        ``commit`` runs when the receiver's synchronization consumes the
+        matching notify — the point at which the translation *claims*
+        the data is valid. A sync plan that never awaits the notify
+        leaves the write uncommitted, which the fuzzer detects.
+        """
+        self.staged[(src, dst, seq)] = commit
+
+    def _commit_staged(self, key: tuple[int, int, int]) -> None:
+        commit = self.staged.pop(key, None)
+        if commit is not None:
+            commit()
+
     def await_notify(self, env: "Env", src: int, dst: int,
                      seq: int) -> float:
         """The receiver waits for one message's notify; returns its
@@ -124,10 +143,12 @@ class ExposureService:
         t = self.notified.pop(key, None)
         if t is not None:
             env.advance_to(t)
+            self._commit_staged(key)
             return t
         waiter = env.make_waiter(
             f"one-sided notify of message {seq} from rank {src}")
         self.notify_waiters[key] = waiter
         env.block("dir.onesided.notify")
         del self.notified[(src, dst, seq)]
+        self._commit_staged(key)
         return env.now

@@ -32,19 +32,24 @@ class ShmemBackend(Backend):
         self.sh = shmem.init(env)
         self.svc = ExposureService.attach(env.engine)
 
-    def _typed_put(self, rbuf: SymArray, data, dest: int) -> float:
-        """Dispatch to the size-matched typed put (compile-time matching)."""
+    @staticmethod
+    def _put_spec(data) -> tuple[int | None, str]:
+        """The size-matched typed-put call for a buffer (compile-time
+        matching): ``(element size to enforce, call name)``."""
         size = data.dtype.itemsize
         if size == 8:
-            if data.dtype.kind == "f":
-                return self.sh.put_double(rbuf, data, pe=dest)
-            return self.sh.put64(rbuf, data, pe=dest)
+            return 8, ("shmem_double_put" if data.dtype.kind == "f"
+                       else "shmem_put64")
         if size == 4:
-            if data.dtype.kind == "f":
-                return self.sh.put_float(rbuf, data, pe=dest)
-            return self.sh.put32(rbuf, data, pe=dest)
+            return 4, ("shmem_float_put" if data.dtype.kind == "f"
+                       else "shmem_put32")
         # Composite or odd-width payloads move as raw bytes (putmem).
-        return self.sh.putmem(rbuf, data, pe=dest)
+        return None, "shmem_putmem"
+
+    def _typed_put(self, rbuf: SymArray, data, dest: int) -> float:
+        """Dispatch to the size-matched typed put (compile-time matching)."""
+        elem_size, name = self._put_spec(data)
+        return self.sh._put(rbuf, data, dest, 0, elem_size, name)
 
     def post_send(self, dest: int, sbuf, rbuf, count: int) -> SendHandle:
         if not isinstance(rbuf, SymArray):
@@ -52,12 +57,22 @@ class ShmemBackend(Backend):
                 "SHMEM target requires symmetric receive buffers")
         src = array_of(sbuf).reshape(-1)[:count]
         seq = self.svc.next_send_seq(self.env.rank, dest)
-        completion = self._typed_put(rbuf, src, dest)
+        faults = self.env.engine.faults
+        if faults is not None and faults.deferred_delivery:
+            # Deferred delivery: the typed put's target-side write is
+            # parked until the receiver's sync consumes the notify.
+            elem_size, name = self._put_spec(src)
+            completion, commit = self.sh.put_staged(
+                rbuf, src, dest, elem_size=elem_size, name=name)
+            self.svc.stage(self.env.rank, dest, seq, commit)
+        else:
+            completion = self._typed_put(rbuf, src, dest)
         return SendHandle(backend=self, dest=dest, seq=seq,
                           nbytes=count * src.dtype.itemsize,
                           payload=completion)
 
     def post_recv(self, source: int, rbuf, count: int) -> RecvHandle:
+        self.env.engine.check_peer_alive(source)
         arr = array_of(rbuf)
         seq = self.svc.next_recv_seq(source, self.env.rank)
         return RecvHandle(backend=self, source=source, seq=seq,

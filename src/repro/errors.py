@@ -9,6 +9,8 @@ translation errors each get their own branch.
 
 from __future__ import annotations
 
+import traceback as _traceback
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
@@ -22,7 +24,16 @@ class SimError(ReproError):
     """Base class for simulation-engine errors."""
 
 
-class SimDeadlockError(SimError):
+class SimAbortError(SimError):
+    """Engine-level abort of a whole run (deadlock, hang, rank failure).
+
+    These are raised about the *run*, not about one rank's user code, so
+    the engine surfaces them unwrapped instead of inside a
+    :class:`SimProcessError`.
+    """
+
+
+class SimDeadlockError(SimAbortError):
     """All live simulated processes are blocked and none can make progress.
 
     The message includes a per-rank diagnostic of what each blocked rank
@@ -35,17 +46,86 @@ class SimDeadlockError(SimError):
         self.blocked = dict(blocked or {})
 
 
+class SimHangError(SimAbortError):
+    """The progress watchdog tripped: the run stopped making progress.
+
+    Raised for both *virtual-time stalls* (scheduling keeps happening but
+    no rank's clock advances — a polling livelock) and *wall-clock hangs*
+    (no scheduling point was reached for longer than the configured
+    timeout — e.g. an infinite loop in user code). The message carries a
+    per-rank progress report (state, clock, blocked reason, last trace
+    event) so the hang is debuggable instead of silent.
+    """
+
+    def __init__(self, message: str, report: str | None = None):
+        super().__init__(message if report is None
+                         else f"{message}\n{report}")
+        #: The per-rank progress report, also embedded in the message.
+        self.report = report or ""
+
+
+class RankFailedError(SimAbortError):
+    """A simulated rank was killed (injected crash) and the run cannot
+    complete without it.
+
+    Raised either eagerly — a surviving rank initiated communication
+    with a failed peer — or at quiescence, when every surviving rank is
+    blocked on communication that a failed rank will never perform. The
+    message names the failed rank(s) and what each surviving blocked
+    rank was waiting on.
+    """
+
+    def __init__(self, message: str, failed: tuple[int, ...] = (),
+                 blocked: dict[int, str] | None = None):
+        super().__init__(message)
+        #: Ranks that were crashed (fault injection) before the abort.
+        self.failed = tuple(failed)
+        #: Mapping of surviving rank -> human-readable block reason.
+        self.blocked = dict(blocked or {})
+
+
 class SimProcessError(SimError):
-    """A simulated process raised an exception; wraps the original."""
+    """A simulated process raised an exception; wraps the original.
+
+    The original exception is raised on the rank's own host thread; its
+    traceback is captured and re-attached here (both as ``__cause__``
+    and formatted into the message) so the failing user source line
+    survives the thread boundary.
+    """
 
     def __init__(self, rank: int, original: BaseException):
-        super().__init__(f"rank {rank} raised {type(original).__name__}: {original}")
+        message = (f"rank {rank} raised "
+                   f"{type(original).__name__}: {original}")
+        remote = ""
+        if original.__traceback__ is not None:
+            remote = "".join(_traceback.format_exception(
+                type(original), original, original.__traceback__))
+            message += (f"\n--- traceback on rank {rank} ---\n"
+                        f"{remote.rstrip()}")
+        super().__init__(message)
         self.rank = rank
         self.original = original
+        #: The original exception's formatted traceback ("" if absent).
+        self.remote_traceback = remote
 
 
 class SimStateError(SimError):
     """An engine primitive was used outside a running simulation."""
+
+
+# ---------------------------------------------------------------------------
+# Network cost models
+
+
+class NetModelError(ReproError, KeyError):
+    """A cost-model lookup failed (e.g. unknown transport kind).
+
+    ``KeyError`` stays a secondary base for compatibility with callers
+    that predate the :class:`ReproError` contract, but the message must
+    render like a normal exception, not ``KeyError``'s repr-quoting.
+    """
+
+    __str__ = Exception.__str__
 
 
 # ---------------------------------------------------------------------------

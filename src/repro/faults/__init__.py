@@ -1,0 +1,43 @@
+"""Fault injection, adversarial timing and sync-plan fuzzing.
+
+The robustness layer of the simulator: declarative, seed-deterministic
+:class:`FaultPlan` schedules (message jitter / reordering / drops, rank
+stalls, rank crashes) compiled into a :class:`FaultInjector` the engine
+consults; an opt-in progress :class:`Watchdog` turning hangs into rich
+reports; and the sync-plan correctness fuzzer of
+:mod:`repro.faults.fuzz`.
+
+Typical use::
+
+    from repro.faults import FaultPlan, RankCrash, Watchdog
+    from repro.sim import Engine
+
+    plan = FaultPlan(seed=7, delay_jitter=1e-5, reorder_prob=0.25,
+                     crashes=(RankCrash(rank=2, at=0.0),))
+    eng = Engine(8, faults=plan, watchdog=Watchdog(wall_timeout=30.0))
+    eng.run(main)   # raises RankFailedError naming rank 2
+"""
+
+from repro.faults.fuzz import (
+    CASE_NAMES,
+    FUZZ_TARGETS,
+    FuzzFailure,
+    fuzz,
+    fuzz_one,
+)
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import FaultPlan, RankCrash, RankStall
+from repro.faults.watchdog import Watchdog
+
+__all__ = [
+    "CASE_NAMES",
+    "FUZZ_TARGETS",
+    "FaultInjector",
+    "FaultPlan",
+    "FuzzFailure",
+    "RankCrash",
+    "RankStall",
+    "Watchdog",
+    "fuzz",
+    "fuzz_one",
+]

@@ -1,0 +1,295 @@
+"""Sync-plan correctness fuzzer.
+
+The directive layer *promises* that whatever target a ``comm_p2p`` is
+lowered to, the data in ``rbuf`` is valid once the region's
+synchronization has run. The fuzzer attacks that promise: it runs each
+communication pattern under many seed-deterministic adversarial
+schedules (delivery jitter, reordering pressure, drop/retransmit) on
+every lowering target and asserts the final user-visible data is
+bit-identical to an unperturbed baseline run.
+
+Two mechanisms make under-synchronization *observable* rather than
+merely possible:
+
+* **deferred delivery** (`FaultPlan.deferred_delivery`): in the
+  perturbed runs, payload bytes land in the user buffer only at the
+  synchronization call that guarantees them, while the baseline runs
+  unfaulted with immediate delivery — the data the translation
+  *claims*. A sync plan that forgets a handle leaves stale bytes
+  behind deterministically — no lucky schedules needed — and the
+  comparison against the immediate-delivery reference flags them.
+
+* **adversarial timing**: jitter and reordering shuffle completion
+  order so consolidation bugs that depend on "the wait finished
+  everything anyway" coincidences stop being hidden.
+
+Every failure is reported with its ``(pattern, target, seed)`` triple;
+re-running that exact triple replays the failing schedule
+bit-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import partial
+from typing import Callable
+
+import numpy as np
+
+from repro import mpi, shmem
+from repro.core import comm_p2p, comm_parameters
+from repro.faults.plan import FaultPlan
+from repro.faults.watchdog import Watchdog
+from repro.netmodel import gemini_model
+from repro.patterns.halo2d import HaloBuffers, grid_shape, neighbours
+from repro.sim import Engine
+
+#: Every lowering target of the directive layer.
+FUZZ_TARGETS = ("TARGET_COMM_MPI_2SIDE", "TARGET_COMM_MPI_1SIDE",
+                "TARGET_COMM_SHMEM")
+
+#: Watchdog applied to every fuzz run: a schedule that deadlocks or
+#: livelocks a pattern is converted into a diagnosable failure instead
+#: of eating the CI job timeout.
+FUZZ_WATCHDOG = Watchdog(wall_timeout=60.0, stall_events=1_000_000)
+
+_SHMEM = "TARGET_COMM_SHMEM"
+_OPPOSITE = {"north": "south", "south": "north",
+             "west": "east", "east": "west"}
+
+
+def _alloc_rbuf(env, target: str, n: int):
+    """A receive buffer valid for ``target``.
+
+    SHMEM requires symmetric objects; ``sh.malloc`` is collective, so
+    every pattern below allocates the same shapes in the same order on
+    all ranks.
+    """
+    if target == _SHMEM:
+        return shmem.init(env).malloc(n, np.float64)
+    return np.zeros(n)
+
+
+def _contents(buf) -> list[float]:
+    """Final element values of an rbuf, SymArray or ndarray alike."""
+    data = buf.data if hasattr(buf, "data") else buf
+    return np.asarray(data, dtype=np.float64).reshape(-1).tolist()
+
+
+# -- pattern programs ------------------------------------------------------
+#
+# Target-parameterized variants of the repro.patterns programs: the
+# library versions hard-code the default target, while the fuzzer must
+# drive all three lowerings, so each program takes `target` and routes
+# its rbufs through _alloc_rbuf. Each returns the rank's final
+# user-visible data — the value the correctness comparison bites on.
+
+def _ring_prog(env, target: str):
+    prev = (env.rank - 1 + env.size) % env.size
+    nxt = (env.rank + 1) % env.size
+    out = np.arange(8.0) + 100.0 * env.rank
+    inb = _alloc_rbuf(env, target, 8)
+    with comm_p2p(env, sender=prev, receiver=nxt,
+                  sbuf=out, rbuf=inb, target=target):
+        pass
+    return _contents(inb)
+
+
+def _evenodd_prog(env, target: str):
+    out = np.arange(6.0) + 10.0 * env.rank
+    inb = _alloc_rbuf(env, target, 6)
+    with comm_p2p(env, sbuf=out, rbuf=inb,
+                  sender=env.rank - 1,
+                  receiver=min(env.rank + 1, env.size - 1),
+                  sendwhen=env.rank % 2 == 0 and env.rank + 1 < env.size,
+                  receivewhen=env.rank % 2 == 1,
+                  target=target):
+        pass
+    return _contents(inb)
+
+
+def _halo2d_prog(env, target: str):
+    ny, nx = 3, 4
+    py, px = grid_shape(env.size)
+    block = (np.arange(float(ny * nx)).reshape(ny, nx)
+             + 1000.0 * env.rank)
+    bufs = HaloBuffers(ny, nx)
+    if target == _SHMEM:
+        # Same shapes in the same order on every rank: malloc stays
+        # collective even though boundary ranks skip some transfers.
+        bufs.halo = {d: _alloc_rbuf(env, target, h.size)
+                     for d, h in bufs.halo.items()}
+    nbr = neighbours(env.rank, py, px)
+    edges = bufs.edges(block)
+    with comm_parameters(env):
+        for direction in ("north", "south", "west", "east"):
+            peer = nbr[direction]
+            with comm_p2p(env,
+                          sender=peer if peer is not None else env.rank,
+                          receiver=peer if peer is not None else env.rank,
+                          sendwhen=peer is not None,
+                          receivewhen=peer is not None,
+                          sbuf=edges[direction],
+                          rbuf=bufs.halo[direction],
+                          target=target):
+                pass
+    return [_contents(bufs.halo[d])
+            for d in ("north", "south", "west", "east")]
+
+
+def _butterfly_prog(env, target: str):
+    size, rank = env.size, env.rank
+    rounds = size.bit_length() - 1
+    data = np.zeros(size)
+    data[rank] = float(rank + 1)
+    owned_lo, owned_n = rank, 1
+    for k in range(rounds):
+        partner = rank ^ (1 << k)
+        send_block = np.ascontiguousarray(data[owned_lo:owned_lo + owned_n])
+        their_lo = owned_lo ^ (1 << k)
+        recv_block = _alloc_rbuf(env, target, owned_n)
+        with comm_p2p(env, sender=partner, receiver=partner,
+                      sbuf=send_block, rbuf=recv_block, target=target):
+            pass
+        data[their_lo:their_lo + owned_n] = _contents(recv_block)
+        owned_lo = min(owned_lo, their_lo)
+        owned_n *= 2
+    return data.tolist()
+
+
+def _run_pattern(prog: Callable, nprocs: int, target: str,
+                 plan: FaultPlan, watchdog: Watchdog | None):
+    model = gemini_model()
+    eng = Engine(nprocs, faults=plan, watchdog=watchdog)
+
+    def main(env):
+        mpi.init(env, model)  # fix the machine model for all targets
+        return prog(env, target)
+
+    return eng.run(main).values
+
+
+def _run_wllsms(target: str, plan: FaultPlan,
+                watchdog: Watchdog | None):
+    """WL-LSMS quick mode — the paper's application, end to end."""
+    from repro.apps.wllsms import AppConfig, run_app
+    cfg = AppConfig(variant="directive", target=target, n_lsms=2,
+                    group_size=4, t=32, tc=4, wl_steps=2,
+                    model=gemini_model())
+    engine_cls = partial(Engine, faults=plan, watchdog=watchdog)
+    res = run_app(cfg, engine_cls=engine_cls)
+    return [res.group_energies, res.wang_landau.ln_g.tolist()]
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One pattern the fuzzer knows how to run on any target."""
+
+    name: str
+    run: Callable  # (target, plan, watchdog) -> comparable result
+
+    def baseline(self, target: str,
+                 watchdog: Watchdog | None = FUZZ_WATCHDOG):
+        """The reference result for one target: an *unfaulted* run with
+        immediate delivery. Deliberately not a neutral FaultPlan —
+        deferred delivery must be compared against the semantics the
+        translation claims, or an under-synchronizing plan would leave
+        the same stale bytes in both runs and cancel out."""
+        return self.run(target, None, watchdog)
+
+
+CASES = (
+    FuzzCase("ring", lambda t, p, w: _run_pattern(_ring_prog, 5, t, p, w)),
+    FuzzCase("evenodd",
+             lambda t, p, w: _run_pattern(_evenodd_prog, 6, t, p, w)),
+    FuzzCase("halo2d",
+             lambda t, p, w: _run_pattern(_halo2d_prog, 6, t, p, w)),
+    FuzzCase("butterfly",
+             lambda t, p, w: _run_pattern(_butterfly_prog, 4, t, p, w)),
+    FuzzCase("wllsms", _run_wllsms),
+)
+
+CASE_NAMES = tuple(c.name for c in CASES)
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One divergence, addressable for replay by (pattern, target, seed)."""
+
+    pattern: str
+    target: str
+    seed: int
+    detail: str
+
+    def __str__(self) -> str:
+        return (f"FAIL {self.pattern} on {self.target} at seed "
+                f"{self.seed}: {self.detail}\n  replay: fuzz_one("
+                f"{self.pattern!r}, {self.target!r}, seed={self.seed})")
+
+
+def _diff(expected, got) -> str | None:
+    """None when bit-identical, else a one-line description.
+
+    Both sides are plain nested lists of Python floats (every program
+    returns ``.tolist()`` data), so ``==`` is an exact bitwise check.
+    """
+    if expected == got:
+        return None
+    for rank, (e, g) in enumerate(zip(expected, got)):
+        if e != g:
+            return f"rank {rank}: expected {e!r}, got {g!r}"
+    return f"expected {expected!r}, got {got!r}"
+
+
+def fuzz_one(pattern: str, target: str, seed: int,
+             plan: FaultPlan | None = None,
+             watchdog: Watchdog | None = FUZZ_WATCHDOG,
+             baseline=None) -> FuzzFailure | None:
+    """Run one (pattern, target, seed) triple; None means it passed.
+
+    ``plan`` defaults to the stock jitter plan for ``seed`` — pass an
+    explicit plan to replay a custom schedule. ``baseline`` short-cuts
+    recomputing the reference when sweeping many seeds.
+    """
+    case = next(c for c in CASES if c.name == pattern)
+    if plan is None:
+        plan = FaultPlan.jitter(seed)
+    if baseline is None:
+        baseline = case.baseline(target, watchdog)
+    try:
+        got = case.run(target, plan, watchdog)
+    except Exception as exc:
+        return FuzzFailure(pattern, target, seed,
+                           f"raised {type(exc).__name__}: {exc}")
+    detail = _diff(baseline, got)
+    if detail is None:
+        return None
+    return FuzzFailure(pattern, target, seed, detail)
+
+
+def fuzz(patterns=CASE_NAMES, targets=FUZZ_TARGETS, seeds=range(50),
+         watchdog: Watchdog | None = FUZZ_WATCHDOG,
+         progress: Callable[[str], None] | None = None
+         ) -> list[FuzzFailure]:
+    """Sweep seeds over every (pattern, target); returns all failures.
+
+    The baseline for each (pattern, target) is computed once and reused
+    across the whole seed sweep.
+    """
+    failures: list[FuzzFailure] = []
+    for pattern in patterns:
+        case = next(c for c in CASES if c.name == pattern)
+        for target in targets:
+            baseline = case.baseline(target, watchdog)
+            bad = 0
+            for seed in seeds:
+                failure = fuzz_one(pattern, target, seed,
+                                   watchdog=watchdog, baseline=baseline)
+                if failure is not None:
+                    failures.append(failure)
+                    bad += 1
+            if progress is not None:
+                n = len(list(seeds))
+                progress(f"{pattern:>9s} x {target:<22s} "
+                         f"{n - bad}/{n} seeds ok")
+    return failures

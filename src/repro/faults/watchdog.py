@@ -1,0 +1,46 @@
+"""Progress watchdog configuration.
+
+The engine accepts a :class:`Watchdog` and converts two kinds of
+non-progress into rich, raise-early reports instead of silent hangs:
+
+* **wall-clock hang** — no scheduling activity (context switches,
+  fast yields or heap operations) for ``wall_timeout`` real seconds.
+  This catches bugs *in the simulator or its libraries themselves*
+  (e.g. a lost baton handoff): virtual time cannot advance because the
+  host threads are wedged. Raises :class:`repro.errors.SimHangError`
+  carrying a per-rank progress report.
+
+* **virtual-time stall** — a single rank spins ``stall_events``
+  consecutive ``yield_()`` calls without the run making any progress
+  (no wake, no compute/advance). This catches livelock in *modelled*
+  programs: everyone is runnable, nobody gets anywhere. Also raises
+  :class:`repro.errors.SimHangError`.
+
+Both limits are optional; ``None`` disables that check. The default
+engine has no watchdog at all — it is opt-in, aimed at fault-injection
+runs and CI fuzzing where a hang would otherwise eat the job timeout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Watchdog:
+    """Progress-watchdog limits (``None`` disables a check)."""
+
+    #: Real seconds without any scheduling activity before the run is
+    #: declared wall-hung.
+    wall_timeout: float | None = 30.0
+    #: Consecutive no-progress ``yield_()`` events on one rank before
+    #: the run is declared livelocked. The default is deliberately huge:
+    #: polling loops legitimately spin, just not a million times with
+    #: nothing else happening.
+    stall_events: int | None = 1_000_000
+
+    def __post_init__(self) -> None:
+        if self.wall_timeout is not None and self.wall_timeout <= 0:
+            raise ValueError("wall_timeout must be positive or None")
+        if self.stall_events is not None and self.stall_events <= 0:
+            raise ValueError("stall_events must be positive or None")

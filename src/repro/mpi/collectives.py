@@ -47,6 +47,7 @@ def _coll_recv_blocking(comm: Comm, buf: np.ndarray, source: int,
         comm.env.block("mpi.coll.recv")
     else:
         comm.env.advance_to(op.completion)
+    op.commit()
 
 
 def _coll_send_blocking(comm: Comm, buf: np.ndarray, dest: int,

@@ -234,6 +234,7 @@ class Comm:
         self._check_tag(tag, wildcard_ok=False)
         if dest == PROC_NULL:
             return None
+        self.env.engine.check_peer_alive(self._global(dest))
         arr, nbytes, _ = self._resolve_buffer(buf)
         data = arr.tobytes()[:nbytes]
         tp = self.world.model.transport(MPI_2SIDED)
@@ -259,6 +260,8 @@ class Comm:
         self._check_tag(tag, wildcard_ok=True)
         if source == PROC_NULL:
             return None
+        if source != ANY_SOURCE:
+            self.env.engine.check_peer_alive(self._global(source))
         raw = buf[0] if isinstance(buf, tuple) else buf
         if not (isinstance(raw, np.ndarray) and raw.flags.c_contiguous
                 and raw.flags.writeable):
@@ -309,6 +312,7 @@ class Comm:
             self.env.block("mpi.recv")
         else:
             self.env.advance_to(op.completion)
+        op.commit()
         self._fill_status(status, op)
 
     def Sendrecv_replace(self, buf: np.ndarray, dest: int, source: int,
@@ -337,6 +341,7 @@ class Comm:
             else:
                 self.env.advance_to(op.completion)
         if rop is not None:
+            rop.commit()
             self._fill_status(status, rop)
 
     # ------------------------------------------------------------------
@@ -373,6 +378,8 @@ class Comm:
             self.env.block(f"mpi.wait.{request.side}")
         else:
             self.env.advance_to(op.completion)
+        if isinstance(op, RecvOp):
+            op.commit()
         request.done = True
 
     def Wait(self, request: Request, status: Status | None = None) -> None:
@@ -488,6 +495,8 @@ class Comm:
         self.world.stats.count_sync("test")
         op = request.op
         if op.completion is not None and op.completion <= self.env.now:
+            if isinstance(op, RecvOp):
+                op.commit()
             request.done = True
             return True
         self.env.yield_()

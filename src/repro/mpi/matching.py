@@ -116,17 +116,29 @@ def probe_unexpected(world: "World", gid: int, channel: str, dst: int,
 def _complete_match(world: "World", env: "Env", s: SendOp, r: RecvOp) -> None:
     """Compute completion times, deliver the payload, wake blocked sides."""
     tp = world.model.transport(s.kind)
+    faults = env.engine.faults
+    # Adversarial extra wire delay (jitter / reorder / drop-retransmit).
+    # Modelled as added delivery latency, never as queue permutation, so
+    # MPI's same-(src, dst, tag) non-overtaking rule is preserved.
+    extra = (faults.message_delay(tp, s.src, s.dst, s.nbytes)
+             if faults is not None else 0.0)
     if s.eager:
-        arrival = s.post_time + tp.wire_time(s.nbytes)
+        arrival = s.post_time + tp.wire_time(s.nbytes) + extra
         r.completion = max(arrival, r.post_time) + tp.recv_overhead(s.nbytes)
         # s.completion was already set at post time (buffered).
     else:
         start = max(s.post_time, r.post_time) + tp.rendezvous_rtt
-        finish = start + tp.wire_time(s.nbytes)
+        finish = start + tp.wire_time(s.nbytes) + extra
         s.completion = finish
         r.completion = finish + tp.recv_overhead(s.nbytes)
 
-    _deliver(s, r)
+    if faults is not None and faults.deferred_delivery:
+        # The payload is staged and lands in the user buffer only when
+        # the receiver's completion call commits it — so a missing
+        # Wait/Waitall leaves stale data the fuzzer can detect.
+        _stage(s, r)
+    else:
+        _deliver(s, r)
     s.matched = True
     r.matched = True
     world.stats.count_message(s.kind, s.nbytes)
@@ -139,16 +151,26 @@ def _complete_match(world: "World", env: "Env", s: SendOp, r: RecvOp) -> None:
     s.wake_waiter(env, s.completion)
 
 
-def _deliver(s: SendOp, r: RecvOp) -> None:
-    """Copy the payload into the receive buffer (truncation-checked)."""
-    buf = r.buf
-    if s.nbytes > buf.nbytes:
+def _check_and_fill_status(s: SendOp, r: RecvOp) -> None:
+    """Truncation check + status fields, common to both delivery modes."""
+    if s.nbytes > r.buf.nbytes:
         raise TruncationError(
             f"message of {s.nbytes} bytes from rank {s.src} (tag {s.tag}) "
-            f"truncated: receive buffer holds only {buf.nbytes} bytes")
-    if s.nbytes > 0:
-        flat = buf.reshape(-1).view(np.uint8)
-        flat[:s.nbytes] = np.frombuffer(s.data, dtype=np.uint8)
+            f"truncated: receive buffer holds only {r.buf.nbytes} bytes")
     r.status_source = s.src
     r.status_tag = s.tag
     r.status_nbytes = s.nbytes
+
+
+def _deliver(s: SendOp, r: RecvOp) -> None:
+    """Copy the payload into the receive buffer (truncation-checked)."""
+    _check_and_fill_status(s, r)
+    if s.nbytes > 0:
+        flat = r.buf.reshape(-1).view(np.uint8)
+        flat[:s.nbytes] = np.frombuffer(s.data, dtype=np.uint8)
+
+
+def _stage(s: SendOp, r: RecvOp) -> None:
+    """Park the payload on the RecvOp; ``RecvOp.commit`` lands it."""
+    _check_and_fill_status(s, r)
+    r.staged = s.data

@@ -71,7 +71,7 @@ class RecvOp:
 
     __slots__ = ("gid", "channel", "dst", "source", "tag", "buf",
                  "post_time", "matched", "completion", "waiter",
-                 "status_source", "status_tag", "status_nbytes")
+                 "status_source", "status_tag", "status_nbytes", "staged")
 
     def __init__(self, *, gid: int, channel: str, dst: int, source: int,
                  tag: int, buf: np.ndarray, post_time: float):
@@ -88,8 +88,27 @@ class RecvOp:
         self.status_source: int | None = None
         self.status_tag: int | None = None
         self.status_nbytes: int = 0
+        #: Payload parked at match time under deferred delivery (fault
+        #: injection); ``commit()`` lands it in the user buffer.
+        self.staged: bytes | None = None
 
     wake_waiter = SendOp.wake_waiter
+
+    def commit(self) -> None:
+        """Land a staged payload in the user buffer (idempotent).
+
+        Under deferred delivery (fault injection) this is called by the
+        completion call that guarantees the receive — ``Wait`` and
+        friends, a blocking ``Recv``, a successful ``Test`` — which is
+        exactly when MPI makes the buffer valid. Without a staged
+        payload it is a no-op, so callers need no mode checks.
+        """
+        if self.staged is None:
+            return
+        data, self.staged = self.staged, None
+        if data:
+            flat = self.buf.reshape(-1).view(np.uint8)
+            flat[:len(data)] = np.frombuffer(data, dtype=np.uint8)
 
     def __repr__(self) -> str:
         return (f"<RecvOp dst={self.dst} source={self.source} "

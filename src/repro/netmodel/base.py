@@ -25,6 +25,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.errors import NetModelError
 from repro.netmodel.tables import PiecewiseTable
 
 
@@ -47,6 +48,9 @@ class TransportParams:
     eager_threshold: int = 4096
     #: Extra handshake cost paid once per rendezvous transfer (seconds).
     rendezvous_rtt: float = 0.0
+    #: Retransmission timeout: dead time before a dropped message is
+    #: resent (seconds). Only exercised under fault injection.
+    retransmit_rto: float = 1e-4
     #: Optional measured latency curve; overrides ``alpha`` when present.
     alpha_table: PiecewiseTable | None = field(default=None, compare=False)
 
@@ -54,7 +58,7 @@ class TransportParams:
         if self.bandwidth <= 0:
             raise ValueError(f"bandwidth must be positive, got {self.bandwidth}")
         for attr in ("alpha", "o_send", "o_send_per_byte", "o_recv",
-                     "rendezvous_rtt"):
+                     "rendezvous_rtt", "retransmit_rto"):
             if getattr(self, attr) < 0:
                 raise ValueError(f"{attr} must be >= 0")
         if self.eager_threshold < 0:
@@ -85,6 +89,14 @@ class TransportParams:
     def is_eager(self, nbytes: int) -> bool:
         """True when a message of this size is sent eagerly."""
         return nbytes <= self.eager_threshold
+
+    def retransmit_cost(self, nbytes: int) -> float:
+        """Extra delivery delay for one dropped-and-resent message.
+
+        The payload waits out the retransmission timeout and then
+        crosses the wire a second time.
+        """
+        return self.retransmit_rto + self.wire_time(nbytes)
 
 
 #: Transport kind names used throughout the library.
@@ -135,11 +147,15 @@ class MachineModel:
             raise ValueError("MachineModel needs at least one transport")
 
     def transport(self, kind: str) -> TransportParams:
-        """Look up a transport by kind name (e.g. ``"mpi2s"``)."""
+        """Look up a transport by kind name (e.g. ``"mpi2s"``).
+
+        Raises :class:`repro.errors.NetModelError` — a ``ReproError``
+        that is also a ``KeyError`` for backwards compatibility.
+        """
         try:
             return self.transports[kind]
         except KeyError:
-            raise KeyError(
+            raise NetModelError(
                 f"machine {self.name!r} has no transport {kind!r}; "
                 f"available: {sorted(self.transports)}") from None
 

@@ -101,11 +101,34 @@ class Shmem:
 
     def _put(self, target: SymArray, source: np.ndarray, pe: int,
              offset: int, elem_size: int | None, name: str) -> float:
+        completion, commit = self._put_impl(
+            target, source, pe, offset, elem_size, name, staged=False)
+        commit()
+        return completion
+
+    def put_staged(self, target: SymArray, source: np.ndarray, pe: int,
+                   offset: int = 0, elem_size: int | None = None,
+                   name: str = "shmem_put") -> tuple[float, "object"]:
+        """Issue a put whose target-side visibility is deferred.
+
+        Used by the directive backends under fault injection (deferred
+        delivery): the wire cost and pending-completion bookkeeping
+        happen now, but the remote buffer is only written when the
+        returned ``commit`` callable runs — at the synchronization that
+        guarantees the put. Returns ``(completion_time, commit)``.
+        """
+        return self._put_impl(target, source, pe, offset, elem_size,
+                              name, staged=True)
+
+    def _put_impl(self, target: SymArray, source: np.ndarray, pe: int,
+                  offset: int, elem_size: int | None, name: str,
+                  *, staged: bool):
         target = self._check_sym(target)
         if not isinstance(source, np.ndarray):
             source = np.asarray(source)
         if not 0 <= pe < self.n_pes:
             raise ShmemError(f"PE {pe} out of range (n_pes={self.n_pes})")
+        self.env.engine.check_peer_alive(pe)
         if elem_size is not None and source.dtype.itemsize != elem_size:
             raise ShmemError(
                 f"{name}: source element size "
@@ -129,13 +152,24 @@ class Shmem:
                 f"exceeds the {mirror.size}-element symmetric buffer")
         nbytes = src.size * mirror.dtype.itemsize
         self.env.advance(self._tp.send_overhead(nbytes))
-        mirror[offset:offset + src.size] = src
-        completion = self.env.now + self._tp.wire_time(nbytes)
+        faults = self.env.engine.faults
+        extra = (faults.message_delay(self._tp, self.env.rank, pe, nbytes)
+                 if faults is not None else 0.0)
+        completion = self.env.now + self._tp.wire_time(nbytes) + extra
         self._pending.append(completion)
         self.env.engine.stats.count_message(SHMEM, nbytes)
         self.env.trace("shmem.put", pe=pe, nbytes=nbytes, call=name)
-        self._notify_cell_waiters(target, pe, completion)
-        return completion
+        if staged:
+            # The put conceptually reads the source *now*: snapshot it,
+            # since the commit runs later (at the covering sync).
+            src = src.copy()
+
+        def commit(mirror=mirror, lo=offset, src=src, target=target,
+                   pe=pe, completion=completion):
+            mirror[lo:lo + src.size] = src
+            self._notify_cell_waiters(target, pe, completion)
+
+        return completion, commit
 
     def put(self, target: SymArray, source: np.ndarray, pe: int,
             offset: int = 0) -> float:
@@ -181,6 +215,7 @@ class Shmem:
             raise ShmemError("get destination must be a writeable array")
         if not 0 <= pe < self.n_pes:
             raise ShmemError(f"PE {pe} out of range (n_pes={self.n_pes})")
+        self.env.engine.check_peer_alive(pe)
         mirror = source.mirror_on(pe).reshape(-1)
         n = dest.size
         if offset < 0 or offset + n > mirror.size:
@@ -254,6 +289,7 @@ class Shmem:
         sym = self._check_sym(sym)
         if not 0 <= pe < self.n_pes:
             raise ShmemError(f"PE {pe} out of range (n_pes={self.n_pes})")
+        self.env.engine.check_peer_alive(pe)
         mirror = sym.mirror_on(pe).reshape(-1)
         if not 0 <= index < mirror.size:
             raise ShmemError(f"AMO index {index} out of range")

@@ -45,7 +45,14 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 from typing import Any
 
-from repro.errors import SimDeadlockError, SimProcessError, SimStateError
+from repro.errors import (
+    RankFailedError,
+    SimAbortError,
+    SimDeadlockError,
+    SimHangError,
+    SimProcessError,
+    SimStateError,
+)
 from repro.sim.process import Env
 from repro.sim.stats import SimStats
 from repro.sim.tracing import Trace
@@ -58,6 +65,9 @@ class ProcState(enum.Enum):
     BLOCKED = "blocked"
     DONE = "done"
     FAILED = "failed"
+    #: Killed by fault injection; the rank's thread is parked and will
+    #: be unwound at shutdown, and its rank is in ``Engine.failed_ranks``.
+    CRASHED = "crashed"
 
 
 class _Poisoned(BaseException):
@@ -125,8 +135,10 @@ class Proc:
             self.state = ProcState.DONE
         except _Poisoned:
             # Shutdown unwind: the scheduler is not waiting on us and the
-            # baton chain must not continue.
-            self.state = ProcState.FAILED
+            # baton chain must not continue. A crashed rank keeps its
+            # CRASHED state (it is a modelled fault, not a host failure).
+            if self.state is not ProcState.CRASHED:
+                self.state = ProcState.FAILED
             return
         except BaseException as exc:  # noqa: BLE001 - reported to the scheduler
             self.error = exc
@@ -153,6 +165,11 @@ class RunResult:
     values: list[Any]
     stats: SimStats
     trace: Trace | None = None
+    #: Ranks killed by fault injection. Non-empty only for a *degraded*
+    #: run: every surviving rank finished without touching a dead peer.
+    #: Crashed ranks contribute their crash time to ``finish_times`` and
+    #: ``None`` to ``values``.
+    failed_ranks: tuple[int, ...] = ()
 
     @property
     def makespan(self) -> float:
@@ -177,15 +194,36 @@ class Engine:
     max_time:
         Safety limit on virtual time; a rank advancing past it aborts the
         run (guards against accidental infinite loops in modelled time).
+    faults:
+        Optional :class:`repro.faults.FaultPlan` (or a pre-compiled
+        injector) of adversarial perturbations — message jitter,
+        reordering, drops, rank stalls and crashes — consulted at
+        message-post and dispatch time. ``None`` (default) runs the
+        benign schedule.
+    watchdog:
+        Optional :class:`repro.faults.Watchdog` configuration. When set,
+        wall-clock hangs and virtual-time stalls abort the run with a
+        :class:`repro.errors.SimHangError` carrying a per-rank progress
+        report instead of hanging silently.
     """
 
     def __init__(self, nprocs: int, *, trace: bool = False,
                  trace_maxlen: int | None = 200_000,
-                 max_time: float | None = None):
+                 max_time: float | None = None,
+                 faults: Any = None,
+                 watchdog: Any = None):
         if nprocs < 1:
             raise ValueError(f"nprocs must be >= 1, got {nprocs}")
         self.nprocs = nprocs
         self.max_time = max_time
+        #: The bound fault injector (``None`` on the benign schedule).
+        #: Communication libraries consult ``faults.message_delay`` and
+        #: ``faults.deferred_delivery``; the engine itself consults
+        #: ``faults.on_dispatch``.
+        self.faults = faults.compile() if hasattr(faults, "compile") else faults
+        self.watchdog = watchdog
+        #: Ranks killed by fault injection, in crash order.
+        self.failed_ranks: set[int] = set()
         self.stats = SimStats()
         self.trace: Trace | None = Trace(trace_maxlen) if trace else None
         self.procs: list[Proc] = []
@@ -201,7 +239,13 @@ class Engine:
         self._current: Proc | None = None
         #: Engine-level abort raised on a rank's thread during a direct
         #: handoff (e.g. the max_time guard); surfaced by the scheduler.
-        self._abort_error: SimDeadlockError | None = None
+        self._abort_error: SimAbortError | None = None
+        #: Consecutive scheduling events without virtual-time progress
+        #: (watchdog stall detector; reset by wake()/advance()).
+        self._stall_events = 0
+        #: True once the wall-clock watchdog tripped: rank threads may be
+        #: genuinely hung, so shutdown must not wait long for them.
+        self._wall_hang = False
         #: Free slot for cross-cutting services (communicators, symmetric
         #: heaps) to stash per-world state, keyed by service name.
         self.services: dict[str, Any] = {}
@@ -230,6 +274,11 @@ class Engine:
         self._running = True
         self._ready_heap = []
         self._abort_error = None
+        self._stall_events = 0
+        self._wall_hang = False
+        self.failed_ranks = set()
+        if self.faults is not None:
+            self.faults.bind(self)
         t0 = _time.perf_counter()
         try:
             for p in self.procs:
@@ -243,6 +292,10 @@ class Engine:
         failed = [p for p in self.procs if p.error is not None]
         if failed:
             first = min(failed, key=lambda p: p.rank)
+            if isinstance(first.error, SimAbortError):
+                # Engine-level abort (deadlock shape, watchdog, rank
+                # failure), not a user bug: surface it unwrapped.
+                raise first.error
             raise SimProcessError(first.rank, first.error) from first.error
         return RunResult(
             nprocs=self.nprocs,
@@ -250,6 +303,7 @@ class Engine:
             values=[p.result for p in self.procs],
             stats=self.stats,
             trace=self.trace,
+            failed_ranks=tuple(sorted(self.failed_ranks)),
         )
 
     # ------------------------------------------------------------------
@@ -321,6 +375,7 @@ class Engine:
         waiter.wake_time = time
         waiter.payload = payload
         proc.now = max(proc.now, time)
+        self._stall_events = 0  # a completion is progress (watchdog)
         self._make_ready(proc)
 
     def check_time(self, proc: Proc) -> None:
@@ -333,6 +388,7 @@ class Engine:
         if proc is not self._current:
             raise SimStateError("a rank may only yield itself")
         self.check_time(proc)
+        self._note_stall_event()
         # Fast path: if this rank is still the earliest runnable one, no
         # other rank could be scheduled before it, so skip the context
         # switch entirely. BLOCKED ranks resume only via wake() calls
@@ -342,6 +398,54 @@ class Engine:
             return
         self._make_ready(proc)
         self._switch_from(proc)
+
+    def note_progress(self) -> None:
+        """Reset the virtual-stall watchdog: some clock advanced."""
+        self._stall_events = 0
+
+    def check_peer_alive(self, peer: int) -> None:
+        """Raise :class:`RankFailedError` if ``peer`` was crashed.
+
+        Communication libraries call this as a rank initiates
+        communication naming a peer, converting a would-be hang on a
+        dead rank into an eager, diagnosable failure.
+        """
+        if peer in self.failed_ranks:
+            cur = self._current
+            who = f"rank {cur.rank}" if cur is not None else "a rank"
+            failed = tuple(sorted(self.failed_ranks))
+            raise RankFailedError(
+                f"{who} attempted communication with rank {peer}, which "
+                f"was killed by fault injection; failed ranks: "
+                f"{list(failed)}", failed=failed)
+
+    def progress_report(self) -> str:
+        """Per-rank snapshot used in watchdog and failure reports."""
+        lines = []
+        for p in self.procs:
+            desc = f"  rank {p.rank}: {p.state.value} t={p.now:.9f}"
+            if p.state is ProcState.BLOCKED and p.waiter is not None:
+                desc += f", waiting on {p.waiter.reason}"
+            if self.trace is not None:
+                events = self.trace.by_rank(p.rank)
+                if events:
+                    desc += f", last event: {events[-1]}"
+            lines.append(desc)
+        return "\n".join(lines)
+
+    def _note_stall_event(self) -> None:
+        """Count one scheduling event toward the virtual-stall watchdog."""
+        wd = self.watchdog
+        if wd is None or wd.stall_events is None:
+            return
+        self._stall_events += 1
+        if self._stall_events > wd.stall_events:
+            self._stall_events = 0
+            raise SimHangError(
+                f"no virtual-time progress in {wd.stall_events} "
+                "scheduling events (virtual-stall watchdog): the run is "
+                "spinning without any clock advancing",
+                report=self.progress_report())
 
     def _trace(self, proc: Proc, kind: str, **fields: Any) -> None:
         if self.trace is not None:
@@ -373,6 +477,44 @@ class Engine:
                 return proc
             # Stale entry (abandoned after an abort): drop and continue.
         return None
+
+    def _next_runnable(self) -> Proc | None:
+        """Pop the next proc to dispatch, applying dispatch-time faults.
+
+        A stalled proc has its clock bumped and is re-queued (selection
+        continues, possibly re-picking it at its new time); a crashed
+        proc is removed from the run permanently.
+        """
+        while True:
+            proc = self._pop_next_ready()
+            if proc is None or self.faults is None:
+                return proc
+            action = self.faults.on_dispatch(self, proc)
+            if action is None:
+                return proc
+            if action[0] == "stall":
+                duration = action[1]
+                self._trace(proc, "fault_stall", duration=duration)
+                self.stats.count_fault("stall")
+                proc.now += duration
+                self._make_ready(proc)
+            elif action[0] == "crash":
+                self._crash(proc)
+            else:
+                raise SimStateError(f"unknown fault action {action!r}")
+
+    def _crash(self, proc: Proc) -> None:
+        """Kill ``proc`` by injected fault: it never runs again.
+
+        The proc was just popped from the ready heap, so it appears
+        nowhere else; its host thread stays parked on its baton and is
+        unwound (state preserved) at shutdown. Messages it posted before
+        dying remain in flight and may still be delivered to survivors.
+        """
+        proc.state = ProcState.CRASHED
+        self.failed_ranks.add(proc.rank)
+        self.stats.count_fault("crash")
+        self._trace(proc, "fault_crash")
 
     def _ready_before(self, proc: Proc) -> bool:
         """True if some READY rank orders strictly before ``proc``."""
@@ -410,7 +552,7 @@ class Engine:
 
     def _handoff(self, proc: Proc) -> None:
         """Pass the baton to the next runnable rank, or end the chain."""
-        nxt = self._pop_next_ready()
+        nxt = self._next_runnable()
         if nxt is None:
             self._current = None
             self._sched_evt.set()
@@ -444,13 +586,15 @@ class Engine:
 
     def _schedule_loop(self) -> None:
         while True:
-            proc = self._pop_next_ready()
+            proc = self._next_runnable()
             if proc is None:
                 blocked = [p for p in self.procs
                            if p.state is ProcState.BLOCKED]
                 if blocked:
                     self._raise_deadlock(blocked)
-                return  # all ranks DONE (or FAILED: handled by caller)
+                # All surviving ranks DONE (FAILED is handled by the
+                # caller; CRASHED-only losses are a degraded completion).
+                return
             if self._past_max_time(proc):
                 raise self._max_time_error(proc)
             self._dispatch(proc)
@@ -461,9 +605,9 @@ class Engine:
             if failed:
                 # Abort: remaining ranks are unwound in _shutdown_threads.
                 first = min(failed, key=lambda p: p.rank)
-                if isinstance(first.error, SimDeadlockError):
-                    # Engine-level abort (e.g. max_time guard), not a user
-                    # bug: surface it unwrapped.
+                if isinstance(first.error, SimAbortError):
+                    # Engine-level abort (max_time guard, watchdog, rank
+                    # failure), not a user bug: surface it unwrapped.
                     raise first.error
                 raise SimProcessError(first.rank, first.error) \
                     from first.error
@@ -475,7 +619,28 @@ class Engine:
         self.stats.switches += 1
         self._sched_evt.clear()
         proc.baton.release()
-        self._sched_evt.wait()
+        timeout = None if self.watchdog is None else self.watchdog.wall_timeout
+        if timeout is None:
+            self._sched_evt.wait()
+        else:
+            # Wall-clock watchdog: wake periodically and compare the
+            # activity counters. A full timeout window with no scheduling
+            # activity at all means some rank is hung in *host* code
+            # (e.g. an infinite Python loop that never reaches a
+            # scheduling point) — abort with a report instead of hanging.
+            last_activity = -1
+            while not self._sched_evt.wait(timeout):
+                activity = (self.stats.switches + self.stats.fast_yields
+                            + self.stats.heap_ops)
+                if activity == last_activity:
+                    self._wall_hang = True
+                    self._current = None
+                    raise SimHangError(
+                        f"no scheduling activity for {timeout:.3g}s of "
+                        "host wall-clock (wall watchdog): a rank is hung "
+                        "in host code and cannot be unwound",
+                        report=self.progress_report())
+                last_activity = activity
         self._current = None
 
     def _raise_deadlock(self, blocked: list[Proc]) -> None:
@@ -487,6 +652,16 @@ class Engine:
         lines = [f"  rank {p.rank} (t={p.now:.9f}): waiting on "
                  f"{detail[p.rank]}" for p in blocked]
         done = sum(1 for p in self.procs if p.state is ProcState.DONE)
+        if self.failed_ranks:
+            # Not a plain deadlock: injected crashes took ranks out and
+            # the survivors are blocked on communication those ranks
+            # will never perform.
+            failed = tuple(sorted(self.failed_ranks))
+            msg = (f"rank(s) {', '.join(map(str, failed))} crashed "
+                   f"(injected fault); {len(blocked)} surviving rank(s) "
+                   f"blocked on communication that will never complete, "
+                   f"{done} finished\n" + "\n".join(lines))
+            raise RankFailedError(msg, failed=failed, blocked=detail)
         msg = (f"deadlock: {len(blocked)} rank(s) blocked, {done} finished, "
                f"none runnable\n" + "\n".join(lines))
         raise SimDeadlockError(msg, blocked=detail)
@@ -501,7 +676,11 @@ class Engine:
                     # Baton already released (the thread is mid-exit and
                     # never re-acquired): nothing to unblock.
                     pass
+        # After a wall-clock hang abort the stuck rank thread cannot be
+        # poisoned out of host code — don't wait for it (it is a daemon
+        # thread, and the engine must not be reused after a wall hang).
+        join_timeout = 0.2 if self._wall_hang else 5.0
         for p in self.procs:
             if p.thread.is_alive():
-                p.thread.join(timeout=5.0)
+                p.thread.join(timeout=join_timeout)
         self._poison = False

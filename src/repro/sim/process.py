@@ -69,6 +69,8 @@ class Env:
             raise ValueError(f"compute() needs seconds >= 0, got {seconds}")
         self._check_current()
         self._proc.now += seconds
+        if seconds > 0:
+            self._engine.note_progress()
         self._engine.stats.compute_seconds += seconds
         if label is not None:
             self._engine.trace_event("compute", seconds=seconds, label=label)
@@ -83,11 +85,14 @@ class Env:
         if seconds < 0:
             raise ValueError(f"advance() needs seconds >= 0, got {seconds}")
         self._proc.now += seconds
+        if seconds > 0:
+            self._engine.note_progress()
 
     def advance_to(self, time: float) -> None:
         """Advance the clock to ``max(now, time)`` without yielding."""
         if time > self._proc.now:
             self._proc.now = time
+            self._engine.note_progress()
 
     def yield_(self) -> None:
         """Give ranks at earlier virtual times a chance to run."""

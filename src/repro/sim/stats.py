@@ -45,6 +45,16 @@ class SimStats:
     #: dispatch loop, including rank execution) — the quantity
     #: ``benchmarks/bench_engine_scaling.py`` tracks against P.
     dispatch_wall_seconds: float = 0.0
+    #: Injected fault events, by kind (``"jitter"``, ``"reorder"``,
+    #: ``"drop"``, ``"stall"``, ``"crash"``).
+    faults: Counter = field(default_factory=Counter)
+    #: Seed of the bound :class:`repro.faults.FaultPlan`, recorded so a
+    #: failure report is replayable; ``None`` when no plan was bound.
+    fault_seed: int | None = None
+
+    def count_fault(self, kind: str, n: int = 1) -> None:
+        """Record ``n`` injected fault events of one kind."""
+        self.faults[kind] += n
 
     def count_message(self, kind: str, nbytes: int) -> None:
         """Record one completed transfer of ``nbytes``."""
@@ -87,4 +97,7 @@ class SimStats:
             f"heap_ops={self.heap_ops}",
             f"dispatch_wall={self.dispatch_wall_seconds:.3g}s",
         ]
+        if self.fault_seed is not None:
+            parts.append(f"fault_seed={self.fault_seed}")
+            parts.append(f"faults={sum(self.faults.values())}")
         return ", ".join(parts)

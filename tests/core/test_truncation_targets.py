@@ -1,0 +1,143 @@
+"""Truncation and datatype-signature mismatch across all three
+lowering targets.
+
+The directive layer promises the same semantics whatever the lowering;
+that includes the *failure* semantics when buffers disagree: an
+oversized payload must surface a truncation-class error, and mismatched
+element types must be rejected before any transfer is generated.
+"""
+
+import numpy as np
+import pytest
+
+from repro import mpi, shmem
+from repro.core import comm_p2p
+from repro.errors import (
+    ClauseError,
+    ShmemError,
+    SimProcessError,
+    TruncationError,
+)
+from repro.netmodel import zero_model
+from repro.sim import Engine
+
+ALL_TARGETS = ("TARGET_COMM_MPI_2SIDE", "TARGET_COMM_MPI_1SIDE",
+               "TARGET_COMM_SHMEM")
+
+
+def run(nprocs, fn):
+    model = zero_model()
+    eng = Engine(nprocs)
+
+    def main(env):
+        mpi.init(env, model)
+        return fn(env)
+
+    return eng.run(main), eng
+
+
+def _oversized_prog(env, target):
+    """Sender pushes 8 elements; the receiver's buffer holds 4.
+
+    SPMD rank-dependent shapes make the mismatch invisible to each
+    rank's local count inference — exactly how real truncation bugs
+    arise."""
+    src = np.arange(8.0)
+    dst = np.zeros(8 if env.rank == 0 else 4)
+    count = {"count": 8} if env.rank == 0 else {}  # receiver infers 4
+    with comm_p2p(env, sender=0, receiver=1,
+                  sendwhen=env.rank == 0, receivewhen=env.rank == 1,
+                  sbuf=src, rbuf=dst, target=target, **count):
+        pass
+    return dst.tolist()
+
+
+class TestTruncation:
+    def test_mpi2s_truncation_detected_at_delivery(self):
+        with pytest.raises(SimProcessError) as ei:
+            run(2, lambda env: _oversized_prog(
+                env, "TARGET_COMM_MPI_2SIDE"))
+        assert isinstance(ei.value.original, TruncationError)
+        assert "truncated" in str(ei.value.original)
+
+    def test_mpi1s_truncation_detected_at_put(self):
+        with pytest.raises(SimProcessError) as ei:
+            run(2, lambda env: _oversized_prog(
+                env, "TARGET_COMM_MPI_1SIDE"))
+        assert isinstance(ei.value.original, TruncationError)
+        assert "exceeds the exposed" in str(ei.value.original)
+
+    def test_shmem_overflowing_put_rejected(self):
+        """The SHMEM lowering cannot reach rank-asymmetric rbuf sizes —
+        the symmetric heap forces identical collective allocations — so
+        its truncation guard lives at the put itself."""
+        def prog(env):
+            sh = shmem.init(env)
+            dst = sh.malloc(4, np.float64)
+            if env.rank == 0:
+                sh.put(dst, np.arange(8.0), 1)
+            return None
+
+        with pytest.raises(SimProcessError) as ei:
+            run(2, prog)
+        assert isinstance(ei.value.original, ShmemError)
+        assert "exceeds the 4-element symmetric buffer" in str(
+            ei.value.original)
+
+    @pytest.mark.parametrize("target", ALL_TARGETS)
+    def test_explicit_count_overflow_rejected_preflight(self, target):
+        """count larger than a listed buffer is a clause error on every
+        target, caught before any traffic is generated."""
+        def prog(env):
+            sh = shmem.init(env)
+            dst = (sh.malloc(4, np.float64)
+                   if target == "TARGET_COMM_SHMEM" else np.zeros(4))
+            with comm_p2p(env, sender=0, receiver=1,
+                          sendwhen=env.rank == 0,
+                          receivewhen=env.rank == 1,
+                          sbuf=np.arange(8.0), rbuf=dst, count=8,
+                          target=target):
+                pass
+
+        with pytest.raises(SimProcessError) as ei:
+            run(2, prog)
+        assert isinstance(ei.value.original, ClauseError)
+        assert "count 8 exceeds" in str(ei.value.original)
+
+
+class TestSignatureMismatch:
+    @pytest.mark.parametrize("target", ALL_TARGETS)
+    def test_element_size_mismatch_rejected(self, target):
+        """float64 sbuf against a float32 rbuf: the generated transfer
+        would reinterpret elements — every lowering must refuse."""
+        def prog(env):
+            sh = shmem.init(env)
+            dst = (sh.malloc(5, np.float32)
+                   if target == "TARGET_COMM_SHMEM"
+                   else np.zeros(5, np.float32))
+            with comm_p2p(env, sender=0, receiver=1,
+                          sendwhen=env.rank == 0,
+                          receivewhen=env.rank == 1,
+                          sbuf=np.arange(5.0), rbuf=dst, target=target):
+                pass
+
+        with pytest.raises(SimProcessError) as ei:
+            run(2, prog)
+        assert isinstance(ei.value.original, ClauseError)
+        assert "element sizes differ" in str(ei.value.original)
+
+    def test_shmem_typed_call_signature_enforced(self):
+        """The typed-put family embeds the datatype in the call name
+        (Section III-A); a mismatched source must be rejected."""
+        def prog(env):
+            sh = shmem.init(env)
+            dst = sh.malloc(3, np.float64)
+            if env.rank == 0:
+                sh.put_double(dst, np.zeros(3, np.float32), 1)
+            return None
+
+        with pytest.raises(SimProcessError) as ei:
+            run(2, prog)
+        assert isinstance(ei.value.original, ShmemError)
+        assert "does not match the call's 8-byte type" in str(
+            ei.value.original)

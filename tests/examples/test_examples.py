@@ -55,3 +55,11 @@ def test_stencil2d():
     out = run_example("stencil2d.py")
     assert "max error 0.00e+00" in out
     assert "communication matrix" in out
+
+
+def test_fault_injection():
+    out = run_example("fault_injection.py")
+    assert "data identical on all 5 ranks" in out
+    assert "<- stalled" in out
+    assert "failed ranks: [2]" in out
+    assert "passed" in out

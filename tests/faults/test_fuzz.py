@@ -1,0 +1,67 @@
+"""Sync-plan fuzzer: quick sweeps inline, the full CI sweep as slow,
+and the must-catch case — a deliberately weakened sync plan."""
+
+import pytest
+
+import repro.core.region as region
+from repro.faults import CASE_NAMES, FUZZ_TARGETS, FaultPlan, fuzz, fuzz_one
+
+QUICK_PATTERNS = ("ring", "evenodd")
+
+
+class TestQuickSweep:
+    @pytest.mark.parametrize("target", FUZZ_TARGETS)
+    def test_patterns_survive_adversarial_timing(self, target):
+        failures = fuzz(patterns=QUICK_PATTERNS, targets=(target,),
+                        seeds=range(3))
+        assert failures == []
+
+    def test_halo_and_butterfly_one_seed_each_target(self):
+        for pattern in ("halo2d", "butterfly"):
+            for target in FUZZ_TARGETS:
+                assert fuzz_one(pattern, target, 1) is None
+
+    def test_custom_plan_replay(self):
+        plan = FaultPlan(seed=4, delay_jitter=1e-4, reorder_prob=0.5,
+                         drop_prob=0.2)
+        assert fuzz_one("ring", "TARGET_COMM_MPI_2SIDE", 4,
+                        plan=plan) is None
+
+
+class TestWeakenedSyncIsCaught:
+    """Acceptance: a sync plan that silently drops one receive handle
+    must produce a reported failure on every lowering target."""
+
+    @pytest.fixture()
+    def weakened_sync(self, monkeypatch):
+        orig = region.PendingComm.sync
+
+        def weakened(self, env):
+            if self.recvs:
+                self.recvs.pop()
+            return orig(self, env)
+
+        monkeypatch.setattr(region.PendingComm, "sync", weakened)
+
+    @pytest.mark.parametrize("target", FUZZ_TARGETS)
+    def test_dropped_recv_handle_detected(self, weakened_sync, target):
+        failure = fuzz_one("ring", target, 0)
+        assert failure is not None
+        assert failure.pattern == "ring" and failure.target == target
+        assert "seed=0" in str(failure)   # replay instructions
+
+    def test_failure_reports_the_divergent_rank(self, weakened_sync):
+        failure = fuzz_one("ring", "TARGET_COMM_MPI_2SIDE", 0)
+        assert "rank" in failure.detail
+        assert "expected" in failure.detail and "got" in failure.detail
+
+
+@pytest.mark.slow
+class TestFullSweep:
+    """The CI fuzz job's workload: >= 50 seeds per (pattern, target)."""
+
+    @pytest.mark.parametrize("pattern", CASE_NAMES)
+    def test_fifty_seeds_every_target(self, pattern):
+        failures = fuzz(patterns=(pattern,), targets=FUZZ_TARGETS,
+                        seeds=range(50))
+        assert failures == [], "\n".join(str(f) for f in failures)

@@ -1,0 +1,147 @@
+"""Engine-level fault injection: jitter accounting, stalls, crashes and
+graceful degradation of the survivors."""
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.core import comm_p2p
+from repro.errors import RankFailedError, SimProcessError
+from repro.faults import FaultPlan, RankCrash, RankStall, Watchdog
+from repro.netmodel import gemini_model
+from repro.sim import Engine
+
+_MODEL = gemini_model()
+
+
+def _ring_main(env):
+    prev = (env.rank - 1 + env.size) % env.size
+    nxt = (env.rank + 1) % env.size
+    out = np.arange(4.0) + env.rank
+    inb = np.zeros(4)
+    with comm_p2p(env, sender=prev, receiver=nxt, sbuf=out, rbuf=inb):
+        pass
+    return inb.tolist()
+
+
+def _main(env):
+    mpi.init(env, _MODEL)
+    return _ring_main(env)
+
+
+class TestTimingPerturbation:
+    def test_jitter_changes_times_not_data(self):
+        clean = Engine(4)
+        r0 = clean.run(_main)
+        plan = FaultPlan.jitter(9)
+        eng = Engine(4, faults=plan)
+        r1 = eng.run(_main)
+        assert r1.values == r0.values          # data identical
+        assert eng.stats.fault_seed == 9       # seed recorded for replay
+        assert sum(eng.stats.faults.values()) > 0
+        assert "fault_seed=9" in eng.stats.summary()
+
+    def test_perturbed_run_is_replayable(self):
+        plan = FaultPlan.jitter(42)
+        a = Engine(4, faults=plan).run(_main)
+        b = Engine(4, faults=plan).run(_main)
+        assert a.values == b.values
+        assert a.finish_times == b.finish_times
+
+
+class TestStall:
+    def test_stall_delays_the_rank_and_its_dependents(self):
+        base = Engine(4).run(_main)
+        plan = FaultPlan(seed=0, stalls=(RankStall(rank=1, at=0.0,
+                                                   duration=0.25),))
+        eng = Engine(4, faults=plan)
+        res = eng.run(_main)
+        assert res.values == base.values
+        assert res.finish_times[1] >= 0.25
+        # rank 2 receives from rank 1, so it is dragged along.
+        assert res.finish_times[2] >= 0.25
+        assert eng.stats.faults["stall"] == 1
+
+    def test_stall_fires_once(self):
+        plan = FaultPlan(seed=0, stalls=(RankStall(rank=0, at=0.0,
+                                                   duration=0.1),))
+        eng = Engine(2, faults=plan)
+        res = eng.run(_main)
+        assert eng.stats.faults["stall"] == 1
+        assert res.finish_times[0] < 0.3   # stalled once, not per slice
+
+
+class TestCrash:
+    def test_ring_crash_raises_rank_failed_naming_the_rank(self):
+        """Acceptance: a crashed rank in the ring terminates the run
+        promptly with a RankFailedError naming the failed rank."""
+        plan = FaultPlan(seed=1, crashes=(RankCrash(rank=2, at=0.0),))
+        eng = Engine(5, faults=plan, watchdog=Watchdog(wall_timeout=30.0))
+        with pytest.raises(RankFailedError) as ei:
+            eng.run(_main)
+        assert ei.value.failed == (2,)
+        assert "rank 2" in str(ei.value)
+        assert eng.stats.faults["crash"] == 1
+
+    def test_crash_error_is_not_wrapped(self):
+        """Engine-level aborts surface as themselves, not wrapped in
+        SimProcessError like user exceptions are."""
+        plan = FaultPlan(seed=1, crashes=(RankCrash(rank=1, at=0.0),))
+        with pytest.raises(RankFailedError):
+            try:
+                Engine(3, faults=plan).run(_main)
+            except SimProcessError:  # pragma: no cover
+                pytest.fail("RankFailedError must not be wrapped")
+
+    def test_survivors_without_dependency_complete_degraded(self):
+        """Ranks that never touch the dead peer finish; the result
+        records the failure instead of raising."""
+        def main(env):
+            comm = mpi.init(env, _MODEL)
+            if env.rank in (0, 1):
+                # pair 0<->1 communicates; ranks 2 (dead) and 3 are idle
+                peer = 1 - env.rank
+                out = np.full(2, float(env.rank))
+                inb = np.zeros(2)
+                comm.Sendrecv(out, dest=peer, recvbuf=inb, source=peer)
+                return inb.tolist()
+            env.compute(1e-6)
+            return None
+
+        plan = FaultPlan(seed=0, crashes=(RankCrash(rank=2, at=0.0),))
+        eng = Engine(4, faults=plan)
+        res = eng.run(main)
+        assert res.failed_ranks == (2,)
+        assert res.values[0] == [1.0, 1.0]
+        assert res.values[1] == [0.0, 0.0]
+
+    def test_blocked_survivors_get_diagnosed_not_deadlocked(self):
+        """A survivor already blocked on the dead rank when quiescence
+        hits gets a RankFailedError report, not a plain deadlock."""
+        def main(env):
+            comm = mpi.init(env, _MODEL)
+            inb = np.zeros(2)
+            if env.rank == 0:
+                comm.Recv(inb, source=1)   # rank 1 dies before sending
+            return None
+
+        plan = FaultPlan(seed=0, crashes=(RankCrash(rank=1, at=0.0),))
+        with pytest.raises(RankFailedError) as ei:
+            Engine(2, faults=plan).run(main)
+        assert 1 in ei.value.failed
+        assert "crashed" in str(ei.value)
+
+    def test_eager_peer_check_names_caller_and_victim(self):
+        plan = FaultPlan(seed=0, crashes=(RankCrash(rank=1, at=0.0),))
+
+        def main(env):
+            comm = mpi.init(env, _MODEL)
+            if env.rank == 0:
+                env.compute(1.0)  # give the crash time to land
+                comm.Send(np.zeros(2), dest=1)
+            return None
+
+        with pytest.raises(RankFailedError) as ei:
+            Engine(2, faults=plan).run(main)
+        msg = str(ei.value)
+        assert "rank 0" in msg and "rank 1" in msg

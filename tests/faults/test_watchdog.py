@@ -1,0 +1,76 @@
+"""Progress watchdog: wall-clock hangs and virtual-time livelock."""
+
+import threading
+
+import pytest
+
+from repro.errors import SimHangError
+from repro.faults import Watchdog
+from repro.sim import Engine
+
+
+class TestConfig:
+    def test_limits_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Watchdog(wall_timeout=0.0)
+        with pytest.raises(ValueError):
+            Watchdog(stall_events=0)
+
+    def test_none_disables_a_check(self):
+        wd = Watchdog(wall_timeout=None, stall_events=None)
+        assert wd.wall_timeout is None and wd.stall_events is None
+
+
+class TestWallHang:
+    def test_wedged_host_thread_is_reported(self):
+        """A rank stuck outside the engine's control (here: waiting on
+        an Event nobody sets) produces a SimHangError with a per-rank
+        report instead of hanging the host forever."""
+        def main(env):
+            if env.rank == 0:
+                threading.Event().wait()  # never returns
+            env.compute(1e-6)
+            return None
+
+        eng = Engine(2, watchdog=Watchdog(wall_timeout=0.3))
+        with pytest.raises(SimHangError) as ei:
+            eng.run(main)
+        assert "no scheduling activity" in str(ei.value)
+        assert "rank 0" in ei.value.report
+
+    def test_healthy_run_is_untouched(self):
+        def main(env):
+            env.compute(1e-3)
+            return env.rank
+
+        eng = Engine(3, watchdog=Watchdog(wall_timeout=5.0))
+        assert eng.run(main).values == [0, 1, 2]
+
+
+class TestVirtualStall:
+    def test_livelocked_polling_is_reported(self):
+        """Every rank spinning yield_() with no progress anywhere must
+        trip the stall watchdog (virtual time cannot advance)."""
+        def main(env):
+            while True:
+                env.yield_()
+
+        eng = Engine(2, watchdog=Watchdog(wall_timeout=None,
+                                          stall_events=200))
+        with pytest.raises(SimHangError) as ei:
+            eng.run(main)
+        assert ei.value.report  # carries the per-rank progress report
+
+    def test_progress_resets_the_stall_counter(self):
+        """Long but *productive* polling loops stay under the limit:
+        compute() in between resets the no-progress count."""
+        def main(env):
+            for _ in range(50):
+                for _ in range(10):
+                    env.yield_()
+                env.compute(1e-9)
+            return env.rank
+
+        eng = Engine(2, watchdog=Watchdog(wall_timeout=None,
+                                          stall_events=100))
+        assert eng.run(main).values == [0, 1]

@@ -1,0 +1,30 @@
+"""NetModelError: unknown transports fail as repro errors, not as a
+bare dict KeyError."""
+
+import pytest
+
+from repro.errors import NetModelError, ReproError
+from repro.netmodel import gemini_model
+
+
+class TestUnknownTransport:
+    def test_raises_netmodel_error(self):
+        with pytest.raises(NetModelError) as ei:
+            gemini_model().transport("bogus")
+        msg = str(ei.value)
+        assert "bogus" in msg
+        assert "available" in msg  # lists what the model does provide
+
+    def test_is_both_repro_error_and_keyerror(self):
+        """New code can catch ReproError; old call sites written around
+        the mapping-lookup contract keep working."""
+        with pytest.raises(ReproError):
+            gemini_model().transport("bogus")
+        with pytest.raises(KeyError):
+            gemini_model().transport("bogus")
+
+    def test_str_is_not_keyerror_repr(self):
+        """KeyError.__str__ would repr() the message into quoted
+        noise; NetModelError must read like an exception message."""
+        err = NetModelError("no transport 'x'")
+        assert str(err) == "no transport 'x'"

@@ -1,0 +1,49 @@
+"""SimProcessError diagnostics: the remote traceback travels with the
+wrapper so the failing user line is visible on the driving thread."""
+
+import pytest
+
+from repro.errors import SimProcessError
+from repro.sim import Engine
+
+
+def _boom(env):
+    marker_line = None  # noqa: F841 - anchors the line-number check
+    raise ValueError(f"bad state on rank {env.rank}")
+
+
+class TestRemoteTraceback:
+    def test_user_line_number_in_message(self):
+        """The line of `_boom` that raised must appear in the error."""
+        eng = Engine(2)
+        with pytest.raises(SimProcessError) as ei:
+            eng.run(_boom)
+        err = ei.value
+        raise_line = _boom.__code__.co_firstlineno + 2
+        assert f"test_process_error.py\", line {raise_line}" in str(err)
+        assert "_boom" in str(err)
+        assert 'raise ValueError(f"bad state on rank' in str(err)
+
+    def test_original_and_rank_preserved(self):
+        eng = Engine(3)
+        with pytest.raises(SimProcessError) as ei:
+            eng.run(_boom)
+        err = ei.value
+        assert isinstance(err.original, ValueError)
+        assert f"rank {err.rank}" in str(err)
+        assert err.remote_traceback  # full formatted traceback attached
+
+    def test_nested_frames_are_kept(self):
+        """Frames below the entry point (helpers the user called) stay
+        in the report — the whole remote stack, not just the tip."""
+        def helper():
+            raise RuntimeError("deep failure")
+
+        def main(env):
+            helper()
+
+        with pytest.raises(SimProcessError) as ei:
+            Engine(1).run(main)
+        msg = str(ei.value)
+        assert "helper" in msg and "deep failure" in msg
+        assert "--- traceback on rank 0 ---" in msg
