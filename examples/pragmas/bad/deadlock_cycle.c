@@ -1,0 +1,22 @@
+/* Seeded deadlock for repro-lint's CI001 proof (kept out of the CI
+ * glob on purpose): region one only *receives* — its end-of-region
+ * synchronization waits for messages that are sent in region two,
+ * which every rank reaches only after that wait. The cross-rank
+ * wait-for graph is a cycle on every lowering target. */
+double x[256];
+double y[256];
+int rank, nprocs;
+
+#pragma comm_parameters sender((rank+1)%nprocs) receiver((rank-1+nprocs)%nprocs) sbuf(x) rbuf(y)
+{
+#pragma comm_p2p sendwhen(0) receivewhen(1)
+{
+}
+}
+between_phases();
+#pragma comm_parameters sender((rank+1)%nprocs) receiver((rank-1+nprocs)%nprocs) sbuf(x) rbuf(y)
+{
+#pragma comm_p2p sendwhen(1) receivewhen(0)
+{
+}
+}

@@ -1,0 +1,14 @@
+/* Even/odd pairwise exchange: even ranks send to their odd right
+ * neighbour. The region's clauses apply to the single instance. */
+double a[512];
+double b[512];
+int rank, nprocs;
+
+#pragma comm_parameters sender(rank-1) receiver(rank+1) sendwhen(rank%2==0 && rank+1<nprocs) receivewhen(rank%2==1) sbuf(a) rbuf(b)
+{
+#pragma comm_p2p
+{
+    overlap_work();
+}
+}
+consume(b);

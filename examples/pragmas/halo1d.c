@@ -1,0 +1,14 @@
+/* 1-D halo exchange: two shifts in one region, independent buffers,
+ * so one consolidated synchronization covers both directives. */
+double right_edge[64];
+double left_halo[64];
+double left_edge[64];
+double right_halo[64];
+int rank, nprocs;
+
+#pragma comm_parameters place_sync(END_PARAM_REGION)
+{
+#pragma comm_p2p sender(rank-1) receiver(rank+1) sendwhen(rank<nprocs-1) receivewhen(rank>0) sbuf(right_edge) rbuf(left_halo)
+#pragma comm_p2p sender(rank+1) receiver(rank-1) sendwhen(rank>0) receivewhen(rank<nprocs-1) sbuf(left_edge) rbuf(right_halo)
+}
+stencil(left_halo, right_halo);

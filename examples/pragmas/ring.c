@@ -1,0 +1,11 @@
+/* Ring shift: every rank sends its buffer one neighbour clockwise.
+ * Clean under repro-lint on all three lowering targets. */
+double sbuf[1024];
+double rbuf[1024];
+int rank, nprocs;
+
+#pragma comm_p2p sender((rank-1+nprocs)%nprocs) receiver((rank+1)%nprocs) sbuf(sbuf) rbuf(rbuf)
+{
+    compute_interior();
+}
+consume(rbuf);

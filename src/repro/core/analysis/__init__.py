@@ -24,12 +24,40 @@ from repro.core.analysis.dataflow import (
     validate_matching,
 )
 from repro.core.analysis.overlap import overlap_legal
-from repro.core.analysis.lint import Diagnostic, LintReport, lint_program
+from repro.core.analysis.codes import (
+    DEADLOCK_CODES,
+    RULES,
+    STALE_READ_CODES,
+    Diagnostic,
+    Rule,
+    severity_of,
+)
+from repro.core.analysis.lint import (
+    LintReport,
+    lint_program,
+    render_json,
+    render_sarif,
+)
+from repro.core.analysis.verify import (
+    WEAKENINGS,
+    VerifyReport,
+    verify_program,
+)
 
 __all__ = [
+    "DEADLOCK_CODES",
+    "RULES",
+    "STALE_READ_CODES",
     "Diagnostic",
+    "Rule",
+    "severity_of",
     "LintReport",
     "lint_program",
+    "render_json",
+    "render_sarif",
+    "WEAKENINGS",
+    "VerifyReport",
+    "verify_program",
     "arrays_independent",
     "buffer_names",
     "names_independent",

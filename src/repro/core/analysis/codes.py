@@ -1,0 +1,165 @@
+"""Stable diagnostic codes and the :class:`Diagnostic` record.
+
+Every finding of the static analyses carries a ``CI``-prefixed code so
+tool output is machine-checkable and diff-stable: CLI text, JSON and
+SARIF renderers, CI gates, and the docs table in ``docs/LINT.md`` all
+key on these. Codes are append-only — a released code never changes
+meaning.
+
+Code ranges:
+
+* ``CI000``         — pragma syntax errors (the parser rejected the file);
+* ``CI001``–``CI009`` — deadlock and matching proofs (happens-before);
+* ``CI010``–``CI019`` — stale-read proofs (data guaranteed by sync);
+* ``CI020``–``CI029`` — synchronization-consolidation safety;
+* ``CI030``–``CI039`` — clause/declaration/inference validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Severity spellings, strongest first (ordering key for reports).
+SEVERITIES: tuple[str, ...] = ("error", "warning", "info")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One diagnostic rule: a stable code with its default severity."""
+
+    code: str
+    name: str
+    severity: str
+    summary: str
+    #: Generic remediation text (diagnostics may carry a sharper one).
+    fixit: str = ""
+
+
+RULES: dict[str, Rule] = {r.code: r for r in (
+    Rule("CI000", "pragma-syntax-error", "error",
+         "the pragma parser rejected the annotated source"),
+    Rule("CI001", "deadlock-cycle", "error",
+         "cross-rank wait-for cycle: every rank in the cycle waits on "
+         "communication another member performs only after its own wait",
+         "move the synchronization point after the matching posts "
+         "(e.g. a later place_sync) or break the wait order"),
+    Rule("CI002", "deadlock-missing-message", "error",
+         "a synchronization waits for a message that is never sent",
+         "make the sender's sendwhen cover the expected source, or "
+         "guard the receive with a matching receivewhen"),
+    Rule("CI003", "deadlock-no-exposure", "error",
+         "a one-sided put has no reachable exposure epoch on the target",
+         "make the target's receivewhen true for this transfer so the "
+         "generated exposure epoch exists"),
+    Rule("CI004", "invalid-rank", "error",
+         "a sender/receiver expression evaluates outside 0..nprocs-1",
+         "clamp or guard the rank expression with sendwhen/receivewhen"),
+    Rule("CI005", "unreceived-send", "warning",
+         "a send targets a rank whose receivewhen is false"),
+    Rule("CI006", "mismatched-sender", "warning",
+         "a receiver's sender clause names a different rank than the "
+         "one that actually sends to it"),
+    Rule("CI010", "stale-read-overlap", "error",
+         "the overlap body references a buffer that is still in flight",
+         "move the access after the synchronization point, or drop the "
+         "buffer from the directive"),
+    Rule("CI011", "stale-read-unsynchronized", "error",
+         "a receive buffer is never guaranteed by any synchronization",
+         "add a synchronization covering the directive (place_sync / "
+         "comm_flush) before the data is consumed"),
+    Rule("CI012", "stale-read-before-sync", "error",
+         "a receive buffer is read before the synchronization that "
+         "guarantees it",
+         "move the read after the guaranteeing synchronization, or "
+         "synchronize earlier (place_sync(END_PARAM_REGION))"),
+    Rule("CI020", "unsafe-consolidation", "warning",
+         "consolidated directives share a buffer across regions; the "
+         "sync plan is downgraded with an extra split to stay correct"),
+    Rule("CI021", "consolidation-split", "warning",
+         "dependent buffers inside one region force synchronization "
+         "splits; consolidation is partial"),
+    Rule("CI030", "missing-clause", "error",
+         "a comm_p2p instance is missing required clauses"),
+    Rule("CI031", "inference-failure", "error",
+         "count/datatype inference failed (missing declaration, "
+         "pointer-only buffers, or mixed element types)"),
+    Rule("CI032", "not-evaluable", "info",
+         "clause expressions reference names with no static value; the "
+         "pattern cannot be unrolled for this world"),
+)}
+
+#: Codes whose findings prove a hang: the program cannot terminate.
+DEADLOCK_CODES: frozenset[str] = frozenset({"CI001", "CI002", "CI003"})
+
+#: Codes whose findings prove a stale read: data consumed unguaranteed.
+STALE_READ_CODES: frozenset[str] = frozenset({"CI010", "CI011", "CI012"})
+
+
+def severity_of(code: str) -> str:
+    """The default severity of a rule code."""
+    rule = RULES.get(code)
+    return rule.severity if rule is not None else "warning"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding about one directive (or the whole program).
+
+    ``code`` is the stable rule id (``CI001``...); ``directive`` is the
+    source line of the directive the finding is about (which may differ
+    from ``line``, the location the finding points at); ``target`` names
+    the lowering target the finding applies to (``"*"`` when it holds
+    for every target); ``fixit`` is optional remediation text.
+    """
+
+    severity: str        # "error" | "warning" | "info"
+    line: int
+    message: str
+    code: str = ""
+    directive: int | None = None
+    target: str | None = None
+    fixit: str = ""
+
+    def __str__(self) -> str:
+        code = f" [{self.code}]" if self.code else ""
+        tgt = (f" ({self.target})"
+               if self.target and self.target != "*" else "")
+        return f"{self.severity}{code}: line {self.line}: " \
+               f"{self.message}{tgt}"
+
+    def sort_key(self) -> tuple[int, str, int, str]:
+        """Deterministic report ordering: (line, code, severity, msg)."""
+        sev = (SEVERITIES.index(self.severity)
+               if self.severity in SEVERITIES else len(SEVERITIES))
+        return (self.line, self.code, sev, self.message)
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready representation (stable field order)."""
+        out: dict[str, object] = {
+            "code": self.code,
+            "severity": self.severity,
+            "line": self.line,
+            "message": self.message,
+        }
+        if self.directive is not None:
+            out["directive"] = self.directive
+        if self.target is not None:
+            out["target"] = self.target
+        if self.fixit:
+            out["fixit"] = self.fixit
+        return out
+
+
+def make(code: str, line: int, message: str, *,
+         directive: int | None = None, target: str | None = None,
+         fixit: str | None = None,
+         severity: str | None = None) -> Diagnostic:
+    """Build a diagnostic for a rule, defaulting severity and fix-it."""
+    rule = RULES.get(code)
+    if severity is None:
+        severity = rule.severity if rule is not None else "warning"
+    if fixit is None:
+        fixit = rule.fixit if rule is not None else ""
+    return Diagnostic(severity=severity, line=line, message=message,
+                      code=code, directive=directive, target=target,
+                      fixit=fixit)

@@ -49,14 +49,23 @@ class CommGraph:
 
 @dataclass(frozen=True)
 class MatchingIssue:
-    """One inconsistency between the send and receive sides."""
+    """One inconsistency between the send and receive sides.
+
+    ``src``/``dst`` identify the offending sender→receiver pair so
+    every rendering names both ends of the transfer, not just the rank
+    the issue was detected on.
+    """
 
     kind: str       # "unreceived-send" | "unsatisfied-receive" | ...
     rank: int
     detail: str
+    src: int | None = None
+    dst: int | None = None
 
     def __str__(self) -> str:
-        return f"[{self.kind}] rank {self.rank}: {self.detail}"
+        pair = (f" ({self.src}->{self.dst})"
+                if self.src is not None and self.dst is not None else "")
+        return f"[{self.kind}] rank {self.rank}{pair}: {self.detail}"
 
 
 def _vars_for(rank: int, nprocs: int,
@@ -108,29 +117,30 @@ def validate_matching(graph: CommGraph) -> list[MatchingIssue]:
             issues.append(MatchingIssue(
                 "invalid-destination", s,
                 f"receiver expression evaluates to {d}, outside "
-                f"0..{graph.nprocs - 1}"))
+                f"0..{graph.nprocs - 1}", src=s, dst=d))
             continue
         incoming.setdefault(d, []).append(s)
         if d not in graph.expects:
             issues.append(MatchingIssue(
                 "unreceived-send", s,
-                f"sends to rank {d}, whose receivewhen is false"))
+                f"sends to rank {d}, whose receivewhen is false",
+                src=s, dst=d))
         elif graph.expects[d] != s:
             issues.append(MatchingIssue(
                 "mismatched-sender", d,
                 f"expects source {graph.expects[d]} but rank {s} "
-                f"sends to it"))
+                f"sends to it", src=s, dst=d))
     for r, src in graph.expects.items():
         if not 0 <= src < graph.nprocs:
             issues.append(MatchingIssue(
                 "invalid-source", r,
                 f"sender expression evaluates to {src}, outside "
-                f"0..{graph.nprocs - 1}"))
+                f"0..{graph.nprocs - 1}", src=src, dst=r))
         elif src not in [s for s in incoming.get(r, [])]:
             issues.append(MatchingIssue(
                 "unsatisfied-receive", r,
                 f"expects a message from rank {src}, which never sends "
-                "to it"))
+                "to it", src=src, dst=r))
     return issues
 
 

@@ -1,0 +1,179 @@
+"""Happens-before graph over per-rank symbolic event traces.
+
+The verifier (:mod:`repro.core.analysis.verify`) unrolls a directive
+program into one event trace per rank — posts, synchronization calls,
+and buffer uses. This module holds the graph machinery those traces
+feed:
+
+* **events** are totally ordered within a rank (program order) and
+  cross-rank edges express what an event *waits for* before it can
+  execute (a Waitall waiting for the matching post, a one-sided put
+  waiting for its exposure epoch, a notify-wait waiting for the
+  origin's flush);
+* the **executability fixpoint** computes which events can ever run: an
+  event runs once everything before it on its rank ran and every
+  cross-rank prerequisite ran. Events left non-executable are a proof
+  of deadlock — either a prerequisite is *missing* (a wait on a message
+  nobody sends) or the blocked events form a cross-rank cycle;
+* :func:`find_cycle` recovers the rank-level wait cycle for the
+  diagnostic message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Event kinds.
+POST_SEND = "post_send"
+POST_RECV = "post_recv"
+SYNC = "sync"
+USE = "use"
+
+
+@dataclass(eq=False)
+class Event:
+    """One abstract operation on one rank (identity-hashed)."""
+
+    rank: int
+    index: int                      # position in the rank's trace
+    kind: str                       # POST_SEND | POST_RECV | SYNC | USE
+    line: int = 0                   # source line for diagnostics
+    #: Line of the directive this event belongs to (posts/overlap uses).
+    directive: int | None = None
+    #: Peer rank: destination for sends, source for receives.
+    peer: int | None = None
+    #: Buffer base names the event touches (posts and uses).
+    names: frozenset[str] = frozenset()
+    #: Directive lines whose overlap body lexically encloses this event.
+    enclosing: tuple[int, ...] = ()
+
+    def describe(self) -> str:
+        """Short human-readable description for diagnostics."""
+        if self.kind == POST_SEND:
+            return f"send to rank {self.peer} (line {self.line})"
+        if self.kind == POST_RECV:
+            return f"receive from rank {self.peer} (line {self.line})"
+        if self.kind == SYNC:
+            return f"synchronization at line {self.line}"
+        return f"use of {sorted(self.names)} at line {self.line}"
+
+
+@dataclass(eq=False)
+class Handle:
+    """One posted message half awaiting synchronization (static twin of
+    the runtime's Send/RecvHandle)."""
+
+    kind: str                       # "send" | "recv"
+    rank: int
+    peer: int                       # dest for sends, source for recvs
+    post: Event
+    directive: int                  # directive source line
+    names: frozenset[str]           # buffer base names it moves
+    target: str                     # lowering target keyword
+    #: The sync event that completed this handle; None when a weakened
+    #: plan discarded it (the runtime handle was dropped before sync).
+    sync: Event | None = None
+    #: The matched opposite half on the peer rank, if any.
+    matched: "Handle | None" = None
+    #: id() of the enclosing region node; None for standalone p2p.
+    region_key: int | None = None
+
+
+@dataclass
+class HBGraph:
+    """Per-rank traces plus cross-rank waits-for dependencies."""
+
+    nprocs: int
+    traces: list[list[Event]] = field(default_factory=list)
+    #: Cross-rank prerequisites: event -> events it waits for.
+    deps: dict[Event, list[Event]] = field(default_factory=dict)
+    #: Unsatisfiable prerequisites: event -> human-readable reasons
+    #: paired with the rule code that proves the deadlock.
+    missing: dict[Event, list[tuple[str, str, int | None]]] = field(
+        default_factory=dict)
+
+    def add_dep(self, event: Event, prerequisite: Event) -> None:
+        """Record that ``event`` cannot execute before ``prerequisite``."""
+        self.deps.setdefault(event, []).append(prerequisite)
+
+    def add_missing(self, event: Event, code: str, reason: str,
+                    directive: int | None = None) -> None:
+        """Record a prerequisite that no rank ever produces.
+
+        ``directive`` is the source line of the directive whose
+        communication is unsatisfiable (the event itself may be a
+        consolidated sync covering several directives).
+        """
+        self.missing.setdefault(event, []).append((code, reason, directive))
+
+    # -- executability ----------------------------------------------------
+
+    def executable(self) -> set[Event]:
+        """Least fixpoint of events that can ever run.
+
+        A rank's events execute in order; each event additionally needs
+        its cross-rank prerequisites. An event with a missing
+        prerequisite blocks its rank permanently.
+        """
+        done: set[Event] = set()
+        progress = [0] * len(self.traces)
+        changed = True
+        while changed:
+            changed = False
+            for rank, trace in enumerate(self.traces):
+                i = progress[rank]
+                while i < len(trace):
+                    event = trace[i]
+                    if event in self.missing:
+                        break
+                    if any(d not in done for d in
+                           self.deps.get(event, ())):
+                        break
+                    done.add(event)
+                    i += 1
+                    changed = True
+                progress[rank] = i
+        return done
+
+    def blocked_frontier(self, done: set[Event]) -> list[Event]:
+        """Each rank's first non-executable event (ranks that finish
+        their trace contribute nothing)."""
+        frontier: list[Event] = []
+        for trace in self.traces:
+            for event in trace:
+                if event not in done:
+                    frontier.append(event)
+                    break
+        return frontier
+
+
+def find_cycle(graph: HBGraph, done: set[Event]) -> list[Event]:
+    """A cross-rank wait cycle among the blocked frontier events.
+
+    Each blocked event waits (directly, or transitively through its
+    rank's program order) on some other rank's blocked event; following
+    that relation from any frontier event must revisit a rank, closing
+    the cycle. Returns the frontier events forming the cycle, in wait
+    order; empty when the blockage is caused by missing prerequisites
+    only.
+    """
+    frontier = {e.rank: e for e in graph.blocked_frontier(done)}
+
+    def next_blocked(event: Event) -> Event | None:
+        for dep in graph.deps.get(event, ()):
+            if dep not in done:
+                # The dependency itself is blocked on its own rank's
+                # frontier (it cannot run because an earlier event on
+                # its rank is stuck, or it is the stuck event).
+                return frontier.get(dep.rank)
+        return None
+
+    for start in frontier.values():
+        seen: list[Event] = []
+        cur: Event | None = start
+        while cur is not None and cur not in seen:
+            seen.append(cur)
+            cur = next_blocked(cur)
+        if cur is not None:
+            return seen[seen.index(cur):]
+    return []

@@ -2,15 +2,25 @@
 
 Bundles the static analyses into one diagnostic pass over a parsed
 :class:`~repro.core.ir.Program` — the "automated analysis" the paper
-argues directives enable that raw MPI defeats. Produces structured
-:class:`Diagnostic` records a tool (or the CLI's ``--analyze``) can
-render.
+argues directives enable that raw MPI defeats. Per-directive checks
+(clause completeness, count inference, SPMD matching, overlap legality)
+are combined with the whole-program verifier
+(:mod:`repro.core.analysis.verify`), which proves deadlock freedom,
+stale-read freedom and consolidation safety for every lowering target.
+
+Findings are :class:`~repro.core.analysis.codes.Diagnostic` records
+with stable ``CI``-prefixed codes; :func:`render_json` and
+:func:`render_sarif` serialize a report for tooling (SARIF 2.1.0 for
+code-scanning UIs), and the ``repro-lint`` console entry point
+(:mod:`repro.core.pragma.__main__`) drives all of it from the shell.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
+from repro.core.analysis.codes import RULES, Diagnostic, make
 from repro.core.analysis.dataflow import (
     classify_pattern,
     comm_graph,
@@ -18,21 +28,20 @@ from repro.core.analysis.dataflow import (
 )
 from repro.core.analysis.infer import infer_count_static
 from repro.core.analysis.overlap import overlap_legal
-from repro.core.analysis.syncopt import plan_synchronization
+from repro.core.analysis.syncopt import SyncPlan, plan_synchronization
+from repro.core.analysis.verify import verify_program
+from repro.core.clauses import Target
 from repro.core.ir import P2PNode, Program
-from repro.errors import ReproError
+from repro.errors import ReproError, VerificationError
 
-
-@dataclass(frozen=True)
-class Diagnostic:
-    """One finding about one directive (or the whole program)."""
-
-    severity: str        # "error" | "warning" | "info"
-    line: int
-    message: str
-
-    def __str__(self) -> str:
-        return f"{self.severity}: line {self.line}: {self.message}"
+#: MatchingIssue.kind -> diagnostic code.
+_MATCH_CODES = {
+    "invalid-destination": "CI004",
+    "invalid-source": "CI004",
+    "unreceived-send": "CI005",
+    "mismatched-sender": "CI006",
+    "unsatisfied-receive": "CI005",
+}
 
 
 @dataclass
@@ -45,6 +54,8 @@ class LintReport:
     sync_calls: int = 0
     sync_reduction: float = 1.0
     patterns: dict[int, str] = field(default_factory=dict)
+    #: Source file the program came from ("" when linted from memory).
+    path: str = ""
 
     @property
     def errors(self) -> list[Diagnostic]:
@@ -55,6 +66,15 @@ class LintReport:
     def warnings(self) -> list[Diagnostic]:
         """Findings worth fixing but not fatal."""
         return [d for d in self.diagnostics if d.severity == "warning"]
+
+    def require_clean(self) -> None:
+        """Raise :class:`VerificationError` on error-severity findings."""
+        errors = self.errors
+        if errors:
+            listing = "\n".join(str(d) for d in errors)
+            raise VerificationError(
+                f"static verification refuted the program with "
+                f"{len(errors)} error(s):\n{listing}")
 
     def render(self) -> str:
         """Human-readable report text."""
@@ -69,10 +89,93 @@ class LintReport:
         return "\n".join(lines)
 
 
+def render_json(reports: list[LintReport]) -> str:
+    """Serialize lint reports as one JSON document."""
+    payload = []
+    for report in reports:
+        payload.append({
+            "path": report.path,
+            "n_directives": report.n_directives,
+            "n_regions": report.n_regions,
+            "sync_calls": report.sync_calls,
+            "sync_reduction": round(report.sync_reduction, 3),
+            "patterns": {str(k): v
+                         for k, v in sorted(report.patterns.items())},
+            "diagnostics": [d.as_dict() for d in report.diagnostics],
+        })
+    return json.dumps({"reports": payload}, indent=2)
+
+
+#: Diagnostic severity -> SARIF result level.
+_SARIF_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
+
+_SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                 "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+
+def render_sarif(reports: list[LintReport]) -> str:
+    """Serialize lint reports as a SARIF 2.1.0 log.
+
+    One run; one result per diagnostic; the rule metadata comes from
+    the :data:`~repro.core.analysis.codes.RULES` registry so viewers
+    can show the summary and fix-it text.
+    """
+    used = sorted({d.code for r in reports for d in r.diagnostics
+                   if d.code})
+    rules = []
+    for code in used:
+        rule = RULES.get(code)
+        entry: dict[str, object] = {"id": code}
+        if rule is not None:
+            entry["name"] = rule.name
+            entry["shortDescription"] = {"text": rule.summary}
+            if rule.fixit:
+                entry["help"] = {"text": rule.fixit}
+        rules.append(entry)
+    results = []
+    for report in reports:
+        for d in report.diagnostics:
+            result: dict[str, object] = {
+                "ruleId": d.code or "CI999",
+                "level": _SARIF_LEVELS.get(d.severity, "warning"),
+                "message": {"text": str(d)},
+                "locations": [{
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": report.path or "<memory>"},
+                        "region": {"startLine": max(1, d.line)},
+                    },
+                }],
+            }
+            if d.target and d.target != "*":
+                result["properties"] = {"target": d.target}
+            results.append(result)
+    log = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro-lint",
+                "informationUri":
+                    "https://github.com/ipdpsw13-comm-intent",
+                "rules": rules,
+            }},
+            "results": results,
+        }],
+    }
+    return json.dumps(log, indent=2)
+
+
 def lint_program(program: Program, nprocs: int = 8,
-                 extra_vars: dict | None = None) -> LintReport:
-    """Run every static analysis over a parsed program."""
-    report = LintReport()
+                 extra_vars: dict[str, int] | None = None,
+                 path: str = "") -> LintReport:
+    """Run every static analysis over a parsed program.
+
+    Per-directive validation plus whole-program verification for each
+    lowering target; findings identical on every target are collapsed
+    to one diagnostic with ``target="*"``.
+    """
+    report = LintReport(path=path)
     report.n_directives = len(program.all_p2p())
     report.n_regions = len(program.regions())
     plan = plan_synchronization(program)
@@ -82,18 +185,87 @@ def lint_program(program: Program, nprocs: int = 8,
     for region_id, splits in plan.forced_splits.items():
         region = next(r for r in program.regions()
                       if id(r) == region_id)
-        report.diagnostics.append(Diagnostic(
-            "warning", region.line,
+        report.diagnostics.append(make(
+            "CI021", region.line,
             f"region has {splits} dependent buffer split(s); "
-            "synchronization cannot fully consolidate"))
+            "synchronization cannot fully consolidate",
+            target="*"))
 
     for node in program.all_p2p():
         _lint_directive(program, node, nprocs, extra_vars, report)
+
+    report.diagnostics.extend(
+        _verify_all_targets(program, nprocs, extra_vars, plan))
+    _suppress_shadowed(report)
+    report.diagnostics.sort(key=lambda d: d.sort_key())
     return report
 
 
+def _verify_all_targets(program: Program, nprocs: int,
+                        extra_vars: dict[str, int] | None,
+                        plan: SyncPlan) -> list[Diagnostic]:
+    """Run the whole-program verifier once per lowering target.
+
+    A finding produced with the same (code, line, directive, message)
+    on every target is target-independent: collapse to ``target="*"``.
+    """
+    per_target: dict[tuple[str, int, int | None, str],
+                     tuple[Diagnostic, list[str]]] = {}
+    order: list[tuple[str, int, int | None, str]] = []
+    for target in Target:
+        verdict = verify_program(program, nprocs=nprocs, target=target,
+                                 extra_vars=extra_vars, plan=plan,
+                                 report_unrollable=False)
+        for d in verdict.diagnostics:
+            key = (d.code, d.line, d.directive, d.message)
+            if key not in per_target:
+                per_target[key] = (d, [])
+                order.append(key)
+            per_target[key][1].append(target.value)
+    out: list[Diagnostic] = []
+    for key in order:
+        d, targets = per_target[key]
+        if len(targets) == len(Target):
+            out.append(Diagnostic(
+                severity=d.severity, line=d.line, message=d.message,
+                code=d.code, directive=d.directive, target="*",
+                fixit=d.fixit))
+        else:
+            for t in targets:
+                out.append(Diagnostic(
+                    severity=d.severity, line=d.line,
+                    message=d.message, code=d.code,
+                    directive=d.directive, target=t, fixit=d.fixit))
+    return out
+
+
+def _suppress_shadowed(report: LintReport) -> None:
+    """Drop findings a stronger finding at the same directive subsumes.
+
+    An ``unsatisfied-receive`` matching warning (CI005) is the
+    per-directive shadow of a verifier-proved deadlock (CI002) at the
+    same directive — keep the proof, drop the shadow. Likewise the
+    verifier's own CI010 duplicates :func:`overlap_legal`'s finding.
+    """
+    deadlocked = {d.directive or d.line for d in report.diagnostics
+                  if d.code == "CI002"}
+    overlap_lines = {d.line for d in report.diagnostics
+                     if d.code == "CI010" and d.target == "*"}
+    kept: list[Diagnostic] = []
+    for d in report.diagnostics:
+        if (d.code == "CI005" and "unsatisfied-receive" in d.message
+                and d.line in deadlocked):
+            continue
+        if (d.code == "CI010" and d.target not in (None, "*")
+                and d.line in overlap_lines):
+            continue
+        kept.append(d)
+    report.diagnostics[:] = kept
+
+
 def _lint_directive(program: Program, node: P2PNode, nprocs: int,
-                    extra_vars: dict | None, report: LintReport) -> None:
+                    extra_vars: dict[str, int] | None,
+                    report: LintReport) -> None:
     region = next((r for r in program.regions()
                    if node in r.p2p_instances()), None)
     clauses = (region.clauses.merged_into(node.clauses)
@@ -101,25 +273,31 @@ def _lint_directive(program: Program, node: P2PNode, nprocs: int,
     try:
         clauses.require_complete()
     except ReproError as exc:
-        report.diagnostics.append(Diagnostic("error", node.line,
-                                             str(exc)))
+        report.diagnostics.append(make(
+            "CI030", node.line, str(exc), directive=node.line,
+            target="*"))
         return
     try:
         infer_count_static(clauses, program.decls)
     except ReproError as exc:
-        report.diagnostics.append(Diagnostic("error", node.line,
-                                             str(exc)))
+        report.diagnostics.append(make(
+            "CI031", node.line, str(exc), directive=node.line,
+            target="*"))
     try:
         graph = comm_graph(clauses, nprocs, extra_vars)
         report.patterns[node.line] = classify_pattern(graph)
         for issue in validate_matching(graph):
-            report.diagnostics.append(Diagnostic(
-                "warning", node.line, str(issue)))
+            code = _MATCH_CODES.get(issue.kind, "CI006")
+            report.diagnostics.append(make(
+                code, node.line, str(issue), directive=node.line,
+                target="*"))
     except ReproError as exc:
-        report.diagnostics.append(Diagnostic(
-            "info", node.line,
-            f"pattern not statically evaluable: {exc}"))
+        report.diagnostics.append(make(
+            "CI032", node.line,
+            f"pattern not statically evaluable: {exc}",
+            directive=node.line, target="*"))
     verdict = overlap_legal(node)
     if not verdict.legal:
-        report.diagnostics.append(Diagnostic(
-            "error", node.line, f"illegal overlap: {verdict.reason}"))
+        report.diagnostics.append(make(
+            "CI010", node.line, f"illegal overlap: {verdict.reason}",
+            directive=node.line, target="*"))

@@ -109,7 +109,10 @@ def _plan_chain(plan: SyncPlan, chain: list[ParamRegionNode]) -> None:
         if not adj_group:
             return
         covered = sum(len(r.p2p_instances()) for r in adj_group)
-        plan.points.append(SyncPoint("end", adj_group[-1], covered))
+        # A chain of empty regions has nothing to synchronize; emitting
+        # a zero-coverage call would be dead code in every lowering.
+        if covered:
+            plan.points.append(SyncPoint("end", adj_group[-1], covered))
         adj_group.clear()
 
     deferred_from_prev: ParamRegionNode | None = None
@@ -123,7 +126,8 @@ def _plan_chain(plan: SyncPlan, chain: list[ParamRegionNode]) -> None:
 
         if deferred_from_prev is not None:
             covered = len(deferred_from_prev.p2p_instances())
-            plan.points.append(SyncPoint("begin", region, covered))
+            if covered:
+                plan.points.append(SyncPoint("begin", region, covered))
             deferred_from_prev = None
 
         placement = region.place_sync
@@ -132,7 +136,9 @@ def _plan_chain(plan: SyncPlan, chain: list[ParamRegionNode]) -> None:
             continue
         flush_adj_group()
         if placement is SyncPlacement.END_PARAM_REGION:
-            plan.points.append(SyncPoint("end", region, len(instances)))
+            if instances:  # empty region: nothing to synchronize
+                plan.points.append(
+                    SyncPoint("end", region, len(instances)))
         elif placement is SyncPlacement.BEGIN_NEXT_PARAM_REGION:
             deferred_from_prev = region
     flush_adj_group()
@@ -140,6 +146,7 @@ def _plan_chain(plan: SyncPlan, chain: list[ParamRegionNode]) -> None:
         # No next region exists: the sync degrades to region end (the
         # runtime requires an explicit flush; statically we can place
         # it for the user and note it).
-        plan.points.append(SyncPoint(
-            "end", deferred_from_prev,
-            len(deferred_from_prev.p2p_instances())))
+        covered = len(deferred_from_prev.p2p_instances())
+        if covered:
+            plan.points.append(
+                SyncPoint("end", deferred_from_prev, covered))

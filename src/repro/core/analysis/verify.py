@@ -1,0 +1,655 @@
+"""Whole-program static verification over the directive IR.
+
+The paper's Section I claim is that directives make communication
+*analyzable*. This module is the strongest form of that claim the
+repository implements: a per-rank symbolic executor that unrolls each
+directive for a concrete ``nprocs``, replays the synchronization plan
+(:func:`repro.core.analysis.syncopt.plan_synchronization`) the way the
+runtime region machinery would, and proves or refutes three properties
+over the resulting happens-before graph (:mod:`repro.core.analysis.hb`):
+
+1. **deadlock freedom** — no cross-rank wait-for cycle, no wait on a
+   message that is never sent, no one-sided put without a reachable
+   exposure epoch (``CI001``/``CI002``/``CI003``);
+2. **no stale reads** — every use of a receive buffer is dominated by
+   the synchronization that guarantees it (``CI011``/``CI012``; the
+   overlap-body case ``CI010`` is covered by
+   :func:`repro.core.analysis.overlap.overlap_legal`);
+3. **consolidation safety** — directives consolidated into one
+   synchronization group have independent buffers; aliasing downgrades
+   the plan with an extra split instead of miscompiling (``CI020``).
+
+The executor is deliberately the static twin of
+:mod:`repro.core.region`: posts accumulate into a pending set, plan
+points flush it, an instance whose buffers alias pending communication
+forces the pending synchronization first. The same three *weakenings*
+the dynamic sync-plan fuzzer applies to ``PendingComm.sync`` at run
+time (:data:`WEAKENINGS`) can be applied here symbolically, which is
+what lets ``tests/faults/test_fuzz.py`` cross-check that every plan the
+fuzzer catches dynamically is also refuted statically.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.core import exprs
+from repro.core.analysis import hb
+from repro.core.analysis.codes import Diagnostic, make
+from repro.core.analysis.independence import base_identifier
+from repro.core.analysis.syncopt import SyncPlan, plan_synchronization
+from repro.core.clauses import Target
+from repro.core.ir import (
+    ClauseExprs,
+    Node,
+    P2PNode,
+    ParamRegionNode,
+    Program,
+    RawCode,
+)
+from repro.errors import ReproError
+
+#: Sync-plan weakenings shared with the dynamic fuzzer. Each mirrors a
+#: bug a hand-written (or miscompiled) synchronization could have:
+#:
+#: * ``drop-last-recv`` — every synchronization call silently forgets
+#:   its last pending receive handle;
+#: * ``drop-all-recvs`` — synchronization completes sends only;
+#: * ``skip-first-sync`` — each rank's first non-empty synchronization
+#:   call is elided entirely (its handles are discarded).
+WEAKEN_DROP_LAST_RECV = "drop-last-recv"
+WEAKEN_DROP_ALL_RECVS = "drop-all-recvs"
+WEAKEN_SKIP_FIRST_SYNC = "skip-first-sync"
+WEAKENINGS: tuple[str, ...] = (
+    WEAKEN_DROP_LAST_RECV,
+    WEAKEN_DROP_ALL_RECVS,
+    WEAKEN_SKIP_FIRST_SYNC,
+)
+
+_IDENT = re.compile(r"[A-Za-z_]\w*")
+
+_TWO_SIDED = Target.MPI_2SIDE
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of one static verification pass (one default target)."""
+
+    target: Target
+    nprocs: int
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: The happens-before graph, for tooling/tests; None when the
+    #: program had nothing to unroll.
+    graph: hb.HBGraph | None = None
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        """Error-severity findings (the program is refuted)."""
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        """Warning-severity findings."""
+        return [d for d in self.diagnostics if d.severity == "warning"]
+
+
+# ---------------------------------------------------------------------------
+# Per-rank symbolic execution
+
+
+@dataclass
+class _Downgrade:
+    """One forced synchronization split the executor had to insert."""
+
+    line: int                 # directive that forced the split
+    names: frozenset[str]     # aliased buffer names
+    cross_region: bool        # aliasing spans a region boundary
+
+
+class _RankTracer:
+    """Symbolically executes the program on one rank.
+
+    Mirrors :class:`repro.core.region.RegionState`: posts accumulate in
+    a pending set; plan points (and forced dependent flushes) emit SYNC
+    events completing the pending handles, subject to the configured
+    weakening.
+    """
+
+    def __init__(self, rank: int, nprocs: int, variables: dict[str, int],
+                 default_target: Target, plan_points: dict[
+                     tuple[int, str], int],
+                 rbuf_names: frozenset[str],
+                 weakening: str | None) -> None:
+        self.rank = rank
+        self.nprocs = nprocs
+        self.variables = variables
+        self.default_target = default_target
+        self.plan_points = plan_points
+        self.rbuf_names = rbuf_names
+        self.weakening = weakening
+        self.trace: list[hb.Event] = []
+        self.handles: list[hb.Handle] = []
+        self.pending: list[hb.Handle] = []
+        self.downgrades: list[_Downgrade] = []
+        self._skipped_first_sync = False
+        self._enclosing: list[int] = []
+
+    # -- events -----------------------------------------------------------
+
+    def _event(self, kind: str, line: int, *, directive: int | None = None,
+               peer: int | None = None,
+               names: frozenset[str] = frozenset()) -> hb.Event:
+        event = hb.Event(rank=self.rank, index=len(self.trace), kind=kind,
+                         line=line, directive=directive, peer=peer,
+                         names=names, enclosing=tuple(self._enclosing))
+        self.trace.append(event)
+        return event
+
+    def _emit_sync(self, line: int) -> None:
+        """Flush the pending set through one synchronization call."""
+        live = self.pending
+        self.pending = []
+        if not live:
+            return
+        if (self.weakening == WEAKEN_SKIP_FIRST_SYNC
+                and not self._skipped_first_sync):
+            # The call is elided; its handles are never synchronized.
+            self._skipped_first_sync = True
+            return
+        if self.weakening == WEAKEN_DROP_LAST_RECV:
+            recvs = [h for h in live if h.kind == "recv"]
+            if recvs:
+                live = [h for h in live if h is not recvs[-1]]
+        elif self.weakening == WEAKEN_DROP_ALL_RECVS:
+            live = [h for h in live if h.kind != "recv"]
+        if not live:
+            return
+        event = self._event(hb.SYNC, line)
+        for handle in live:
+            handle.sync = event
+
+    # -- program walk -----------------------------------------------------
+
+    def run(self, nodes: list[Node]) -> None:
+        """Execute the whole program on this rank."""
+        self._walk(nodes, region=None, region_clauses=None)
+        # Anything still pending at program end is never synchronized
+        # (e.g. a plan mutation removed the covering point).
+
+    def _walk(self, nodes: list[Node], region: ParamRegionNode | None,
+              region_clauses: ClauseExprs | None) -> None:
+        for node in nodes:
+            if isinstance(node, RawCode):
+                self._scan_uses(node)
+            elif isinstance(node, ParamRegionNode):
+                if (id(node), "begin") in self.plan_points:
+                    self._emit_sync(self.plan_points[(id(node), "begin")])
+                self._walk(node.body, node, node.clauses)
+                if (id(node), "end") in self.plan_points:
+                    self._emit_sync(self.plan_points[(id(node), "end")])
+            elif isinstance(node, P2PNode):
+                self._directive(node, region, region_clauses)
+
+    def _scan_uses(self, node: RawCode) -> None:
+        text = "\n".join(node.lines)
+        touched = frozenset(_IDENT.findall(text)) & self.rbuf_names
+        if touched:
+            self._event(hb.USE, node.line, names=touched)
+
+    def _directive(self, node: P2PNode, region: ParamRegionNode | None,
+                   region_clauses: ClauseExprs | None) -> None:
+        clauses = (region_clauses.merged_into(node.clauses)
+                   if region_clauses is not None else node.clauses)
+        resolved = _resolve(clauses, self.variables)
+        target = clauses.target or self.default_target
+        standalone = region is None
+        pending_box = [] if standalone else self.pending
+
+        posted: list[hb.Handle] = []
+        if resolved is not None:
+            sends_here, recvs_here, src, dst = resolved
+            # Dependent-buffer flush (Section III-A): an instance whose
+            # buffers alias pending communication forces the pending
+            # synchronization first — the plan is downgraded, never
+            # miscompiled.
+            live_names = _live_names(clauses, sends_here, recvs_here)
+            if not standalone and any(
+                    live_names & h.names for h in self.pending):
+                cross = any(live_names & h.names
+                            and h.region_key != id(region)
+                            for h in self.pending)
+                self.downgrades.append(_Downgrade(
+                    node.line, live_names, cross))
+                self._emit_sync(node.line)
+                pending_box = self.pending
+            # Receives before sends, as the runtime posts them (so
+            # one-sided exposure precedes the matching put).
+            if recvs_here and 0 <= src < self.nprocs:
+                for rb in clauses.rbuf:
+                    posted.append(self._post("recv", node, src,
+                                             frozenset({
+                                                 base_identifier(rb)}),
+                                             target, region))
+            if sends_here and 0 <= dst < self.nprocs:
+                for sb in clauses.sbuf:
+                    posted.append(self._post("send", node, dst,
+                                             frozenset({
+                                                 base_identifier(sb)}),
+                                             target, region))
+            pending_box.extend(posted)
+
+        self._enclosing.append(node.line)
+        self._walk(node.body, region, region_clauses)
+        self._enclosing.pop()
+
+        if standalone:
+            # A standalone comm_p2p synchronizes its own pending at its
+            # exit, independent of any carried communication.
+            saved = self.pending
+            self.pending = pending_box
+            self._emit_sync(node.line)
+            self.pending = saved
+
+    def _post(self, kind: str, node: P2PNode, peer: int,
+              names: frozenset[str], target: Target,
+              region: ParamRegionNode | None) -> hb.Handle:
+        event = self._event(hb.POST_SEND if kind == "send"
+                            else hb.POST_RECV,
+                            node.line, directive=node.line, peer=peer,
+                            names=names)
+        handle = hb.Handle(kind=kind, rank=self.rank, peer=peer,
+                           post=event, directive=node.line, names=names,
+                           target=target.value,
+                           region_key=(id(region) if region is not None
+                                       else None))
+        self.handles.append(handle)
+        return handle
+
+
+def _live_names(clauses: ClauseExprs, sends_here: bool,
+                recvs_here: bool) -> frozenset[str]:
+    """Buffer base names this rank actually touches at the directive."""
+    names: set[str] = set()
+    if sends_here:
+        names.update(base_identifier(e) for e in clauses.sbuf)
+    if recvs_here:
+        names.update(base_identifier(e) for e in clauses.rbuf)
+    return frozenset(names)
+
+
+def _resolve(clauses: ClauseExprs, variables: dict[str, int]
+             ) -> tuple[bool, bool, int, int] | None:
+    """Evaluate one directive's when/rank clauses on one rank.
+
+    Returns ``(sends_here, recvs_here, source, dest)`` or None when the
+    clauses cannot be evaluated statically (missing clauses, unknown
+    free names). Unused halves evaluate to -1.
+    """
+    try:
+        clauses.require_complete()
+        sends_here = bool(
+            exprs.evaluate(clauses.exprs["sendwhen"], variables)
+            if "sendwhen" in clauses.exprs else True)
+        recvs_here = bool(
+            exprs.evaluate(clauses.exprs["receivewhen"], variables)
+            if "receivewhen" in clauses.exprs else True)
+        src = (int(exprs.evaluate(clauses.exprs["sender"], variables))
+               if recvs_here else -1)
+        dst = (int(exprs.evaluate(clauses.exprs["receiver"], variables))
+               if sends_here else -1)
+    except ReproError:
+        return None
+    return sends_here, recvs_here, src, dst
+
+
+# ---------------------------------------------------------------------------
+# Cross-rank assembly
+
+
+def _plan_point_map(plan: SyncPlan) -> dict[tuple[int, str], int]:
+    """(node id, position) -> source line of the attached sync call."""
+    points: dict[tuple[int, str], int] = {}
+    for point in plan.points:
+        points[(id(point.node), point.position)] = point.node.line
+    return points
+
+
+def _match(tracers: list[_RankTracer]) -> None:
+    """Pair send and receive halves positionally per ordered rank pair,
+    mirroring the runtime's per-channel sequence numbers."""
+    sends: dict[tuple[int, int], list[hb.Handle]] = {}
+    recvs: dict[tuple[int, int], list[hb.Handle]] = {}
+    for tracer in tracers:
+        for handle in tracer.handles:
+            if handle.kind == "send":
+                sends.setdefault((handle.rank, handle.peer),
+                                 []).append(handle)
+            else:
+                recvs.setdefault((handle.peer, handle.rank),
+                                 []).append(handle)
+    for pair, slist in sends.items():
+        rlist = recvs.get(pair, [])
+        for s, r in zip(slist, rlist):
+            s.matched = r
+            r.matched = s
+
+
+def _build_graph(tracers: list[_RankTracer], nprocs: int) -> hb.HBGraph:
+    """Target-aware cross-rank dependencies over the rank traces."""
+    graph = hb.HBGraph(nprocs=nprocs,
+                       traces=[t.trace for t in tracers])
+    for tracer in tracers:
+        for h in tracer.handles:
+            one_sided = h.target != _TWO_SIDED.value
+            if h.kind == "send":
+                if h.target == Target.MPI_1SIDE.value:
+                    # The put itself needs the target's exposure epoch.
+                    if h.matched is not None:
+                        graph.add_dep(h.post, h.matched.post)
+                    else:
+                        graph.add_missing(h.post, "CI003", (
+                            f"one-sided put from rank {h.rank} to rank "
+                            f"{h.peer} (directive at line {h.directive}) "
+                            "has no reachable exposure epoch: the "
+                            "target's receivewhen never exposes the "
+                            "buffer"), directive=h.directive)
+                continue
+            # Receive halves: the guaranteeing sync waits for either the
+            # matching post (two-sided) or the origin's flushing sync
+            # (one-sided notify).
+            if h.sync is None:
+                continue
+            if h.matched is None:
+                graph.add_missing(h.sync, "CI002", (
+                    f"synchronization at line {h.sync.line} on rank "
+                    f"{h.rank} waits for a message from sender "
+                    f"{h.peer} to receiver {h.rank} (directive at line "
+                    f"{h.directive}) that is never sent"),
+                    directive=h.directive)
+            elif not one_sided:
+                graph.add_dep(h.sync, h.matched.post)
+            elif h.matched.sync is None:
+                graph.add_missing(h.sync, "CI002", (
+                    f"synchronization at line {h.sync.line} on rank "
+                    f"{h.rank} waits for the notify of the message from "
+                    f"sender {h.peer} to receiver {h.rank} (directive "
+                    f"at line {h.directive}), but the sender's flushing "
+                    "synchronization never runs"),
+                    directive=h.directive)
+            else:
+                # A one-sided sync flushes outgoing puts and notifies
+                # *before* waiting on incoming notifies, so the receiver
+                # only needs the sender to *reach* its sync call — i.e.
+                # everything before it on the sender's rank, not the
+                # sync's own completion (that would manufacture cycles).
+                sender_trace = graph.traces[h.matched.rank]
+                graph.add_dep(h.sync,
+                              sender_trace[h.matched.sync.index - 1])
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# Property checks
+
+
+def _deadlock_diagnostics(graph: hb.HBGraph, target: Target,
+                          loop_varying: frozenset[int]
+                          ) -> list[Diagnostic]:
+    done = graph.executable()
+    if len(done) == sum(len(t) for t in graph.traces):
+        return []  # every rank runs to completion
+    out: list[Diagnostic] = []
+    seen: set[tuple[str, str]] = set()
+    blocked = graph.blocked_frontier(done)
+    for event in blocked:
+        for code, reason, dline in graph.missing.get(event, ()):
+            if (code, reason) in seen:
+                continue
+            seen.add((code, reason))
+            # A missing partner is only a *proof* when the directive
+            # runs once with these clause values. Under max_comm_iter
+            # with loop-carried partner expressions (the paper's
+            # Listing 7: receiver(rcv_rank) advances per iteration),
+            # one unrolled snapshot cannot establish starvation —
+            # demote to a warning.
+            if dline is not None and dline in loop_varying:
+                out.append(make(
+                    code, event.line, reason
+                    + " in this unrolled snapshot; the directive "
+                    "iterates (max_comm_iter) with loop-carried "
+                    "partner expressions, so a later iteration may "
+                    "satisfy it", directive=dline,
+                    target=target.value, severity="warning"))
+                continue
+            out.append(make(code, event.line, reason,
+                            directive=dline,
+                            target=target.value))
+    cycle = hb.find_cycle(graph, done)
+    if cycle:
+        hops = []
+        for i, event in enumerate(cycle):
+            waits_on = cycle[(i + 1) % len(cycle)]
+            hops.append(f"rank {event.rank} blocks at "
+                        f"{event.describe()} waiting on rank "
+                        f"{waits_on.rank}")
+        out.append(make(
+            "CI001", cycle[0].line,
+            "deadlock cycle: " + "; ".join(hops),
+            directive=cycle[0].directive, target=target.value))
+    return out
+
+
+def _stale_read_diagnostics(tracers: list[_RankTracer],
+                            target: Target) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    never: dict[tuple[int, frozenset[str]], list[int]] = {}
+    early: dict[tuple[int, frozenset[str], int, str], list[int]] = {}
+    for tracer in tracers:
+        for h in tracer.handles:
+            if h.kind != "recv":
+                continue
+            if h.sync is None:
+                never.setdefault((h.directive, h.names),
+                                 []).append(h.rank)
+            for use in tracer.trace:
+                if use.kind != hb.USE or use.index <= h.post.index:
+                    continue
+                if not (use.names & h.names):
+                    continue
+                if h.directive in use.enclosing:
+                    continue  # overlap-body case: CI010 (overlap_legal)
+                if h.sync is None or use.index < h.sync.index:
+                    code = "CI011" if h.sync is None else "CI012"
+                    early.setdefault(
+                        (h.directive, h.names, use.line, code),
+                        []).append(h.rank)
+    for (directive, names, use_line, code), ranks in sorted(
+            early.items(), key=lambda kv: (kv[0][2], kv[0][0])):
+        what = ("is never guaranteed by any synchronization"
+                if code == "CI011"
+                else "is read before the synchronization that "
+                     "guarantees it")
+        out.append(make(
+            code, use_line,
+            f"stale read: {_namelist(names)} received by the directive "
+            f"at line {directive} {what} "
+            f"(rank{_plural(ranks)} {_ranklist(ranks)})",
+            directive=directive, target=target.value))
+    for (directive, names), ranks in sorted(never.items()):
+        out.append(make(
+            "CI011", directive,
+            f"receive buffer{_plural(list(names))} {_namelist(names)} "
+            f"of the directive at line {directive} "
+            f"{'are' if len(names) > 1 else 'is'} never guaranteed by "
+            f"any synchronization; the final data is stale on "
+            f"rank{_plural(ranks)} {_ranklist(ranks)}",
+            directive=directive, target=target.value))
+    return out
+
+
+def _consolidation_diagnostics(tracers: list[_RankTracer],
+                               target: Target) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    seen: set[int] = set()
+    for tracer in tracers:
+        for d in tracer.downgrades:
+            if not d.cross_region or d.line in seen:
+                continue
+            seen.add(d.line)
+            out.append(make(
+                "CI020", d.line,
+                f"directive at line {d.line} shares "
+                f"{_namelist(d.names)} with communication consolidated "
+                "from an earlier region; the sync plan is downgraded "
+                "with an extra synchronization before this directive",
+                directive=d.line, target=target.value))
+    return out
+
+
+def _namelist(names: frozenset[str]) -> str:
+    return ", ".join(repr(n) for n in sorted(names))
+
+
+def _ranklist(ranks: list[int]) -> str:
+    return ", ".join(str(r) for r in sorted(set(ranks)))
+
+
+def _plural(items: list[int] | list[str]) -> str:
+    return "s" if len(set(items)) > 1 else ""
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+
+
+def verify_program(program: Program, nprocs: int = 8,
+                   target: Target | str = Target.MPI_2SIDE,
+                   extra_vars: dict[str, int] | None = None,
+                   plan: SyncPlan | None = None,
+                   weakening: str | None = None,
+                   report_unrollable: bool = True) -> VerifyReport:
+    """Statically verify a parsed program for one default target.
+
+    Unrolls every directive over ``nprocs`` ranks (a directive's own
+    ``target`` clause overrides the default), replays ``plan`` (the
+    consolidated synchronization schedule; computed when omitted), and
+    checks deadlock freedom, stale-read freedom, and consolidation
+    safety. ``weakening`` applies one of :data:`WEAKENINGS` to every
+    synchronization, mirroring the dynamic fuzzer's adversarial plans.
+    """
+    target = Target.parse(target)
+    if weakening is not None and weakening not in WEAKENINGS:
+        raise ValueError(f"unknown weakening {weakening!r}; "
+                         f"expected one of {WEAKENINGS}")
+    if plan is None:
+        plan = plan_synchronization(program)
+    report = VerifyReport(target=target, nprocs=nprocs)
+
+    variables_base: dict[str, int] = {"nprocs": nprocs, "size": nprocs}
+    if extra_vars:
+        variables_base.update(extra_vars)
+
+    rbuf_names = frozenset(
+        base_identifier(e) for node in program.all_p2p()
+        for e in node.clauses.rbuf)
+    plan_points = _plan_point_map(plan)
+
+    if report_unrollable:
+        report.diagnostics.extend(
+            _unrollable_diagnostics(program, variables_base, target))
+
+    tracers: list[_RankTracer] = []
+    for rank in range(nprocs):
+        variables = dict(variables_base)
+        variables["rank"] = rank
+        tracer = _RankTracer(rank, nprocs, variables, target,
+                             plan_points, rbuf_names, weakening)
+        tracer.run(program.nodes)
+        tracers.append(tracer)
+
+    if not any(t.handles for t in tracers):
+        report.graph = None
+        return report
+
+    _match(tracers)
+    graph = _build_graph(tracers, nprocs)
+    report.graph = graph
+    report.diagnostics.extend(
+        _deadlock_diagnostics(graph, target,
+                              _loop_varying_lines(program)))
+    report.diagnostics.extend(_stale_read_diagnostics(tracers, target))
+    report.diagnostics.extend(
+        _consolidation_diagnostics(tracers, target))
+    report.diagnostics.sort(key=lambda d: d.sort_key())
+    return report
+
+
+#: Names the unroller itself binds; anything else is a program value.
+_STATIC_NAMES = frozenset({"rank", "nprocs", "size"})
+
+
+def _loop_varying_lines(program: Program) -> frozenset[int]:
+    """Directives whose partner choice is loop-carried.
+
+    A directive under ``max_comm_iter`` whose sender/receiver/when
+    expressions reference program variables communicates with different
+    partners on different iterations; one static unroll is a single
+    snapshot of that loop, so missing-partner findings against it are
+    demoted from proofs to warnings.
+    """
+    lines: set[int] = set()
+    for node in program.all_p2p():
+        region = next((r for r in program.regions()
+                       if node in r.p2p_instances()), None)
+        clauses = (region.clauses.merged_into(node.clauses)
+                   if region is not None else node.clauses)
+        # max_comm_iter is region-level only and stripped by the merge.
+        iterates = ("max_comm_iter" in node.clauses.exprs
+                    or (region is not None
+                        and "max_comm_iter" in region.clauses.exprs))
+        if not iterates:
+            continue
+        names: set[str] = set()
+        for k in ("sender", "receiver", "sendwhen", "receivewhen"):
+            if k in clauses.exprs:
+                try:
+                    names |= exprs.free_names(clauses.exprs[k])
+                except ReproError:
+                    pass
+        if names - _STATIC_NAMES:
+            lines.add(node.line)
+    return frozenset(lines)
+
+
+def _unrollable_diagnostics(program: Program,
+                            variables: dict[str, int],
+                            target: Target) -> list[Diagnostic]:
+    """CI032 for directives whose clauses cannot be evaluated."""
+    out: list[Diagnostic] = []
+    probe = dict(variables)
+    probe["rank"] = 0
+    for node in program.all_p2p():
+        region = next((r for r in program.regions()
+                       if node in r.p2p_instances()), None)
+        clauses = (region.clauses.merged_into(node.clauses)
+                   if region is not None else node.clauses)
+        if not all(clauses.has(n) for n in
+                   ("sender", "receiver", "sbuf", "rbuf")):
+            continue  # CI030 is the linter's finding
+        if _resolve(clauses, probe) is None:
+            names: set[str] = set()
+            for k in ("sender", "receiver", "sendwhen", "receivewhen",
+                      "count"):
+                if k in clauses.exprs:
+                    try:
+                        names |= exprs.free_names(clauses.exprs[k])
+                    except ReproError:
+                        pass
+            unknown = sorted(names - set(probe))
+            out.append(make(
+                "CI032", node.line,
+                f"directive cannot be unrolled statically: no value "
+                f"for free name(s) {unknown} (pass extra_vars/--var)",
+                directive=node.line, target=target.value))
+    return out

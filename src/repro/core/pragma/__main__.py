@@ -10,6 +10,12 @@ Reads C-like source containing ``#pragma comm_parameters`` /
 ``--analyze`` prints the analyses instead (sync plan, per-directive
 pattern classification and matching validation for an 8-rank world,
 overlap legality).
+
+A second console entry point, ``repro-lint`` (:func:`main_lint`), runs
+the full static verification pass (deadlock, stale-read and
+consolidation proofs — see ``docs/LINT.md``) over one or more files
+and renders text, JSON or SARIF 2.1.0; it exits 1 when any
+error-severity diagnostic is produced.
 """
 
 from __future__ import annotations
@@ -20,13 +26,21 @@ import sys
 from repro.core.analysis import (
     classify_pattern,
     comm_graph,
+    lint_program,
     overlap_legal,
     plan_synchronization,
+    render_json,
+    render_sarif,
     validate_matching,
 )
+from repro.core.analysis.codes import make
+from repro.core.analysis.independence import base_identifier
+from repro.core.analysis.lint import LintReport
 from repro.core.clauses import Target
 from repro.core.codegen import generate_c, generate_fortran
+from repro.core.ir import BufferDecl, P2PNode, Program
 from repro.core.pragma import parse_program
+from repro.dtypes.primitives import DOUBLE
 from repro.errors import ReproError
 
 _TARGETS = {
@@ -101,6 +115,119 @@ def main(argv: list[str] | None = None) -> int:
         print(f"translation error: {exc}", file=sys.stderr)
         return 1
     return 0
+
+
+# ---------------------------------------------------------------------------
+# repro-lint
+
+
+#: Default bindings for free names used by the pattern catalog's clause
+#: sets (``--catalog``); ``--var`` overrides.
+_CATALOG_VARS = {"root": 0, "peer": 1, "n": 4, "p": 0}
+
+
+def _parse_vars(pairs: list[str]) -> dict[str, int]:
+    out: dict[str, int] = {}
+    for pair in pairs:
+        name, sep, value = pair.partition("=")
+        if not sep or not name:
+            raise ValueError(
+                f"--var expects name=value, got {pair!r}")
+        out[name] = int(value)
+    return out
+
+
+def _catalog_reports(nprocs: int,
+                     extra_vars: dict[str, int]) -> list[LintReport]:
+    """Lint every pattern catalog entry that carries static clauses."""
+    from repro.patterns.catalog import PATTERNS
+
+    reports: list[LintReport] = []
+    variables = dict(_CATALOG_VARS)
+    variables.update(extra_vars)
+    for name, spec in sorted(PATTERNS.items()):
+        clauses = spec.clauses()
+        if clauses is None:
+            continue  # runtime-only pattern (e.g. butterfly)
+        program = Program(nodes=[P2PNode(clauses=clauses, line=1)])
+        for expr in (*clauses.sbuf, *clauses.rbuf):
+            base = base_identifier(expr)
+            program.decls.setdefault(
+                base, BufferDecl(base, DOUBLE, length=1024))
+        report = lint_program(program, nprocs=nprocs,
+                              extra_vars=variables,
+                              path=f"catalog:{name}")
+        reports.append(report)
+    return reports
+
+
+def main_lint(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Statically verify comm-directive pragma sources: "
+                    "deadlock freedom, stale-read freedom, and "
+                    "consolidation safety across all lowering targets.")
+    parser.add_argument("inputs", nargs="*",
+                        help="annotated C-like source files")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text", help="output format")
+    parser.add_argument("--nprocs", type=int, default=8,
+                        help="world size the programs are unrolled for "
+                             "(default 8)")
+    parser.add_argument("--var", action="append", default=[],
+                        metavar="NAME=VALUE",
+                        help="bind a free clause-expression name "
+                             "(repeatable)")
+    parser.add_argument("--catalog", action="store_true",
+                        help="also lint the built-in pattern catalog's "
+                             "static clause sets")
+    args = parser.parse_args(argv)
+    if not args.inputs and not args.catalog:
+        parser.print_usage(sys.stderr)
+        print("repro-lint: error: no inputs (give files or --catalog)",
+              file=sys.stderr)
+        return 2
+    try:
+        extra_vars = _parse_vars(args.var)
+    except ValueError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+
+    reports: list[LintReport] = []
+    for path in args.inputs:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                source = fh.read()
+        except OSError as exc:
+            print(f"repro-lint: error: {exc}", file=sys.stderr)
+            return 2
+        try:
+            program = parse_program(source)
+        except ReproError as exc:
+            # The file never reached analysis: report the parse error
+            # as a CI000 diagnostic so JSON/SARIF stay well-formed.
+            line = getattr(exc, "line", None) or 0
+            report = LintReport(path=path)
+            report.diagnostics.append(make("CI000", line, str(exc)))
+            reports.append(report)
+            continue
+        reports.append(lint_program(program, nprocs=args.nprocs,
+                                    extra_vars=extra_vars or None,
+                                    path=path))
+    if args.catalog:
+        reports.extend(_catalog_reports(args.nprocs, extra_vars))
+
+    if args.format == "json":
+        print(render_json(reports))
+    elif args.format == "sarif":
+        print(render_sarif(reports))
+    else:
+        chunks = []
+        for report in reports:
+            header = f"== {report.path}" if report.path else "== <input>"
+            chunks.append(f"{header}\n{report.render()}")
+        print("\n\n".join(chunks))
+    return 1 if any(r.errors for r in reports) else 0
 
 
 if __name__ == "__main__":

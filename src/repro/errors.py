@@ -203,3 +203,20 @@ class PragmaSyntaxError(ReproError):
 
 class CodegenError(ReproError):
     """Code generation failed for an otherwise valid IR."""
+
+
+# ---------------------------------------------------------------------------
+# Static analysis / verification
+
+
+class AnalysisError(ReproError):
+    """Base class for static-analysis failures."""
+
+
+class VerificationError(AnalysisError):
+    """The static verifier refuted the program.
+
+    Raised by :meth:`repro.core.analysis.lint.LintReport.require_clean`
+    when a lint/verify pass produced error-severity diagnostics; the
+    message lists them.
+    """

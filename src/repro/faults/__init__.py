@@ -21,9 +21,13 @@ Typical use::
 from repro.faults.fuzz import (
     CASE_NAMES,
     FUZZ_TARGETS,
+    STATIC_TWINS,
     FuzzFailure,
+    StaticTwin,
     fuzz,
     fuzz_one,
+    static_twin_program,
+    weaken_pending_sync,
 )
 from repro.faults.inject import FaultInjector
 from repro.faults.plan import FaultPlan, RankCrash, RankStall
@@ -32,12 +36,16 @@ from repro.faults.watchdog import Watchdog
 __all__ = [
     "CASE_NAMES",
     "FUZZ_TARGETS",
+    "STATIC_TWINS",
     "FaultInjector",
     "FaultPlan",
     "FuzzFailure",
     "RankCrash",
     "RankStall",
+    "StaticTwin",
     "Watchdog",
     "fuzz",
     "fuzz_one",
+    "static_twin_program",
+    "weaken_pending_sync",
 ]

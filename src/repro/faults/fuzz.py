@@ -30,14 +30,16 @@ bit-identically.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import contextlib
+from dataclasses import dataclass, field
 from functools import partial
-from typing import Callable
+from typing import Callable, Iterator
 
 import numpy as np
 
 from repro import mpi, shmem
 from repro.core import comm_p2p, comm_parameters
+from repro.core import region as _region
 from repro.faults.plan import FaultPlan
 from repro.faults.watchdog import Watchdog
 from repro.netmodel import gemini_model
@@ -265,6 +267,152 @@ def fuzz_one(pattern: str, target: str, seed: int,
     if detail is None:
         return None
     return FuzzFailure(pattern, target, seed, detail)
+
+
+# -- sync-plan weakenings (shared with the static verifier) ----------------
+#
+# The static verifier (repro.core.analysis.verify) applies the same
+# three mutations symbolically; tests/faults/test_fuzz.py cross-checks
+# that every weakened plan the dynamic side catches is also refuted
+# statically. Names must match verify.WEAKENINGS.
+
+@contextlib.contextmanager
+def weaken_pending_sync(name: str) -> Iterator[None]:
+    """Monkeypatch ``PendingComm.sync`` with one named weakening.
+
+    * ``drop-last-recv`` — every sync silently pops its last pending
+      receive handle before synchronizing;
+    * ``drop-all-recvs`` — every sync completes sends only;
+    * ``skip-first-sync`` — each rank's first *non-empty* sync call is
+      elided entirely (handles discarded, nothing waited on).
+
+    The weakenings mirror realistic consolidation bugs: an off-by-one
+    over the handle list, a send-only flush, and a dropped sync point.
+    """
+    original = _region.PendingComm.sync
+    skipped: set[int] = set()
+
+    def weakened(self: "_region.PendingComm", env) -> None:
+        if name == "drop-last-recv":
+            if self.recvs:
+                self.recvs.pop()
+        elif name == "drop-all-recvs":
+            self.recvs.clear()
+        elif name == "skip-first-sync":
+            if self and env.rank not in skipped:
+                skipped.add(env.rank)
+                self.sends.clear()
+                self.recvs.clear()
+                self.buffers.clear()
+                return
+        else:
+            raise ValueError(f"unknown weakening {name!r}")
+        original(self, env)
+
+    _region.PendingComm.sync = weakened
+    try:
+        yield
+    finally:
+        _region.PendingComm.sync = original
+
+
+# -- static twins ----------------------------------------------------------
+#
+# Pragma-source doubles of the runtime fuzz CASES: same pattern, same
+# world size, expressed in the directive IR so the static verifier can
+# unroll them. The twins are approximations of the runtime programs
+# (the cross-check only requires: dynamically caught => statically
+# flagged), but each preserves the communication structure that makes
+# the weakenings observable.
+
+@dataclass(frozen=True)
+class StaticTwin:
+    """A fuzz pattern as pragma source for the static verifier."""
+
+    name: str
+    source: str
+    nprocs: int
+    extra_vars: dict[str, int] = field(default_factory=dict)
+
+
+_RING_TWIN = """
+double out[8];
+double inb[8];
+int rank, nprocs;
+#pragma comm_p2p sender((rank-1+nprocs)%nprocs) receiver((rank+1)%nprocs) sbuf(out) rbuf(inb)
+{
+}
+consume(inb);
+"""
+
+_EVENODD_TWIN = """
+double out[6];
+double inb[6];
+int rank, nprocs;
+#pragma comm_parameters sender(rank-1) receiver(rank+1) sendwhen(rank%2==0 && rank+1<nprocs) receivewhen(rank%2==1) sbuf(out) rbuf(inb)
+{
+#pragma comm_p2p
+{
+}
+}
+consume(inb);
+"""
+
+_HALO2D_TWIN = """
+double edge_n[4]; double halo_n[4];
+double edge_s[4]; double halo_s[4];
+double edge_w[3]; double halo_w[3];
+double edge_e[3]; double halo_e[3];
+int rank, nprocs, px;
+#pragma comm_parameters
+{
+#pragma comm_p2p sender(rank-px) receiver(rank-px) sendwhen(rank>=px) receivewhen(rank>=px) sbuf(edge_n) rbuf(halo_n)
+#pragma comm_p2p sender(rank+px) receiver(rank+px) sendwhen(rank+px<nprocs) receivewhen(rank+px<nprocs) sbuf(edge_s) rbuf(halo_s)
+#pragma comm_p2p sender(rank-1) receiver(rank-1) sendwhen(rank%px>0) receivewhen(rank%px>0) sbuf(edge_w) rbuf(halo_w)
+#pragma comm_p2p sender(rank+1) receiver(rank+1) sendwhen(rank%px<px-1) receivewhen(rank%px<px-1) sbuf(edge_e) rbuf(halo_e)
+}
+stencil(halo_n, halo_s, halo_w, halo_e);
+"""
+
+_BUTTERFLY_TWIN = """
+double blk0[1]; double got0[1];
+double blk1[2]; double got1[2];
+int rank, nprocs;
+#pragma comm_p2p sender(rank^1) receiver(rank^1) sbuf(blk0) rbuf(got0)
+{
+}
+merge_round0(got0);
+#pragma comm_p2p sender(rank^2) receiver(rank^2) sbuf(blk1) rbuf(got1)
+{
+}
+merge_round1(got1);
+"""
+
+STATIC_TWINS: dict[str, StaticTwin] = {
+    "ring": StaticTwin("ring", _RING_TWIN, nprocs=5),
+    "evenodd": StaticTwin("evenodd", _EVENODD_TWIN, nprocs=6),
+    "halo2d": StaticTwin("halo2d", _HALO2D_TWIN, nprocs=6,
+                         extra_vars={"px": grid_shape(6)[1]}),
+    "butterfly": StaticTwin("butterfly", _BUTTERFLY_TWIN, nprocs=4),
+    # wllsms quick mode moves the Listing-5 atom payload between the
+    # window master and group members; the annotated listing *is* the
+    # published static form of that transfer.
+    "wllsms": StaticTwin("wllsms", "", nprocs=8,
+                         extra_vars={"from_rank": 1, "to_rank": 0,
+                                     "size1": 1024, "size2": 16}),
+}
+
+
+def static_twin_program(name: str):
+    """Parse the twin for one fuzz pattern -> (Program, nprocs, vars)."""
+    from repro.core.pragma import parse_program
+
+    twin = STATIC_TWINS[name]
+    source = twin.source
+    if not source:  # wllsms: the annotated Listing 5 itself
+        from repro.bench.listings import LISTING5_ANNOTATED
+        source = LISTING5_ANNOTATED
+    return (parse_program(source), twin.nprocs, dict(twin.extra_vars))
 
 
 def fuzz(patterns=CASE_NAMES, targets=FUZZ_TARGETS, seeds=range(50),

@@ -323,3 +323,80 @@ class TestOverlap:
         node = p2p(["a"], ["b"],
                    body=[RawCode(lines=["about = 1; ab = 2;"])])
         assert overlap_legal(node).legal
+
+
+class TestPlanEdgeCases:
+    """Degenerate shapes the planner must not trip over."""
+
+    def region(self, instances, place_sync=None):
+        cl = ClauseExprs()
+        cl.place_sync = place_sync
+        return ParamRegionNode(clauses=cl, body=list(instances))
+
+    def test_empty_region_emits_no_sync_point(self):
+        prog = Program(nodes=[self.region([])])
+        plan = plan_synchronization(prog)
+        assert plan.points == []
+        assert plan.total_sync_calls == 0
+
+    def test_empty_adj_chain_emits_no_sync_point(self):
+        chain = [self.region([], SyncPlacement.END_ADJ_PARAM_REGIONS),
+                 self.region([], SyncPlacement.END_ADJ_PARAM_REGIONS)]
+        plan = plan_synchronization(Program(nodes=chain))
+        assert plan.points == []
+
+    def test_empty_deferral_emits_no_begin_point(self):
+        r1 = self.region([], SyncPlacement.BEGIN_NEXT_PARAM_REGION)
+        r2 = self.region([p2p(["a"], ["b"])])
+        plan = plan_synchronization(Program(nodes=[r1, r2]))
+        assert [(pt.position, pt.node) for pt in plan.points] == \
+            [("end", r2)]
+
+    def test_single_directive_place_sync_at_region_end(self):
+        node = p2p(["a"], ["b"])
+        r = self.region([node], SyncPlacement.END_PARAM_REGION)
+        plan = plan_synchronization(Program(nodes=[r]))
+        [point] = plan.points
+        assert point.position == "end"
+        assert point.node is r
+        assert point.covered_instances == 1
+        assert point.p2p_instances() == [node]
+        assert plan.forced_splits == {}
+
+    def test_nonempty_points_all_cover_instances(self):
+        mixed = [
+            self.region([]),
+            self.region([p2p(["a"], ["b"])]),
+            self.region([], SyncPlacement.BEGIN_NEXT_PARAM_REGION),
+            self.region([]),
+        ]
+        plan = plan_synchronization(Program(nodes=mixed))
+        assert all(pt.covered_instances > 0 for pt in plan.points)
+
+
+class TestSingleRankGraphs:
+    """nprocs=1: every transfer degenerates to a self-loop or nothing."""
+
+    def test_ring_collapses_to_self_loop(self):
+        node = p2p(["a"], ["b"],
+                   sender="(rank-1+nprocs)%nprocs",
+                   receiver="(rank+1)%nprocs")
+        g = comm_graph(node.clauses, nprocs=1)
+        assert g.edges == [(0, 0)]
+        assert g.expects == {0: 0}
+        assert validate_matching(g) == []
+
+    def test_guarded_shift_goes_silent(self):
+        node = p2p(["a"], ["b"], sender="rank-1", receiver="rank+1",
+                   sendwhen="rank<nprocs-1", receivewhen="rank>0")
+        g = comm_graph(node.clauses, nprocs=1)
+        assert g.edges == []
+        assert g.expects == {}
+        assert classify_pattern(g) == "none"
+        assert validate_matching(g) == []
+
+    def test_overlap_verdict_is_world_size_independent(self):
+        node = p2p(["a"], ["b"],
+                   body=[RawCode(lines=["use(b);"])],
+                   sender="0", receiver="0")
+        assert not overlap_legal(node).legal

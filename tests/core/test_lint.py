@@ -1,9 +1,16 @@
 """Whole-program directive linting."""
 
+import json
+
 import pytest
 
-from repro.core.analysis import lint_program
+from repro.core.analysis import (
+    lint_program,
+    render_json,
+    render_sarif,
+)
 from repro.core.pragma import parse_program
+from repro.errors import VerificationError
 
 CLEAN = """
 double a[16]; double b[16]; double c[16]; double d[16];
@@ -88,3 +95,87 @@ class TestLint:
         report = lint_program(parse_program(src), nprocs=4,
                               extra_vars={"root": 1})
         assert list(report.patterns.values()) == ["fan-in"]
+
+
+CYCLE = """
+double x[8];
+double y[8];
+#pragma comm_parameters sender((rank+1)%nprocs) receiver((rank-1+nprocs)%nprocs) sbuf(x) rbuf(y)
+{
+#pragma comm_p2p sendwhen(0) receivewhen(1)
+{
+}
+}
+mid();
+#pragma comm_parameters sender((rank+1)%nprocs) receiver((rank-1+nprocs)%nprocs) sbuf(x) rbuf(y)
+{
+#pragma comm_p2p sendwhen(1) receivewhen(0)
+{
+}
+}
+"""
+
+
+class TestDiagnosticCodes:
+    def test_every_diagnostic_carries_a_code(self):
+        for source in (DEPENDENT, BAD_OVERLAP, BAD_MATCH, MISSING_DECL,
+                       CYCLE):
+            report = lint_program(parse_program(source), nprocs=4)
+            assert report.diagnostics, source
+            assert all(d.code.startswith("CI")
+                       for d in report.diagnostics)
+
+    def test_deadlock_cycle_is_ci001_on_every_target(self):
+        report = lint_program(parse_program(CYCLE), nprocs=4)
+        [diag] = [d for d in report.errors if d.code == "CI001"]
+        # Identical on all three lowerings: collapsed to target "*".
+        assert diag.target == "*"
+
+    def test_diagnostics_sorted_by_line_code_severity(self):
+        report = lint_program(parse_program(CYCLE), nprocs=4)
+        keys = [d.sort_key() for d in report.diagnostics]
+        assert keys == sorted(keys)
+
+    def test_sorting_is_stable_across_runs(self):
+        render_a = lint_program(parse_program(CYCLE), nprocs=4).render()
+        render_b = lint_program(parse_program(CYCLE), nprocs=4).render()
+        assert render_a == render_b
+
+    def test_require_clean_raises_with_listing(self):
+        report = lint_program(parse_program(CYCLE), nprocs=4)
+        with pytest.raises(VerificationError, match="CI001"):
+            report.require_clean()
+        lint_program(parse_program(CLEAN), nprocs=6).require_clean()
+
+
+class TestRenderers:
+    def test_json_roundtrips(self):
+        report = lint_program(parse_program(BAD_OVERLAP), nprocs=4,
+                              path="overlap.c")
+        doc = json.loads(render_json([report]))
+        [entry] = doc["reports"]
+        assert entry["path"] == "overlap.c"
+        assert any(d["code"] == "CI010"
+                   for d in entry["diagnostics"])
+
+    def test_sarif_shape_and_rules(self):
+        report = lint_program(parse_program(CYCLE), nprocs=4,
+                              path="cycle.c")
+        log = json.loads(render_sarif([report]))
+        assert log["version"] == "2.1.0"
+        [run] = log["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        levels = {r["ruleId"]: r["level"] for r in run["results"]}
+        assert "CI001" in rule_ids
+        assert levels["CI001"] == "error"
+        for result in run["results"]:
+            [loc] = result["locations"]
+            physical = loc["physicalLocation"]
+            assert physical["artifactLocation"]["uri"] == "cycle.c"
+            assert physical["region"]["startLine"] >= 1
+
+    def test_sarif_of_clean_report_has_no_results(self):
+        report = lint_program(parse_program(CLEAN), nprocs=6)
+        log = json.loads(render_sarif([report]))
+        assert log["runs"][0]["results"] == []

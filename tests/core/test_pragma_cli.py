@@ -1,8 +1,10 @@
-"""The translator command-line tool."""
+"""The translator and linter command-line tools."""
+
+import json
 
 import pytest
 
-from repro.core.pragma.__main__ import main
+from repro.core.pragma.__main__ import main, main_lint
 
 RING = """\
 double buf1[100];
@@ -73,3 +75,96 @@ double b[4];
     assert main([str(f), "--analyze", "--nprocs", "4"]) == 0
     out = capsys.readouterr().out
     assert "MATCHING ISSUE" in out
+
+
+# ---------------------------------------------------------------------------
+# repro-lint
+
+DEADLOCK = """\
+double x[8];
+double y[8];
+#pragma comm_parameters sender((rank+1)%nprocs) receiver((rank-1+nprocs)%nprocs) sbuf(x) rbuf(y)
+{
+#pragma comm_p2p sendwhen(0) receivewhen(1)
+{
+}
+}
+mid();
+#pragma comm_parameters sender((rank+1)%nprocs) receiver((rank-1+nprocs)%nprocs) sbuf(x) rbuf(y)
+{
+#pragma comm_p2p sendwhen(1) receivewhen(0)
+{
+}
+}
+"""
+
+
+@pytest.fixture
+def deadlock_file(tmp_path):
+    f = tmp_path / "deadlock.c"
+    f.write_text(DEADLOCK)
+    return str(f)
+
+
+def test_lint_clean_file_exits_zero(ring_file, capsys):
+    assert main_lint([ring_file]) == 0
+    out = capsys.readouterr().out
+    assert "pattern = ring" in out
+
+
+def test_lint_deadlock_exits_one_text(deadlock_file, capsys):
+    assert main_lint([deadlock_file]) == 1
+    out = capsys.readouterr().out
+    assert "CI001" in out and "deadlock cycle" in out
+
+
+def test_lint_deadlock_exits_one_json(deadlock_file, capsys):
+    assert main_lint([deadlock_file, "--format", "json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    [entry] = doc["reports"]
+    assert any(d["code"] == "CI001" and d["severity"] == "error"
+               for d in entry["diagnostics"])
+
+
+def test_lint_deadlock_exits_one_sarif(deadlock_file, capsys):
+    assert main_lint([deadlock_file, "--format", "sarif"]) == 1
+    log = json.loads(capsys.readouterr().out)
+    assert log["version"] == "2.1.0"
+    results = log["runs"][0]["results"]
+    assert any(r["ruleId"] == "CI001" and r["level"] == "error"
+               for r in results)
+
+
+def test_lint_parse_error_is_ci000(tmp_path, capsys):
+    f = tmp_path / "broken.c"
+    f.write_text(BROKEN)
+    assert main_lint([str(f), "--format", "json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["reports"][0]["diagnostics"][0]["code"] == "CI000"
+
+
+def test_lint_nprocs_and_var_forwarded(tmp_path, capsys):
+    f = tmp_path / "shift.c"
+    f.write_text("""\
+double a[8];
+double b[8];
+#pragma comm_p2p sender(rank-k) receiver(rank+k) sendwhen(rank+k<nprocs) receivewhen(rank>=k) sbuf(a) rbuf(b)
+""")
+    assert main_lint([str(f), "--nprocs", "4", "--var", "k=1"]) == 0
+    assert "shift" in capsys.readouterr().out
+
+
+def test_lint_catalog_is_clean(capsys):
+    assert main_lint(["--catalog"]) == 0
+    out = capsys.readouterr().out
+    assert "catalog:ring" in out
+
+
+def test_lint_no_inputs_is_usage_error(capsys):
+    assert main_lint([]) == 2
+    assert "no inputs" in capsys.readouterr().err
+
+
+def test_lint_missing_file(capsys):
+    assert main_lint(["/nonexistent/lint.c"]) == 2
+    assert "error" in capsys.readouterr().err

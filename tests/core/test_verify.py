@@ -1,0 +1,222 @@
+"""Whole-program static verification: happens-before proofs."""
+
+import pytest
+
+from repro.core.analysis.codes import DEADLOCK_CODES
+from repro.core.analysis.verify import (
+    WEAKENINGS,
+    verify_program,
+)
+from repro.core.pragma import parse_program
+
+RING = """
+double out[8];
+double inb[8];
+int rank, nprocs;
+#pragma comm_p2p sender((rank-1+nprocs)%nprocs) receiver((rank+1)%nprocs) sbuf(out) rbuf(inb)
+{
+}
+consume(inb);
+"""
+
+#: Region one only receives; the matching sends happen in region two,
+#: after region one's end-of-region wait — a true cross-rank cycle.
+CYCLE = """
+double x[8];
+double y[8];
+int rank, nprocs;
+#pragma comm_parameters sender((rank+1)%nprocs) receiver((rank-1+nprocs)%nprocs) sbuf(x) rbuf(y)
+{
+#pragma comm_p2p sendwhen(0) receivewhen(1)
+{
+}
+}
+mid();
+#pragma comm_parameters sender((rank+1)%nprocs) receiver((rank-1+nprocs)%nprocs) sbuf(x) rbuf(y)
+{
+#pragma comm_p2p sendwhen(1) receivewhen(0)
+{
+}
+}
+"""
+
+#: Rank 2 expects a message from rank 0, but rank 0's sendwhen routes
+#: its only send to rank 1 — the wait can never be satisfied.
+NEVER_SENT = """
+double a[4];
+double b[4];
+int rank, nprocs;
+#pragma comm_p2p sender(0) receiver(1) sendwhen(rank==0) receivewhen(rank==2) sbuf(a) rbuf(b)
+"""
+
+#: A send nobody exposes/receives: nobody's receivewhen is true. On a
+#: one-sided target the put has no exposure epoch (deadlock); on the
+#: eager two-sided target it is only a matching warning.
+NO_EXPOSURE = """
+double a[4];
+double b[4];
+int rank, nprocs;
+#pragma comm_p2p sender(0) receiver(1) sendwhen(rank==0) receivewhen(0) sbuf(a) rbuf(b)
+"""
+
+#: Raw code between two directives of one region reads the first
+#: directive's rbuf before the consolidated region-end sync.
+EARLY_READ = """
+double a[4]; double b[4]; double c[4]; double d[4];
+int rank, nprocs;
+#pragma comm_parameters sender((rank-1+nprocs)%nprocs) receiver((rank+1)%nprocs)
+{
+#pragma comm_p2p sbuf(a) rbuf(b)
+    peek(b);
+#pragma comm_p2p sbuf(c) rbuf(d)
+}
+"""
+
+#: Two END_ADJ regions share one sync group, but the second region's
+#: directive reuses the first's rbuf as its sbuf — the executor must
+#: downgrade the plan with a forced flush and report it.
+ADJ_ALIAS = """
+double a[4]; double b[4]; double c[4];
+int rank, nprocs;
+#pragma comm_parameters sender((rank-1+nprocs)%nprocs) receiver((rank+1)%nprocs) place_sync(END_ADJ_PARAM_REGIONS)
+{
+#pragma comm_p2p sbuf(a) rbuf(b)
+}
+#pragma comm_parameters sender((rank-1+nprocs)%nprocs) receiver((rank+1)%nprocs) place_sync(END_ADJ_PARAM_REGIONS)
+{
+#pragma comm_p2p sbuf(b) rbuf(c)
+}
+"""
+
+#: The paper's Listing-7 shape: the receiver is a loop-carried program
+#: variable and the region declares max_comm_iter. One unrolled
+#: snapshot (it=1) starves ranks 2..n-1, but a later iteration may
+#: serve them — so the missing-message finding must be a warning, not
+#: a deadlock proof.
+LOOP_CARRIED = """
+double a[4];
+double b[4];
+int rank, nprocs, it;
+#pragma comm_parameters sendwhen(rank==0) receivewhen(rank!=0) sender(0) receiver(it) max_comm_iter(4) sbuf(a) rbuf(b)
+{
+#pragma comm_p2p
+{
+}
+}
+"""
+
+FREE_NAME = """
+double a[4];
+double b[4];
+int rank, nprocs;
+#pragma comm_p2p sender(mystery) receiver(mystery) sbuf(a) rbuf(b)
+"""
+
+ALL_TARGETS = ("TARGET_COMM_MPI_2SIDE", "TARGET_COMM_MPI_1SIDE",
+               "TARGET_COMM_SHMEM")
+
+
+def codes(report):
+    return {d.code for d in report.diagnostics}
+
+
+class TestCleanPrograms:
+    @pytest.mark.parametrize("target", ALL_TARGETS)
+    def test_ring_clean_on_every_target(self, target):
+        report = verify_program(parse_program(RING), nprocs=5,
+                                target=target)
+        assert report.errors == []
+
+    def test_nprocs_one_self_transfer_is_clean(self):
+        report = verify_program(parse_program(RING), nprocs=1)
+        assert report.errors == []
+
+    def test_report_carries_graph_and_world(self):
+        report = verify_program(parse_program(RING), nprocs=5)
+        assert report.nprocs == 5
+        assert report.graph is not None
+        assert len(report.graph.traces) == 5
+
+
+class TestDeadlockProofs:
+    @pytest.mark.parametrize("target", ALL_TARGETS)
+    def test_wait_before_post_is_a_cycle(self, target):
+        report = verify_program(parse_program(CYCLE), nprocs=4,
+                                target=target)
+        assert "CI001" in codes(report)
+        [diag] = [d for d in report.errors if d.code == "CI001"]
+        assert "deadlock cycle" in diag.message
+        assert "rank" in diag.message
+
+    def test_message_never_sent(self):
+        report = verify_program(parse_program(NEVER_SENT), nprocs=4)
+        assert "CI002" in codes(report)
+        [diag] = [d for d in report.errors if d.code == "CI002"]
+        # The offending sender -> receiver pair is named.
+        assert "sender 0" in diag.message
+        assert "receiver 2" in diag.message
+
+    def test_one_sided_put_without_exposure(self):
+        report = verify_program(parse_program(NO_EXPOSURE), nprocs=4,
+                                target="TARGET_COMM_MPI_1SIDE")
+        assert "CI003" in codes(report)
+
+    def test_directive_target_clause_overrides_default(self):
+        pinned = NO_EXPOSURE.replace(
+            "rbuf(b)", "rbuf(b) target(TARGET_COMM_MPI_1SIDE)")
+        report = verify_program(parse_program(pinned), nprocs=4,
+                                target="TARGET_COMM_MPI_2SIDE")
+        assert "CI003" in codes(report)
+
+    def test_two_sided_send_without_receiver_is_not_a_deadlock(self):
+        report = verify_program(parse_program(NO_EXPOSURE), nprocs=4,
+                                target="TARGET_COMM_MPI_2SIDE")
+        assert not (codes(report) & DEADLOCK_CODES)
+
+    def test_loop_carried_partner_demotes_missing_message(self):
+        report = verify_program(parse_program(LOOP_CARRIED), nprocs=4,
+                                extra_vars={"it": 1})
+        assert report.errors == []
+        demoted = [d for d in report.warnings if d.code == "CI002"]
+        assert demoted  # one per starved rank in this snapshot
+        assert all("max_comm_iter" in d.message for d in demoted)
+
+
+class TestStaleReadProofs:
+    def test_read_before_guaranteeing_sync(self):
+        report = verify_program(parse_program(EARLY_READ), nprocs=4)
+        assert "CI012" in codes(report)
+        [diag] = [d for d in report.errors if d.code == "CI012"]
+        assert "'b'" in diag.message
+
+    @pytest.mark.parametrize("weakening", WEAKENINGS)
+    def test_weakened_plan_leaves_unsynchronized_receive(
+            self, weakening):
+        report = verify_program(parse_program(RING), nprocs=5,
+                                weakening=weakening)
+        assert "CI011" in codes(report)
+
+    def test_unknown_weakening_rejected(self):
+        with pytest.raises(ValueError, match="unknown weakening"):
+            verify_program(parse_program(RING), weakening="no-such")
+
+
+class TestConsolidationSafety:
+    def test_cross_region_alias_downgrades_plan(self):
+        report = verify_program(parse_program(ADJ_ALIAS), nprocs=4)
+        assert "CI020" in codes(report)
+        # The downgrade keeps the program correct: no stale or deadlock.
+        assert report.errors == []
+
+
+class TestUnrollability:
+    def test_free_name_reported_once(self):
+        report = verify_program(parse_program(FREE_NAME), nprocs=4)
+        info = [d for d in report.diagnostics if d.code == "CI032"]
+        assert len(info) == 1
+        assert "mystery" in info[0].message
+
+    def test_extra_vars_resolve_free_names(self):
+        report = verify_program(parse_program(FREE_NAME), nprocs=4,
+                                extra_vars={"mystery": 1})
+        assert "CI032" not in codes(report)

@@ -1,10 +1,21 @@
 """Sync-plan fuzzer: quick sweeps inline, the full CI sweep as slow,
-and the must-catch case — a deliberately weakened sync plan."""
+the must-catch case — a deliberately weakened sync plan — and the
+static/dynamic cross-check: every weakened plan the fuzzer catches at
+run time must also be refuted by the static verifier."""
 
 import pytest
 
 import repro.core.region as region
+from repro.core.analysis.codes import DEADLOCK_CODES, STALE_READ_CODES
+from repro.core.analysis.verify import WEAKENINGS, verify_program
 from repro.faults import CASE_NAMES, FUZZ_TARGETS, FaultPlan, fuzz, fuzz_one
+from repro.faults.fuzz import (
+    CASES,
+    STATIC_TWINS,
+    static_twin_program,
+    weaken_pending_sync,
+)
+from repro.faults.watchdog import Watchdog
 
 QUICK_PATTERNS = ("ring", "evenodd")
 
@@ -54,6 +65,67 @@ class TestWeakenedSyncIsCaught:
         failure = fuzz_one("ring", "TARGET_COMM_MPI_2SIDE", 0)
         assert "rank" in failure.detail
         assert "expected" in failure.detail and "got" in failure.detail
+
+
+#: Codes that count as "statically refuted" for the cross-check.
+_REFUTING = DEADLOCK_CODES | STALE_READ_CODES
+
+#: A tight watchdog: a weakened plan that deadlocks dynamically should
+#: fail fast, not eat the suite's time budget.
+_XCHECK_WATCHDOG = Watchdog(wall_timeout=20.0, stall_events=1_000_000)
+
+
+@pytest.fixture(scope="module")
+def dynamic_baselines():
+    """Unfaulted reference results, one per (pattern, target)."""
+    cache = {}
+
+    def get(pattern, target):
+        key = (pattern, target)
+        if key not in cache:
+            case = next(c for c in CASES if c.name == pattern)
+            cache[key] = case.baseline(target, _XCHECK_WATCHDOG)
+        return cache[key]
+
+    return get
+
+
+class TestStaticDynamicCrossCheck:
+    """Acceptance: the verifier has no false negatives on the corpus of
+    weakened sync plans the dynamic fuzzer catches — and no false
+    positives on the unweakened plans."""
+
+    @pytest.mark.parametrize("pattern", sorted(STATIC_TWINS))
+    @pytest.mark.parametrize("target", FUZZ_TARGETS)
+    def test_unweakened_twin_verifies_clean(self, pattern, target):
+        program, nprocs, extra_vars = static_twin_program(pattern)
+        report = verify_program(program, nprocs=nprocs, target=target,
+                                extra_vars=extra_vars)
+        assert report.errors == [], \
+            "\n".join(str(d) for d in report.errors)
+
+    @pytest.mark.parametrize("pattern", sorted(STATIC_TWINS))
+    @pytest.mark.parametrize("target", FUZZ_TARGETS)
+    @pytest.mark.parametrize("weakening", WEAKENINGS)
+    def test_dynamically_caught_implies_statically_flagged(
+            self, pattern, target, weakening, dynamic_baselines):
+        baseline = dynamic_baselines(pattern, target)
+        with weaken_pending_sync(weakening):
+            failure = fuzz_one(pattern, target, seed=0,
+                               watchdog=_XCHECK_WATCHDOG,
+                               baseline=baseline)
+        if failure is None:
+            pytest.skip("dynamic fuzzer did not catch this weakening; "
+                        "cross-check is vacuous")
+        program, nprocs, extra_vars = static_twin_program(pattern)
+        report = verify_program(program, nprocs=nprocs, target=target,
+                                extra_vars=extra_vars,
+                                weakening=weakening)
+        codes = {d.code for d in report.errors}
+        assert codes & _REFUTING, (
+            f"dynamic fuzzer caught {pattern} on {target} under "
+            f"{weakening} ({failure.detail}), but the static verifier "
+            f"reported only {sorted(codes) or 'nothing'}")
 
 
 @pytest.mark.slow
