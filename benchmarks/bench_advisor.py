@@ -1,0 +1,181 @@
+"""Advisor bench: predicted vs simulated savings of proof-carried fixes.
+
+Runs the CI1xx performance advisor plus the proof-carrying fix engine
+(:mod:`repro.core.analysis.fix`) over
+
+* the pessimized examples in ``examples/pragmas/slow/`` — each is a
+  deliberately mis-structured directive program the advisor must both
+  flag and repair, and
+* the built-in pattern catalog — a negative control: the curated
+  patterns are already well-structured, so the advisor should propose
+  nothing.
+
+For every accepted rewrite it records the advisor's *predicted* saving
+(net-model estimate attached to the CI1xx diagnostic) next to the
+*simulated* saving (modeled-time delta per lowering target from
+:mod:`repro.core.analysis.progsim`), and writes ``BENCH_advisor.json``.
+
+Run:  PYTHONPATH=src python benchmarks/bench_advisor.py
+or:   PYTHONPATH=src python -m pytest benchmarks/bench_advisor.py
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.core.analysis.fix import FixResult, fix_source
+from repro.core.ir import BufferDecl, P2PNode, Program
+from repro.core.pragma import parse_program
+from repro.core.pragma.__main__ import _CATALOG_VARS
+from repro.core.analysis.independence import base_identifier
+from repro.dtypes.primitives import DOUBLE
+from repro.errors import ReproError
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SLOW = os.path.join(_ROOT, "examples", "pragmas", "slow")
+_OUT = os.path.join(_ROOT, "BENCH_advisor.json")
+
+NPROCS = 8
+
+
+def _step_entries(result: FixResult) -> list[dict]:
+    entries = []
+    for step in result.steps:
+        entry = step.as_dict()
+        if step.accepted and step.times_before_s:
+            entry["simulated_saving_s"] = {
+                t: round(step.times_before_s[t] - step.times_after_s[t],
+                         12)
+                for t in sorted(step.times_before_s)
+                if t in step.times_after_s}
+            entry["speedup"] = {
+                t: round(step.times_before_s[t] / step.times_after_s[t],
+                         3)
+                for t in sorted(step.times_before_s)
+                if t in step.times_after_s
+                and step.times_after_s[t] > 0}
+        entries.append(entry)
+    return entries
+
+
+def _best_speedup(result: FixResult) -> float:
+    """End-to-end modeled speedup: first accepted 'before' over last
+    accepted 'after', maximized across targets."""
+    accepted = result.accepted
+    if not accepted:
+        return 1.0
+    first, last = accepted[0], accepted[-1]
+    best = 1.0
+    for t, t0 in first.times_before_s.items():
+        t1 = last.times_after_s.get(t)
+        if t1:
+            best = max(best, t0 / t1)
+    return round(best, 3)
+
+
+def run_examples() -> list[dict]:
+    """Fix every pessimized example; predicted vs simulated ledger."""
+    out = []
+    for path in sorted(glob.glob(os.path.join(_SLOW, "*.c"))):
+        with open(path, encoding="utf-8") as fh:
+            source = fh.read()
+        result = fix_source(source, nprocs=NPROCS)
+        rel = os.path.relpath(path, _ROOT)
+        entry = {
+            "path": rel,
+            "changed": result.changed,
+            "rounds": result.rounds,
+            "accepted": len(result.accepted),
+            "rejected": len(result.rejected),
+            "predicted_saving_s": round(
+                sum(s.predicted_saving_s for s in result.accepted), 12),
+            "modeled_speedup": _best_speedup(result),
+            "steps": _step_entries(result),
+        }
+        out.append(entry)
+        print(f"{rel}: {len(result.accepted)} rewrite(s) proven, "
+              f"modeled speedup {entry['modeled_speedup']}x")
+    return out
+
+
+def run_catalog() -> list[dict]:
+    """Negative control: the curated catalog needs no rewrites."""
+    from repro.patterns.catalog import PATTERNS
+
+    out = []
+    for name, spec in sorted(PATTERNS.items()):
+        clauses = spec.clauses()
+        if clauses is None:
+            continue
+        program = Program(nodes=[P2PNode(clauses=clauses, line=1)])
+        for expr in (*clauses.sbuf, *clauses.rbuf):
+            base = base_identifier(expr)
+            program.decls.setdefault(
+                base, BufferDecl(base, DOUBLE, length=1024))
+        decls = "\n".join(f"double {base}[1024];"
+                          for base in sorted(program.decls))
+        source = f"{decls}\n\n{program.to_source()}"
+        try:
+            parse_program(source)
+        except ReproError:
+            continue  # no pragma source form (parameters-only clause)
+        result = fix_source(source, nprocs=NPROCS,
+                            extra_vars=dict(_CATALOG_VARS))
+        out.append({
+            "name": name,
+            "changed": result.changed,
+            "accepted": len(result.accepted),
+            "rejected": len(result.rejected),
+        })
+        print(f"catalog:{name}: "
+              f"{len(result.accepted)} rewrite(s) proposed+proven")
+    return out
+
+
+def run_bench() -> dict:
+    return {
+        "benchmark": "advisor_proof_carrying_fix",
+        "nprocs": NPROCS,
+        "model": "gemini (calibrated default)",
+        "gates": ["CI0xx verifier clean on all lowering targets",
+                  "simulated modeled time does not regress"],
+        "examples": run_examples(),
+        "catalog": run_catalog(),
+    }
+
+
+def main() -> None:
+    report = run_bench()
+    with open(_OUT, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {_OUT}")
+
+
+# -- pytest entry points (not part of tier-1: testpaths excludes this dir)
+
+
+def test_pessimized_example_speedup_at_least_1_2x():
+    """Acceptance criterion: >= 1.2x modeled speedup after --fix on at
+    least one pessimized example (both should clear it)."""
+    entries = run_examples()
+    assert entries, "no pessimized examples found"
+    best = max(e["modeled_speedup"] for e in entries)
+    assert best >= 1.2, f"best modeled speedup only {best}x"
+
+
+def test_catalog_is_negative_control():
+    """The curated catalog must need no rewrites."""
+    for entry in run_catalog():
+        assert not entry["changed"], f"catalog:{entry['name']} changed"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+/* Pessimized halo exchange: the overlap body is empty, and the
+ * independent work (compute_us) sits *after* the region's
+ * synchronization point — the transfer's wire time is fully exposed.
+ *
+ * repro-lint flags this as CI101 (forfeited overlap); `repro-lint
+ * --fix` hoists the independent statement into the directive's overlap
+ * body and proves the rewrite (CI0xx-clean on all targets, simulated
+ * time strictly better). */
+double field[8192];
+double halo[8192];
+int rank, nprocs;
+
+#pragma comm_parameters place_sync(END_PARAM_REGION)
+{
+    #pragma comm_p2p sender((rank-1+nprocs)%nprocs) receiver((rank+1)%nprocs) sbuf(field) rbuf(halo)
+}
+compute_us(15);
+consume(halo);

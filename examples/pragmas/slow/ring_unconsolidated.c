@@ -1,0 +1,21 @@
+/* Pessimized ring: three independent neighbour shifts written as
+ * standalone directives. Every directive synchronizes at its own
+ * exit, so the three transfers serialize — the Section III-A
+ * consolidation rule would cover all of them with one call.
+ *
+ * repro-lint flags this as CI100; `repro-lint --fix` wraps the three
+ * directives in one comm_parameters region and proves the rewrite
+ * (CI0xx-clean on all targets, simulated time strictly better). */
+double s0[512];
+double r0[512];
+double s1[512];
+double r1[512];
+double s2[512];
+double r2[512];
+int rank, nprocs;
+
+#pragma comm_p2p sender((rank-1+nprocs)%nprocs) receiver((rank+1)%nprocs) sbuf(s0) rbuf(r0)
+#pragma comm_p2p sender((rank-1+nprocs)%nprocs) receiver((rank+1)%nprocs) sbuf(s1) rbuf(r1)
+#pragma comm_p2p sender((rank-1+nprocs)%nprocs) receiver((rank+1)%nprocs) sbuf(s2) rbuf(r2)
+
+consume3(r0, r1, r2);

@@ -25,12 +25,25 @@ from repro.core.analysis.dataflow import (
 )
 from repro.core.analysis.overlap import overlap_legal
 from repro.core.analysis.codes import (
+    ADVISOR_CODES,
     DEADLOCK_CODES,
     RULES,
     STALE_READ_CODES,
     Diagnostic,
     Rule,
     severity_of,
+)
+from repro.core.analysis.advisor import (
+    Finding,
+    Rewrite,
+    advise_program,
+    apply_rewrite,
+)
+from repro.core.analysis.fix import FixResult, FixStep, fix_source
+from repro.core.analysis.progsim import (
+    ProgramSimError,
+    SimOutcome,
+    simulate_program,
 )
 from repro.core.analysis.lint import (
     LintReport,
@@ -45,12 +58,23 @@ from repro.core.analysis.verify import (
 )
 
 __all__ = [
+    "ADVISOR_CODES",
     "DEADLOCK_CODES",
     "RULES",
     "STALE_READ_CODES",
     "Diagnostic",
     "Rule",
     "severity_of",
+    "Finding",
+    "Rewrite",
+    "advise_program",
+    "apply_rewrite",
+    "FixResult",
+    "FixStep",
+    "fix_source",
+    "ProgramSimError",
+    "SimOutcome",
+    "simulate_program",
     "LintReport",
     "lint_program",
     "render_json",

@@ -12,7 +12,11 @@ Code ranges:
 * ``CI001``–``CI009`` — deadlock and matching proofs (happens-before);
 * ``CI010``–``CI019`` — stale-read proofs (data guaranteed by sync);
 * ``CI020``–``CI029`` — synchronization-consolidation safety;
-* ``CI030``–``CI039`` — clause/declaration/inference validation.
+* ``CI030``–``CI039`` — clause/declaration/inference validation;
+* ``CI100``–``CI119`` — performance advisories (missed consolidation,
+  forfeited overlap, oversized transfers, lowering-target mismatch),
+  emitted by :mod:`repro.core.analysis.advisor` with a net-model
+  estimated saving in modeled seconds.
 """
 
 from __future__ import annotations
@@ -86,6 +90,34 @@ RULES: dict[str, Rule] = {r.code: r for r in (
     Rule("CI032", "not-evaluable", "info",
          "clause expressions reference names with no static value; the "
          "pattern cannot be unrolled for this world"),
+    Rule("CI100", "missed-consolidation", "warning",
+         "adjacent independent communication synchronizes separately; "
+         "one consolidated call would cover every transfer "
+         "(Section III-A)",
+         "merge the adjacent directives into one comm_parameters "
+         "region (or place_sync(END_ADJ_PARAM_REGIONS) across the "
+         "chain) so synchronization consolidates"),
+    Rule("CI101", "forfeited-overlap", "warning",
+         "the overlap body is empty while independent work follows the "
+         "synchronization point; the overlap window is forfeited",
+         "move the following independent statements into the "
+         "directive's overlap body so they hide the transfer"),
+    Rule("CI102", "eager-sync", "warning",
+         "the synchronization completes earlier than the first use of "
+         "the received data; independent work between them could still "
+         "overlap the transfer",
+         "move the independent statements between the synchronization "
+         "and the first use into the overlap body"),
+    Rule("CI103", "oversized-count", "warning",
+         "the explicit count exceeds the smallest declared buffer "
+         "length; the transfer moves more bytes than the buffers hold",
+         "tighten count to the inferred minimum array length"),
+    Rule("CI110", "target-mismatch", "warning",
+         "the explicit lowering target is modeled slower than an "
+         "alternative for this message set (e.g. the one-sided plan "
+         "serializes what two-sided overlaps, or small messages miss "
+         "the SHMEM fast path)",
+         "retarget the directive to the modeled-fastest lowering"),
 )}
 
 #: Codes whose findings prove a hang: the program cannot terminate.
@@ -93,6 +125,12 @@ DEADLOCK_CODES: frozenset[str] = frozenset({"CI001", "CI002", "CI003"})
 
 #: Codes whose findings prove a stale read: data consumed unguaranteed.
 STALE_READ_CODES: frozenset[str] = frozenset({"CI010", "CI011", "CI012"})
+
+#: Performance-advisory codes (the CI1xx family): each finding carries
+#: a net-model estimated saving and, via the advisor, a concrete
+#: pragma rewrite that ``repro-lint --fix`` can prove and apply.
+ADVISOR_CODES: frozenset[str] = frozenset(
+    {"CI100", "CI101", "CI102", "CI103", "CI110"})
 
 
 def severity_of(code: str) -> str:
@@ -110,6 +148,9 @@ class Diagnostic:
     from ``line``, the location the finding points at); ``target`` names
     the lowering target the finding applies to (``"*"`` when it holds
     for every target); ``fixit`` is optional remediation text.
+    ``saving_s`` is the advisor's net-model estimated saving in modeled
+    seconds for the analyzed ``(nprocs, target, netmodel)`` triple
+    (CI1xx findings only).
     """
 
     severity: str        # "error" | "warning" | "info"
@@ -119,6 +160,7 @@ class Diagnostic:
     directive: int | None = None
     target: str | None = None
     fixit: str = ""
+    saving_s: float | None = None
 
     def __str__(self) -> str:
         code = f" [{self.code}]" if self.code else ""
@@ -147,13 +189,16 @@ class Diagnostic:
             out["target"] = self.target
         if self.fixit:
             out["fixit"] = self.fixit
+        if self.saving_s is not None:
+            out["estimated_saving_s"] = self.saving_s
         return out
 
 
 def make(code: str, line: int, message: str, *,
          directive: int | None = None, target: str | None = None,
          fixit: str | None = None,
-         severity: str | None = None) -> Diagnostic:
+         severity: str | None = None,
+         saving_s: float | None = None) -> Diagnostic:
     """Build a diagnostic for a rule, defaulting severity and fix-it."""
     rule = RULES.get(code)
     if severity is None:
@@ -162,4 +207,4 @@ def make(code: str, line: int, message: str, *,
         fixit = rule.fixit if rule is not None else ""
     return Diagnostic(severity=severity, line=line, message=message,
                       code=code, directive=directive, target=target,
-                      fixit=fixit)
+                      fixit=fixit, saving_s=saving_s)

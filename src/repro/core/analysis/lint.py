@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.core.analysis.codes import RULES, Diagnostic, make
 from repro.core.analysis.dataflow import (
@@ -56,6 +57,10 @@ class LintReport:
     patterns: dict[int, str] = field(default_factory=dict)
     #: Source file the program came from ("" when linted from memory).
     path: str = ""
+    #: The lowering targets the verifier swept (all three unless the
+    #: caller restricted the analysis).
+    targets: list[str] = field(
+        default_factory=lambda: [t.value for t in Target])
 
     @property
     def errors(self) -> list[Diagnostic]:
@@ -89,12 +94,19 @@ class LintReport:
         return "\n".join(lines)
 
 
-def render_json(reports: list[LintReport]) -> str:
-    """Serialize lint reports as one JSON document."""
+def render_json(reports: list[LintReport],
+                fixes: dict[str, Any] | None = None) -> str:
+    """Serialize lint reports as one JSON document.
+
+    ``fixes`` optionally maps a report path to a
+    :class:`repro.core.analysis.fix.FixResult`, whose proof ledger is
+    embedded under a ``fix`` key (``repro-lint --fix-dry-run``).
+    """
     payload = []
     for report in reports:
-        payload.append({
+        entry: dict[str, Any] = {
             "path": report.path,
+            "targets": list(report.targets),
             "n_directives": report.n_directives,
             "n_regions": report.n_regions,
             "sync_calls": report.sync_calls,
@@ -102,7 +114,15 @@ def render_json(reports: list[LintReport]) -> str:
             "patterns": {str(k): v
                          for k, v in sorted(report.patterns.items())},
             "diagnostics": [d.as_dict() for d in report.diagnostics],
-        })
+        }
+        if fixes and report.path in fixes:
+            result = fixes[report.path]
+            entry["fix"] = {
+                "changed": result.changed,
+                "rounds": result.rounds,
+                "steps": [s.as_dict() for s in result.steps],
+            }
+        payload.append(entry)
     return json.dumps({"reports": payload}, indent=2)
 
 
@@ -150,6 +170,7 @@ def render_sarif(reports: list[LintReport]) -> str:
             if d.target and d.target != "*":
                 result["properties"] = {"target": d.target}
             results.append(result)
+    swept = sorted({t for r in reports for t in r.targets})
     log = {
         "$schema": _SARIF_SCHEMA,
         "version": "2.1.0",
@@ -160,6 +181,7 @@ def render_sarif(reports: list[LintReport]) -> str:
                     "https://github.com/ipdpsw13-comm-intent",
                 "rules": rules,
             }},
+            "properties": {"targets": swept},
             "results": results,
         }],
     }
@@ -168,14 +190,23 @@ def render_sarif(reports: list[LintReport]) -> str:
 
 def lint_program(program: Program, nprocs: int = 8,
                  extra_vars: dict[str, int] | None = None,
-                 path: str = "") -> LintReport:
+                 path: str = "", *,
+                 targets: list[Target] | None = None,
+                 advise: bool = False,
+                 model: Any = None) -> LintReport:
     """Run every static analysis over a parsed program.
 
     Per-directive validation plus whole-program verification for each
-    lowering target; findings identical on every target are collapsed
-    to one diagnostic with ``target="*"``.
+    lowering target; findings identical on every swept target are
+    collapsed to one diagnostic with ``target="*"``. ``targets``
+    restricts the sweep (default: all three). ``advise=True``
+    additionally runs the performance advisor
+    (:mod:`repro.core.analysis.advisor`), whose CI1xx warnings carry a
+    net-model estimated saving for the first swept target under
+    ``model`` (default: the calibrated Gemini model).
     """
-    report = LintReport(path=path)
+    swept = list(targets) if targets else list(Target)
+    report = LintReport(path=path, targets=[t.value for t in swept])
     report.n_directives = len(program.all_p2p())
     report.n_regions = len(program.regions())
     plan = plan_synchronization(program)
@@ -195,7 +226,16 @@ def lint_program(program: Program, nprocs: int = 8,
         _lint_directive(program, node, nprocs, extra_vars, report)
 
     report.diagnostics.extend(
-        _verify_all_targets(program, nprocs, extra_vars, plan))
+        _verify_all_targets(program, nprocs, extra_vars, plan, swept))
+    if advise:
+        from repro.core.analysis.advisor import advise_program
+        from repro.core.clauses import DEFAULT_TARGET
+        advise_target = (DEFAULT_TARGET if DEFAULT_TARGET in swept
+                         else swept[0])
+        report.diagnostics.extend(
+            f.diagnostic for f in advise_program(
+                program, nprocs, target=advise_target,
+                extra_vars=extra_vars, model=model))
     _suppress_shadowed(report)
     report.diagnostics.sort(key=lambda d: d.sort_key())
     return report
@@ -203,16 +243,18 @@ def lint_program(program: Program, nprocs: int = 8,
 
 def _verify_all_targets(program: Program, nprocs: int,
                         extra_vars: dict[str, int] | None,
-                        plan: SyncPlan) -> list[Diagnostic]:
-    """Run the whole-program verifier once per lowering target.
+                        plan: SyncPlan,
+                        swept: list[Target]) -> list[Diagnostic]:
+    """Run the whole-program verifier once per swept lowering target.
 
     A finding produced with the same (code, line, directive, message)
-    on every target is target-independent: collapse to ``target="*"``.
+    on every swept target is target-independent: collapse to
+    ``target="*"``.
     """
     per_target: dict[tuple[str, int, int | None, str],
                      tuple[Diagnostic, list[str]]] = {}
     order: list[tuple[str, int, int | None, str]] = []
-    for target in Target:
+    for target in swept:
         verdict = verify_program(program, nprocs=nprocs, target=target,
                                  extra_vars=extra_vars, plan=plan,
                                  report_unrollable=False)
@@ -225,7 +267,7 @@ def _verify_all_targets(program: Program, nprocs: int,
     out: list[Diagnostic] = []
     for key in order:
         d, targets = per_target[key]
-        if len(targets) == len(Target):
+        if len(targets) == len(swept):
             out.append(Diagnostic(
                 severity=d.severity, line=d.line, message=d.message,
                 code=d.code, directive=d.directive, target="*",

@@ -1,0 +1,280 @@
+"""Concretely execute a parsed directive program in the simulator.
+
+The static analyses reason over a :class:`~repro.core.ir.Program`
+symbolically; this module closes the loop by *running* the same program
+in :class:`repro.sim.Engine` under a calibrated machine model. Every
+directive is replayed through the runtime DSL (``comm_parameters`` /
+``comm_p2p``), so the modeled time reflects the real lowering — sync
+consolidation, dependent flushes, per-target protocol costs — rather
+than a re-derivation of it.
+
+This is the measurement half of the advisor's proof-carrying fixes
+(:mod:`repro.core.analysis.fix`): a rewrite is only accepted when the
+simulated time of the rewritten program does not regress against the
+original on the same ``(nprocs, target, netmodel)`` triple.
+
+Compute statements
+------------------
+
+Raw code is not executed (it is C text), with one modeled exception:
+a line containing ``compute_us(expr)`` charges ``expr`` microseconds of
+computation to the executing rank via ``env.compute``. This is how the
+pessimized examples (``examples/pragmas/slow/``) express overlap-able
+work so the advisor's savings become visible in simulation.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro import mpi, shmem
+from repro.core import exprs
+from repro.core.clauses import DEFAULT_TARGET, Target
+from repro.core.directives import comm_flush, comm_p2p, comm_parameters
+from repro.core.ir import (
+    BufferDecl,
+    ClauseExprs,
+    Node,
+    P2PNode,
+    ParamRegionNode,
+    Program,
+    RawCode,
+)
+from repro.core.analysis.independence import base_identifier
+from repro.dtypes.primitives import PrimitiveType
+from repro.errors import ReproError
+from repro.netmodel import gemini_model
+from repro.netmodel.base import MachineModel
+from repro.sim import Engine
+from repro.sim.process import Env
+
+__all__ = ["ProgramSimError", "SimOutcome", "simulate_program"]
+
+#: ``compute_us(<expr>)`` in raw code charges modeled microseconds.
+_COMPUTE = re.compile(r"\bcompute_us\s*\(([^()]*)\)")
+
+
+class ProgramSimError(ReproError):
+    """The parsed program cannot be materialized for simulation."""
+
+
+@dataclass(frozen=True)
+class SimOutcome:
+    """Result of one concrete run of a parsed program."""
+
+    nprocs: int
+    target: str
+    #: Virtual completion time of the slowest rank, in modeled seconds.
+    modeled_time: float
+    #: Per-rank virtual finish times.
+    finish_times: tuple[float, ...]
+
+
+def simulate_program(program: Program, nprocs: int = 8, *,
+                     target: Target | str = DEFAULT_TARGET,
+                     extra_vars: dict[str, int] | None = None,
+                     model: MachineModel | None = None,
+                     max_time: float | None = 10.0) -> SimOutcome:
+    """Run ``program`` on ``nprocs`` simulated ranks and time it.
+
+    ``target`` is the default lowering for directives without an
+    explicit ``target`` clause (mirroring the verifier's per-target
+    sweep); an explicit clause always wins. ``extra_vars`` binds free
+    names in clause expressions, exactly as in
+    :func:`repro.core.analysis.verify.verify_program`.
+
+    Raises :class:`ProgramSimError` when the program cannot be
+    materialized (pointer/composite buffers, unknown names); runtime
+    clause violations and simulator aborts propagate unwrapped.
+    """
+    default_target = Target.parse(target)
+    machine = model if model is not None else gemini_model()
+    order, symmetric = _plan_buffers(program, default_target)
+    extras = dict(extra_vars or {})
+    engine = Engine(nprocs, max_time=max_time)
+
+    def main(env: Env) -> None:
+        mpi.init(env, machine)  # fix the machine model for all targets
+        buffers = _allocate(env, order, symmetric)
+        variables: dict[str, Any] = {"nprocs": env.size,
+                                     "size": env.size,
+                                     "rank": env.rank, **extras}
+        _Executor(env, buffers, variables, default_target).run(
+            program.nodes)
+        comm_flush(env)
+
+    result = engine.run(main)
+    times = tuple(result.finish_times)
+    return SimOutcome(nprocs=nprocs, target=default_target.value,
+                      modeled_time=max(times), finish_times=times)
+
+
+# ---------------------------------------------------------------------------
+# Buffer materialization
+
+
+def _plan_buffers(program: Program, default_target: Target
+                  ) -> tuple[list[BufferDecl], frozenset[str]]:
+    """Allocation order + the names that must be symmetric.
+
+    SHMEM requires every receive buffer to be a symmetric object, and
+    ``shmem.malloc`` is collective — every rank must allocate the same
+    shapes in the same order. Planning statically (declaration order,
+    symmetric-or-not decided from the merged clauses) guarantees that.
+    """
+    used = _used_buffer_names(program)
+    order: list[BufferDecl] = []
+    for name, decl in program.decls.items():
+        if name not in used:
+            continue
+        if not isinstance(decl.ctype, PrimitiveType):
+            raise ProgramSimError(
+                f"buffer {name!r} has a composite element type; the "
+                "program simulator materializes primitive buffers only")
+        if decl.length is None:
+            raise ProgramSimError(
+                f"buffer {name!r} is declared as a pointer; its length "
+                "is unknown so the simulator cannot materialize it")
+        order.append(decl)
+    missing = sorted(used - set(program.decls))
+    if missing:
+        raise ProgramSimError(
+            f"directive buffers {missing} have no declaration")
+    symmetric = frozenset(
+        base_identifier(rb)
+        for clauses in _merged_clause_sets(program)
+        if (clauses.target or default_target) is Target.SHMEM
+        for rb in clauses.rbuf)
+    return order, symmetric
+
+
+def _used_buffer_names(program: Program) -> frozenset[str]:
+    names: set[str] = set()
+    for clauses in _merged_clause_sets(program):
+        for b in clauses.sbuf + clauses.rbuf:
+            names.add(base_identifier(b))
+    return frozenset(names)
+
+
+def _merged_clause_sets(program: Program) -> list[ClauseExprs]:
+    """Every comm_p2p's clauses with its region's merged in."""
+    out: list[ClauseExprs] = []
+
+    def walk(nodes: list[Node], region: ClauseExprs | None) -> None:
+        for node in nodes:
+            if isinstance(node, ParamRegionNode):
+                walk(node.body, node.clauses)
+            elif isinstance(node, P2PNode):
+                merged = (region.merged_into(node.clauses)
+                          if region is not None else node.clauses)
+                out.append(merged)
+                walk(node.body, region)
+
+    walk(program.nodes, None)
+    return out
+
+
+def _allocate(env: Env, order: list[BufferDecl],
+              symmetric: frozenset[str]) -> dict[str, Any]:
+    """Materialize the declared buffers on one rank."""
+    buffers: dict[str, Any] = {}
+    for decl in order:
+        dtype = decl.ctype.np_dtype  # planned: primitive types only
+        assert decl.length is not None
+        if decl.name in symmetric:
+            buffers[decl.name] = shmem.init(env).malloc(
+                decl.length, dtype)
+        else:
+            buffers[decl.name] = np.zeros(decl.length, dtype=dtype)
+    return buffers
+
+
+# ---------------------------------------------------------------------------
+# Program walk
+
+
+class _Executor:
+    """Replays the node tree through the runtime DSL on one rank."""
+
+    def __init__(self, env: Env, buffers: dict[str, Any],
+                 variables: dict[str, Any],
+                 default_target: Target) -> None:
+        self.env = env
+        self.buffers = buffers
+        self.variables = variables
+        self.default_target = default_target
+
+    def run(self, nodes: list[Node]) -> None:
+        self._walk(nodes, None)
+
+    def _walk(self, nodes: list[Node],
+              region_clauses: ClauseExprs | None) -> None:
+        for node in nodes:
+            if isinstance(node, RawCode):
+                self._raw(node)
+            elif isinstance(node, ParamRegionNode):
+                self._region(node)
+            else:
+                self._p2p(node, region_clauses)
+
+    def _raw(self, node: RawCode) -> None:
+        for line in node.lines:
+            for match in _COMPUTE.finditer(line):
+                micros = exprs.evaluate(match.group(1), self.variables)
+                self.env.compute(float(micros) * 1e-6)
+
+    def _region(self, node: ParamRegionNode) -> None:
+        kwargs: dict[str, Any] = {}
+        if node.clauses.place_sync is not None:
+            kwargs["place_sync"] = node.clauses.place_sync
+        if "max_comm_iter" in node.clauses.exprs:
+            kwargs["max_comm_iter"] = int(exprs.evaluate(
+                node.clauses.exprs["max_comm_iter"], self.variables))
+        with comm_parameters(self.env, **kwargs):
+            self._walk(node.body, node.clauses)
+
+    def _p2p(self, node: P2PNode,
+             region_clauses: ClauseExprs | None) -> None:
+        merged = (region_clauses.merged_into(node.clauses)
+                  if region_clauses is not None else node.clauses)
+        merged.require_complete()
+        kwargs: dict[str, Any] = {
+            "sender": self._rank_of(merged, "sender"),
+            "receiver": self._rank_of(merged, "receiver"),
+            "sbuf": [self._buffer(b) for b in merged.sbuf],
+            "rbuf": [self._buffer(b) for b in merged.rbuf],
+            "target": merged.target or self.default_target,
+        }
+        if "sendwhen" in merged.exprs:
+            kwargs["sendwhen"] = bool(exprs.evaluate(
+                merged.exprs["sendwhen"], self.variables))
+            kwargs["receivewhen"] = bool(exprs.evaluate(
+                merged.exprs["receivewhen"], self.variables))
+        if "count" in merged.exprs:
+            kwargs["count"] = int(exprs.evaluate(
+                merged.exprs["count"], self.variables))
+        with comm_p2p(self.env, **kwargs):
+            # The body is the overlap window: it executes while the
+            # posted transfers are in flight.
+            self._walk(node.body, region_clauses)
+
+    def _rank_of(self, merged: ClauseExprs, clause: str) -> int:
+        value = exprs.evaluate(merged.exprs[clause], self.variables)
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ProgramSimError(
+                f"{clause} expression {merged.exprs[clause]!r} does not "
+                f"evaluate to an integer rank (got {value!r})")
+        return value
+
+    def _buffer(self, expr: str) -> Any:
+        name = base_identifier(expr)
+        try:
+            return self.buffers[name]
+        except KeyError:  # pragma: no cover - caught by _plan_buffers
+            raise ProgramSimError(
+                f"buffer expression {expr!r} names no declared "
+                "buffer") from None

@@ -34,6 +34,14 @@ class BufferDecl:
         return self.length is not None
 
 
+#: Canonical clause printing order for :meth:`ClauseExprs.to_source`.
+#: Deterministic output is what makes parse -> print -> parse a
+#: fixpoint (the substrate ``repro-lint --fix`` rewrites stand on).
+_CLAUSE_ORDER = ("sender", "receiver", "sendwhen", "receivewhen",
+                 "sbuf", "rbuf", "count", "max_comm_iter", "target",
+                 "place_sync")
+
+
 @dataclass
 class ClauseExprs:
     """A directive's clauses as raw expression text / name lists."""
@@ -80,6 +88,33 @@ class ClauseExprs:
             raise ClauseError(
                 f"comm_p2p is missing required clause(s) {missing}")
 
+    def to_source(self) -> str:
+        """Pragma clause text in canonical order.
+
+        Printing is deterministic (clause order is fixed, buffer lists
+        keep their order, keyword clauses print their source spelling)
+        so parse -> print -> parse is a fixpoint.
+        """
+        parts: list[str] = []
+        for name in _CLAUSE_ORDER:
+            if name in ("sbuf", "rbuf"):
+                bufs: list[str] = getattr(self, name)
+                if bufs:
+                    parts.append(f"{name}({', '.join(bufs)})")
+            elif name == "target":
+                if self.target is not None:
+                    parts.append(f"target({self.target.value})")
+            elif name == "place_sync":
+                if self.place_sync is not None:
+                    parts.append(f"place_sync({self.place_sync.value})")
+            elif name in self.exprs:
+                parts.append(f"{name}({self.exprs[name]})")
+        return " ".join(parts)
+
+
+def _body_source(nodes: list["Node"], indent: int) -> str:
+    return "\n".join(n.to_source(indent) for n in nodes)
+
 
 @dataclass
 class RawCode:
@@ -87,6 +122,10 @@ class RawCode:
 
     lines: list[str]
     line: int = 0
+
+    def to_source(self, indent: int = 0) -> str:
+        """Verbatim lines (original indentation is preserved)."""
+        return "\n".join(self.lines)
 
 
 @dataclass
@@ -97,6 +136,18 @@ class P2PNode:
     body: list["Node"] = field(default_factory=list)
     line: int = 0
 
+    def to_source(self, indent: int = 0) -> str:
+        """The pragma line plus its braced body (omitted when empty)."""
+        pad = " " * indent
+        head = f"{pad}#pragma comm_p2p"
+        clause_text = self.clauses.to_source()
+        if clause_text:
+            head = f"{head} {clause_text}"
+        if not self.body:
+            return head
+        inner = _body_source(self.body, indent + 4)
+        return f"{head}\n{pad}{{\n{inner}\n{pad}}}"
+
 
 @dataclass
 class ParamRegionNode:
@@ -105,6 +156,22 @@ class ParamRegionNode:
     clauses: ClauseExprs
     body: list["Node"] = field(default_factory=list)
     line: int = 0
+
+    def to_source(self, indent: int = 0) -> str:
+        """The pragma line plus an always-braced body.
+
+        A brace-less region would capture the *next* statement on
+        re-parse, so the printer always emits the block form.
+        """
+        pad = " " * indent
+        head = f"{pad}#pragma comm_parameters"
+        clause_text = self.clauses.to_source()
+        if clause_text:
+            head = f"{head} {clause_text}"
+        inner = _body_source(self.body, indent + 4)
+        if inner:
+            return f"{head}\n{pad}{{\n{inner}\n{pad}}}"
+        return f"{head}\n{pad}{{\n{pad}}}"
 
     @property
     def place_sync(self) -> SyncPlacement:
@@ -137,6 +204,16 @@ class Program:
     decls: dict[str, BufferDecl] = field(default_factory=dict)
     structs: dict[str, CompositeType] = field(default_factory=dict)
     nodes: list[Node] = field(default_factory=list)
+
+    def to_source(self) -> str:
+        """Print the program back to annotated source.
+
+        Declarations live inside :class:`RawCode` nodes, so re-parsing
+        the printed text recovers the same declarations; the printed
+        form is a parse -> print fixpoint (printing the re-parse yields
+        the identical string).
+        """
+        return "\n".join(n.to_source() for n in self.nodes) + "\n"
 
     def regions(self) -> list[ParamRegionNode]:
         """Top-level comm_parameters regions, in textual order."""

@@ -13,7 +13,19 @@ struct types, ``for``/``while`` headers, and the two pragmas with their
 ten clauses (possibly spanning lines).
 """
 
+from repro.core.ir import Program
 from repro.core.pragma.decls import scan_declarations
 from repro.core.pragma.parser import parse_program
 
-__all__ = ["parse_program", "scan_declarations"]
+
+def print_program(program: Program) -> str:
+    """Print a parsed :class:`~repro.core.ir.Program` back to source.
+
+    Convenience wrapper over :meth:`Program.to_source`; the printed
+    text re-parses to the same IR (parse -> print -> parse fixpoint),
+    which is what ``repro-lint --fix`` rewrites rely on.
+    """
+    return program.to_source()
+
+
+__all__ = ["parse_program", "print_program", "scan_declarations"]

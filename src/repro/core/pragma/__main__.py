@@ -15,7 +15,11 @@ A second console entry point, ``repro-lint`` (:func:`main_lint`), runs
 the full static verification pass (deadlock, stale-read and
 consolidation proofs — see ``docs/LINT.md``) over one or more files
 and renders text, JSON or SARIF 2.1.0; it exits 1 when any
-error-severity diagnostic is produced.
+error-severity diagnostic is produced. ``--advise`` additionally runs
+the CI1xx performance advisor, and ``--fix`` / ``--fix-dry-run`` run
+the proof-carrying auto-fix engine (every rewrite must re-verify
+CI0xx-clean on all lowering targets and must not regress the modeled
+time before it is accepted).
 """
 
 from __future__ import annotations
@@ -24,8 +28,10 @@ import argparse
 import sys
 
 from repro.core.analysis import (
+    FixResult,
     classify_pattern,
     comm_graph,
+    fix_source,
     lint_program,
     overlap_legal,
     plan_synchronization,
@@ -137,9 +143,18 @@ def _parse_vars(pairs: list[str]) -> dict[str, int]:
     return out
 
 
-def _catalog_reports(nprocs: int,
-                     extra_vars: dict[str, int]) -> list[LintReport]:
-    """Lint every pattern catalog entry that carries static clauses."""
+def _catalog_reports(nprocs: int, extra_vars: dict[str, int],
+                     targets: list[Target] | None = None,
+                     advise: bool = False,
+                     fixes: dict[str, FixResult] | None = None
+                     ) -> list[LintReport]:
+    """Lint every pattern catalog entry that carries static clauses.
+
+    When ``fixes`` is given, each entry is also run through the
+    proof-carrying fix engine (dry-run: catalog programs have no file
+    to write back to) and the resulting ledger is stored under the
+    entry's ``catalog:<name>`` path.
+    """
     from repro.patterns.catalog import PATTERNS
 
     reports: list[LintReport] = []
@@ -156,8 +171,22 @@ def _catalog_reports(nprocs: int,
                 base, BufferDecl(base, DOUBLE, length=1024))
         report = lint_program(program, nprocs=nprocs,
                               extra_vars=variables,
-                              path=f"catalog:{name}")
+                              path=f"catalog:{name}",
+                              targets=targets, advise=advise)
         reports.append(report)
+        if fixes is not None:
+            decls = "\n".join(f"double {base}[1024];"
+                              for base in sorted(program.decls))
+            source = f"{decls}\n\n{program.to_source()}"
+            try:
+                # Some catalog clause sets use parameters-only clauses
+                # on a bare directive and have no pragma source form;
+                # the fix engine only works on printable programs.
+                parse_program(source)
+            except ReproError:
+                continue
+            fixes[f"catalog:{name}"] = fix_source(
+                source, nprocs=nprocs, extra_vars=variables)
     return reports
 
 
@@ -181,6 +210,20 @@ def main_lint(argv: list[str] | None = None) -> int:
     parser.add_argument("--catalog", action="store_true",
                         help="also lint the built-in pattern catalog's "
                              "static clause sets")
+    parser.add_argument("--target", choices=sorted(_TARGETS),
+                        default=None,
+                        help="restrict the verifier sweep to one "
+                             "lowering target (default: all three)")
+    parser.add_argument("--advise", action="store_true",
+                        help="also run the CI1xx performance advisor "
+                             "(net-model estimated savings)")
+    parser.add_argument("--fix", action="store_true",
+                        help="apply advisor rewrites that pass both "
+                             "proof gates, writing files in place "
+                             "(implies --advise)")
+    parser.add_argument("--fix-dry-run", action="store_true",
+                        help="run the proof-carrying fix engine but "
+                             "only report the ledger (implies --advise)")
     args = parser.parse_args(argv)
     if not args.inputs and not args.catalog:
         parser.print_usage(sys.stderr)
@@ -192,8 +235,12 @@ def main_lint(argv: list[str] | None = None) -> int:
     except ValueError as exc:
         print(f"repro-lint: error: {exc}", file=sys.stderr)
         return 2
+    do_fix = args.fix or args.fix_dry_run
+    advise = args.advise or do_fix
+    targets = [_TARGETS[args.target]] if args.target else None
 
     reports: list[LintReport] = []
+    fixes: dict[str, FixResult] = {}
     for path in args.inputs:
         try:
             with open(path, encoding="utf-8") as fh:
@@ -213,21 +260,61 @@ def main_lint(argv: list[str] | None = None) -> int:
             continue
         reports.append(lint_program(program, nprocs=args.nprocs,
                                     extra_vars=extra_vars or None,
-                                    path=path))
+                                    path=path, targets=targets,
+                                    advise=advise))
+        if do_fix:
+            result = fix_source(source, nprocs=args.nprocs,
+                                extra_vars=extra_vars or None)
+            fixes[path] = result
+            if args.fix and result.changed:
+                try:
+                    with open(path, "w", encoding="utf-8") as fh:
+                        fh.write(result.source)
+                except OSError as exc:
+                    print(f"repro-lint: error: {exc}", file=sys.stderr)
+                    return 2
+                print(f"repro-lint: fixed {path} "
+                      f"({len(result.accepted)} rewrite(s) proven)",
+                      file=sys.stderr)
     if args.catalog:
-        reports.extend(_catalog_reports(args.nprocs, extra_vars))
+        reports.extend(_catalog_reports(
+            args.nprocs, extra_vars, targets=targets, advise=advise,
+            fixes=fixes if do_fix else None))
 
     if args.format == "json":
-        print(render_json(reports))
+        print(render_json(reports, fixes=fixes or None))
     elif args.format == "sarif":
         print(render_sarif(reports))
     else:
         chunks = []
         for report in reports:
             header = f"== {report.path}" if report.path else "== <input>"
-            chunks.append(f"{header}\n{report.render()}")
+            body = report.render()
+            if report.path in fixes:
+                body = f"{body}\n{_render_fix(fixes[report.path])}"
+            chunks.append(f"{header}\n{body}")
         print("\n\n".join(chunks))
     return 1 if any(r.errors for r in reports) else 0
+
+
+def _render_fix(result: FixResult) -> str:
+    """Human-readable proof ledger for one file's fix run."""
+    lines = [f"fix: {len(result.accepted)} accepted, "
+             f"{len(result.rejected)} rejected "
+             f"({result.rounds} round(s))"]
+    for step in result.steps:
+        head = (f"  {'accepted' if step.accepted else 'rejected'} "
+                f"[{step.code}] {step.kind} @ line {step.line}")
+        if step.accepted:
+            times = "; ".join(
+                f"{t}: {step.times_before_s[t] * 1e6:.2f} -> "
+                f"{step.times_after_s[t] * 1e6:.2f} us"
+                for t in sorted(step.times_after_s)
+                if t in step.times_before_s)
+            lines.append(f"{head}: {times}" if times else head)
+        else:
+            lines.append(f"{head}: {step.reason}")
+    return "\n".join(lines)
 
 
 if __name__ == "__main__":

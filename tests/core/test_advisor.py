@@ -1,0 +1,342 @@
+"""The CI1xx performance advisor and the proof-carrying fix engine."""
+
+import pytest
+
+from repro.core.analysis.advisor import advise_program, apply_rewrite
+from repro.core.analysis.fix import fix_source
+from repro.core.analysis.lint import lint_program
+from repro.core.analysis.progsim import simulate_program
+from repro.core.clauses import SyncPlacement, Target
+from repro.core.ir import P2PNode, ParamRegionNode
+from repro.core.pragma import parse_program
+
+RING_UNCONSOLIDATED = """\
+double s0[512];
+double r0[512];
+double s1[512];
+double r1[512];
+double s2[512];
+double r2[512];
+int rank, nprocs;
+#pragma comm_p2p sender((rank-1+nprocs)%nprocs) receiver((rank+1)%nprocs) sbuf(s0) rbuf(r0)
+#pragma comm_p2p sender((rank-1+nprocs)%nprocs) receiver((rank+1)%nprocs) sbuf(s1) rbuf(r1)
+#pragma comm_p2p sender((rank-1+nprocs)%nprocs) receiver((rank+1)%nprocs) sbuf(s2) rbuf(r2)
+consume3(r0, r1, r2);
+"""
+
+EARLY_SYNC = """\
+double field[8192];
+double halo[8192];
+int rank, nprocs;
+#pragma comm_parameters place_sync(END_PARAM_REGION)
+{
+    #pragma comm_p2p sender((rank-1+nprocs)%nprocs) receiver((rank+1)%nprocs) sbuf(field) rbuf(halo)
+}
+compute_us(15);
+consume(halo);
+"""
+
+
+def _codes(findings):
+    return [f.diagnostic.code for f in findings]
+
+
+# ---------------------------------------------------------------------------
+# CI100 — missed consolidation
+
+
+def test_ci100_standalone_run_flagged_with_saving():
+    prog = parse_program(RING_UNCONSOLIDATED)
+    findings = advise_program(prog)
+    assert "CI100" in _codes(findings)
+    f = next(f for f in findings if f.diagnostic.code == "CI100")
+    assert f.diagnostic.severity == "warning"
+    assert f.diagnostic.saving_s is not None and f.diagnostic.saving_s > 0
+    assert f.rewrite is not None and f.rewrite.kind == "merge-standalone"
+    assert "estimated_saving_s" in f.diagnostic.as_dict()
+
+
+def test_ci100_apply_merges_into_one_region():
+    prog = parse_program(RING_UNCONSOLIDATED)
+    [f] = [f for f in advise_program(prog)
+           if f.diagnostic.code == "CI100"]
+    assert apply_rewrite(prog, f.rewrite)
+    assert len(prog.regions()) == 1
+    assert len(prog.regions()[0].p2p_instances()) == 3
+    # and the printed form reparses to the same shape
+    reparsed = parse_program(prog.to_source())
+    assert len(reparsed.regions()) == 1
+    assert len(reparsed.regions()[0].p2p_instances()) == 3
+
+
+def test_ci100_not_raised_for_overlapping_buffers():
+    src = """\
+double a[64];
+double b[64];
+int rank, nprocs;
+#pragma comm_p2p sender((rank-1+nprocs)%nprocs) receiver((rank+1)%nprocs) sbuf(a) rbuf(b)
+#pragma comm_p2p sender((rank-1+nprocs)%nprocs) receiver((rank+1)%nprocs) sbuf(b) rbuf(a)
+"""
+    findings = advise_program(parse_program(src))
+    assert "CI100" not in _codes(findings)
+
+
+def test_ci100_region_chain_gets_place_sync_rewrite():
+    src = """\
+double sa[128];
+double ra[128];
+double sb[128];
+double rb[128];
+int rank, nprocs;
+#pragma comm_parameters sender((rank-1+nprocs)%nprocs) receiver((rank+1)%nprocs) sbuf(sa) rbuf(ra)
+{
+    #pragma comm_p2p
+}
+#pragma comm_parameters sender((rank-1+nprocs)%nprocs) receiver((rank+1)%nprocs) sbuf(sb) rbuf(rb)
+{
+    #pragma comm_p2p
+}
+"""
+    prog = parse_program(src)
+    merges = [f for f in advise_program(prog)
+              if f.rewrite is not None
+              and f.rewrite.kind == "merge-regions"]
+    assert merges, "adjacent-region chain not flagged"
+    assert apply_rewrite(prog, merges[0].rewrite)
+    assert all(
+        r.clauses.place_sync is SyncPlacement.END_ADJ_PARAM_REGIONS
+        for r in prog.regions())
+
+
+# ---------------------------------------------------------------------------
+# CI101 / CI102 — forfeited overlap
+
+
+def test_ci101_empty_overlap_body():
+    prog = parse_program(EARLY_SYNC)
+    findings = advise_program(prog)
+    assert "CI101" in _codes(findings)
+    f = next(f for f in findings if f.diagnostic.code == "CI101")
+    assert f.rewrite is not None and f.rewrite.kind == "hoist-overlap"
+    assert f.diagnostic.saving_s == pytest.approx(15e-6)
+
+
+def test_ci101_apply_hoists_compute_into_body():
+    prog = parse_program(EARLY_SYNC)
+    [f] = [f for f in advise_program(prog)
+           if f.diagnostic.code == "CI101"]
+    assert apply_rewrite(prog, f.rewrite)
+    [region] = prog.regions()
+    [p2p] = region.p2p_instances()
+    body_text = p2p.to_source()
+    assert "compute_us(15)" in body_text
+    assert "consume(halo)" not in body_text  # uses halo: must not move
+
+
+def test_ci102_nonempty_body_with_late_work():
+    src = """\
+double field[1024];
+double halo[1024];
+int rank, nprocs;
+#pragma comm_parameters place_sync(END_PARAM_REGION)
+{
+    #pragma comm_p2p sender((rank-1+nprocs)%nprocs) receiver((rank+1)%nprocs) sbuf(field) rbuf(halo)
+    {
+        compute_us(2);
+    }
+}
+compute_us(10);
+consume(halo);
+"""
+    findings = advise_program(parse_program(src))
+    assert "CI102" in _codes(findings)
+    assert "CI101" not in _codes(findings)
+
+
+def test_overlap_pass_does_not_move_buffer_uses():
+    src = """\
+double field[1024];
+double halo[1024];
+int rank, nprocs;
+#pragma comm_parameters place_sync(END_PARAM_REGION)
+{
+    #pragma comm_p2p sender((rank-1+nprocs)%nprocs) receiver((rank+1)%nprocs) sbuf(field) rbuf(halo)
+}
+consume(halo);
+compute_us(10);
+"""
+    # the first trailing line touches the received buffer: no hoist
+    findings = advise_program(parse_program(src))
+    assert all(c not in ("CI101", "CI102") for c in _codes(findings))
+
+
+# ---------------------------------------------------------------------------
+# CI103 — oversized count
+
+
+OVERSIZED = """\
+double a[256];
+double b[256];
+int rank, nprocs;
+#pragma comm_p2p sender((rank-1+nprocs)%nprocs) receiver((rank+1)%nprocs) sbuf(a) rbuf(b) count(4096)
+"""
+
+
+def test_ci103_oversized_count_flagged_and_tightened():
+    prog = parse_program(OVERSIZED)
+    findings = advise_program(prog)
+    f = next(f for f in findings if f.diagnostic.code == "CI103")
+    assert f.rewrite is not None
+    assert f.rewrite.kind == "tighten-count"
+    assert f.rewrite.value == "256"
+    assert apply_rewrite(prog, f.rewrite)
+    [node] = prog.all_p2p()
+    assert node.clauses.exprs["count"] == "256"
+
+
+def test_ci103_fix_accepted_even_though_original_cannot_run():
+    result = fix_source(OVERSIZED)
+    assert result.changed
+    [step] = result.accepted
+    assert step.code == "CI103"
+    # the broken original imposes no time bound...
+    assert step.times_before_s == {}
+    # ...but the repaired program must run on every target
+    assert len(step.times_after_s) == len(list(Target))
+
+
+# ---------------------------------------------------------------------------
+# CI110 — lowering-target mismatch
+
+
+def test_ci110_slower_explicit_target_flagged():
+    src = """\
+double big_s[4096];
+double big_r[4096];
+int rank, nprocs;
+#pragma comm_p2p sender((rank-1+nprocs)%nprocs) receiver((rank+1)%nprocs) sbuf(big_s) rbuf(big_r) target(TARGET_COMM_MPI_1SIDE)
+"""
+    prog = parse_program(src)
+    findings = advise_program(prog)
+    f = next(f for f in findings if f.diagnostic.code == "CI110")
+    assert f.rewrite is not None and f.rewrite.kind == "retarget"
+    assert f.diagnostic.saving_s > 0
+    # the advisory is measured: the proposed target really is faster
+    base = simulate_program(prog, 8).modeled_time
+    assert apply_rewrite(prog, f.rewrite)
+    assert simulate_program(prog, 8).modeled_time < base
+
+
+def test_ci110_not_raised_without_explicit_target():
+    findings = advise_program(parse_program(RING_UNCONSOLIDATED))
+    assert "CI110" not in _codes(findings)
+
+
+# ---------------------------------------------------------------------------
+# The proof-carrying fix engine
+
+
+def test_fix_ring_unconsolidated_end_to_end():
+    result = fix_source(RING_UNCONSOLIDATED)
+    assert result.changed
+    assert len(result.accepted) == 1
+    step = result.accepted[0]
+    assert step.code == "CI100"
+    for t in Target:
+        assert (step.times_after_s[t.value]
+                <= step.times_before_s[t.value])
+    # the fixed source parses and lints clean
+    fixed = parse_program(result.source)
+    assert len(fixed.regions()) == 1
+    assert not lint_program(fixed).errors
+
+
+def test_fix_is_idempotent():
+    result = fix_source(RING_UNCONSOLIDATED)
+    again = fix_source(result.source)
+    assert not again.changed
+    assert again.steps == []
+
+
+def test_fix_early_sync_hoists_and_proves():
+    result = fix_source(EARLY_SYNC)
+    assert result.changed
+    [step] = result.accepted
+    assert step.code == "CI101"
+    for t in Target:
+        before = step.times_before_s[t.value]
+        after = step.times_after_s[t.value]
+        assert after < before
+    # acceptance criterion: >= 1.2x modeled speedup on some target
+    best = max(step.times_before_s[t.value] / step.times_after_s[t.value]
+               for t in Target)
+    assert best >= 1.2
+
+
+#: Merging these two directives is *tempting* (their clause buffers are
+#: pairwise disjoint) but *wrong*: the second directive's overlap body
+#: reads ``ra`` — under one consolidated region the read would happen
+#: before the synchronization that guarantees it.
+UNSAFE_MERGE = """\
+double sa[256];
+double ra[256];
+double sb[256];
+double rb[256];
+int rank, nprocs;
+#pragma comm_p2p sender((rank-1+nprocs)%nprocs) receiver((rank+1)%nprocs) sbuf(sa) rbuf(ra)
+#pragma comm_p2p sender((rank-1+nprocs)%nprocs) receiver((rank+1)%nprocs) sbuf(sb) rbuf(rb)
+{
+    acc += ra[0];
+}
+consume(rb);
+"""
+
+
+def test_unsafe_merge_is_proposed_then_rejected_by_proof_gate():
+    """Satellite: a CI1xx fixit that would introduce a CI0xx error is
+    rejected by the verifier gate."""
+    prog = parse_program(UNSAFE_MERGE)
+    merges = [f for f in advise_program(prog)
+              if f.rewrite is not None
+              and f.rewrite.kind == "merge-standalone"]
+    assert merges, "the optimistic advisor should propose the merge"
+
+    result = fix_source(UNSAFE_MERGE)
+    assert not result.changed
+    assert result.accepted == []
+    [step] = [s for s in result.rejected
+              if s.kind == "merge-standalone"]
+    assert "verifier gate" in step.reason
+    assert "CI012" in step.reason  # stale read
+
+
+def test_unsafe_merge_is_an_error_on_every_target():
+    """The rewrite the gate rejected really is broken on all three
+    lowering targets, not just one."""
+    prog = parse_program(UNSAFE_MERGE)
+    [f] = [f for f in advise_program(prog)
+           if f.rewrite is not None
+           and f.rewrite.kind == "merge-standalone"]
+    assert apply_rewrite(prog, f.rewrite)
+    merged = parse_program(prog.to_source())
+    for target in Target:
+        report = lint_program(merged, targets=[target])
+        assert any(d.code == "CI012" for d in report.errors), \
+            f"no stale-read proof on {target.value}"
+
+
+def test_lint_advise_flag_appends_ci1xx():
+    prog = parse_program(RING_UNCONSOLIDATED)
+    silent = lint_program(prog)
+    advised = lint_program(prog, advise=True)
+    assert all(not d.code.startswith("CI1")
+               for d in silent.diagnostics if d.code)
+    assert any(d.code == "CI100" for d in advised.diagnostics)
+    # advisories are warnings: they must not flip the exit status
+    assert not advised.errors
+
+
+def test_fix_rejects_remembered_not_retried():
+    result = fix_source(UNSAFE_MERGE)
+    signatures = [s.signature for s in result.steps]
+    assert len(signatures) == len(set(signatures))

@@ -168,3 +168,96 @@ def test_lint_no_inputs_is_usage_error(capsys):
 def test_lint_missing_file(capsys):
     assert main_lint(["/nonexistent/lint.c"]) == 2
     assert "error" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# repro-lint: targets, --advise and the proof-carrying --fix
+
+
+SLOW_RING = """\
+double s0[512];
+double r0[512];
+double s1[512];
+double r1[512];
+int rank, nprocs;
+#pragma comm_p2p sender((rank-1+nprocs)%nprocs) receiver((rank+1)%nprocs) sbuf(s0) rbuf(r0)
+#pragma comm_p2p sender((rank-1+nprocs)%nprocs) receiver((rank+1)%nprocs) sbuf(s1) rbuf(r1)
+"""
+
+
+@pytest.fixture
+def slow_file(tmp_path):
+    f = tmp_path / "slow.c"
+    f.write_text(SLOW_RING)
+    return str(f)
+
+
+def test_lint_json_lists_swept_targets(ring_file, capsys):
+    assert main_lint([ring_file, "--format", "json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    [entry] = doc["reports"]
+    assert entry["targets"] == ["TARGET_COMM_MPI_1SIDE",
+                                "TARGET_COMM_MPI_2SIDE",
+                                "TARGET_COMM_SHMEM"]
+
+
+def test_lint_target_restricts_sweep(ring_file, capsys):
+    assert main_lint([ring_file, "--target", "shmem",
+                      "--format", "json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["reports"][0]["targets"] == ["TARGET_COMM_SHMEM"]
+
+
+def test_lint_sarif_carries_run_targets(ring_file, capsys):
+    assert main_lint([ring_file, "--format", "sarif"]) == 0
+    log = json.loads(capsys.readouterr().out)
+    props = log["runs"][0]["properties"]
+    assert props["targets"] == ["TARGET_COMM_MPI_1SIDE",
+                                "TARGET_COMM_MPI_2SIDE",
+                                "TARGET_COMM_SHMEM"]
+
+
+def test_lint_advise_emits_ci1xx_but_exits_zero(slow_file, capsys):
+    assert main_lint([slow_file, "--advise"]) == 0
+    out = capsys.readouterr().out
+    assert "CI100" in out
+
+
+def test_lint_without_advise_is_silent_on_ci1xx(slow_file, capsys):
+    assert main_lint([slow_file]) == 0
+    assert "CI100" not in capsys.readouterr().out
+
+
+def test_lint_fix_dry_run_reports_ledger_without_writing(slow_file,
+                                                         capsys):
+    before = open(slow_file).read()
+    assert main_lint([slow_file, "--fix-dry-run"]) == 0
+    out = capsys.readouterr().out
+    assert "accepted [CI100] merge-standalone" in out
+    assert open(slow_file).read() == before
+
+
+def test_lint_fix_dry_run_json_ledger(slow_file, capsys):
+    assert main_lint([slow_file, "--fix-dry-run",
+                      "--format", "json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    [entry] = doc["reports"]
+    fix = entry["fix"]
+    assert fix["changed"] is True
+    [step] = fix["steps"]
+    assert step["accepted"] is True
+    assert step["code"] == "CI100"
+    assert set(step["times_before_s"]) == set(step["times_after_s"])
+    for t, t_before in step["times_before_s"].items():
+        assert step["times_after_s"][t] <= t_before
+
+
+def test_lint_fix_rewrites_file_in_place(slow_file, capsys):
+    assert main_lint([slow_file, "--fix"]) == 0
+    err = capsys.readouterr().err
+    assert "fixed" in err
+    fixed = open(slow_file).read()
+    assert "#pragma comm_parameters" in fixed
+    # the fixed file now lints clean of CI100 even with --advise
+    assert main_lint([slow_file, "--advise"]) == 0
+    assert "CI100" not in capsys.readouterr().out
