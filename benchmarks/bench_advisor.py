@@ -21,6 +21,7 @@ or:   PYTHONPATH=src python -m pytest benchmarks/bench_advisor.py
 
 from __future__ import annotations
 
+import argparse
 import glob
 import json
 import os
@@ -151,12 +152,16 @@ def run_bench() -> dict:
     }
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=_OUT,
+                        help="output JSON path (default: %(default)s)")
+    args = parser.parse_args(argv)
     report = run_bench()
-    with open(_OUT, "w") as fh:
+    with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")
-    print(f"wrote {_OUT}")
+    print(f"wrote {args.out}")
 
 
 # -- pytest entry points (not part of tier-1: testpaths excludes this dir)

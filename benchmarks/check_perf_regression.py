@@ -1,0 +1,172 @@
+"""Compare fresh bench JSON against the committed baselines (CI gate).
+
+The perf-regression CI job reruns ``bench_engine_scaling.py --quick``
+and ``bench_advisor.py`` on the checkout and feeds the new JSON here
+next to the committed ``BENCH_engine.json`` / ``BENCH_advisor.json``.
+Only *deterministic modeled* quantities are gated — virtual makespans,
+scheduler heap operations, advisor savings/speedups and per-target
+modeled times — never host wall-clock, which shared CI runners cannot
+reproduce. On an unmodified checkout every gated value matches the
+baseline exactly (the simulator is deterministic); the tolerance exists
+so legitimate model recalibrations inside the band don't block a PR.
+
+Exit status 0 = within tolerance, 1 = regression (details on stdout).
+
+Run:  python benchmarks/check_perf_regression.py \\
+          --engine-baseline BENCH_engine.json --engine-new new_e.json \\
+          --advisor-baseline BENCH_advisor.json --advisor-new new_a.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Allowed relative degradation before the gate trips.
+DEFAULT_TOLERANCE = 0.25
+
+
+class Checker:
+    """Accumulates comparisons; remembers every failure."""
+
+    def __init__(self, tolerance: float) -> None:
+        self.tolerance = tolerance
+        self.failures: list[str] = []
+        self.checked = 0
+
+    def _fail(self, message: str) -> None:
+        self.failures.append(message)
+        print(f"FAIL  {message}")
+
+    def no_increase(self, what: str, baseline: float, new: float) -> None:
+        """``new`` may not exceed ``baseline`` by more than tolerance."""
+        self.checked += 1
+        if baseline <= 0:
+            if new > baseline:
+                self._fail(f"{what}: {new} > baseline {baseline}")
+            return
+        if new > baseline * (1.0 + self.tolerance):
+            self._fail(f"{what}: {new} exceeds baseline {baseline} "
+                       f"by more than {self.tolerance:.0%}")
+
+    def no_decrease(self, what: str, baseline: float, new: float) -> None:
+        """``new`` may not fall below ``baseline`` by more than
+        tolerance."""
+        self.checked += 1
+        if new < baseline * (1.0 - self.tolerance):
+            self._fail(f"{what}: {new} falls below baseline {baseline} "
+                       f"by more than {self.tolerance:.0%}")
+
+    def equal(self, what: str, baseline, new) -> None:
+        self.checked += 1
+        if new != baseline:
+            self._fail(f"{what}: expected {baseline!r}, got {new!r}")
+
+
+def check_engine(baseline: dict, new: dict, checker: Checker) -> None:
+    """Gate the scheduler bench: modeled makespan and heap operations
+    per swept P (the new run may sweep a subset: --quick)."""
+    base_points = {p["nprocs"]: p for p in baseline["points"]}
+    new_points = {p["nprocs"]: p for p in new["points"]}
+    if not new_points:
+        checker._fail("engine: new report has no points")
+    for nprocs, point in sorted(new_points.items()):
+        base = base_points.get(nprocs)
+        if base is None:
+            checker._fail(f"engine P={nprocs}: not in the baseline sweep")
+            continue
+        checker.no_increase(f"engine P={nprocs} makespan",
+                            base["makespan"], point["makespan"])
+        checker.no_increase(f"engine P={nprocs} heap_ops",
+                            base["heap_ops"], point["heap_ops"])
+        checker.no_increase(f"engine P={nprocs} switches",
+                            base["switches"], point["switches"])
+
+
+def check_advisor(baseline: dict, new: dict, checker: Checker) -> None:
+    """Gate the advisor bench: per-example savings, speedups and
+    per-target modeled times; the catalog stays a negative control."""
+    base_examples = {e["path"]: e for e in baseline["examples"]}
+    new_examples = {e["path"]: e for e in new["examples"]}
+    for path, base in sorted(base_examples.items()):
+        entry = new_examples.get(path)
+        if entry is None:
+            checker._fail(f"advisor {path}: example disappeared")
+            continue
+        checker.equal(f"advisor {path} accepted",
+                      base["accepted"], entry["accepted"])
+        checker.no_decrease(f"advisor {path} predicted_saving_s",
+                            base["predicted_saving_s"],
+                            entry["predicted_saving_s"])
+        checker.no_decrease(f"advisor {path} modeled_speedup",
+                            base["modeled_speedup"],
+                            entry["modeled_speedup"])
+        base_last = [s for s in base["steps"] if s.get("accepted")]
+        new_last = [s for s in entry["steps"] if s.get("accepted")]
+        if base_last and new_last:
+            for target, seconds in sorted(
+                    base_last[-1]["times_after_s"].items()):
+                got = new_last[-1]["times_after_s"].get(target)
+                if got is None:
+                    checker._fail(f"advisor {path} times_after_s "
+                                  f"lost target {target}")
+                    continue
+                checker.no_increase(
+                    f"advisor {path} times_after_s[{target}]",
+                    seconds, got)
+    for base in baseline.get("catalog", []):
+        name = base["name"]
+        entry = next((c for c in new.get("catalog", [])
+                      if c["name"] == name), None)
+        if entry is None:
+            checker._fail(f"advisor catalog:{name}: disappeared")
+            continue
+        checker.equal(f"advisor catalog:{name} changed",
+                      base["changed"], entry["changed"])
+
+
+def _load(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    assert isinstance(data, dict), f"{path}: expected a JSON object"
+    return data
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--engine-baseline")
+    parser.add_argument("--engine-new")
+    parser.add_argument("--advisor-baseline")
+    parser.add_argument("--advisor-new")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE,
+                        help="allowed relative degradation "
+                             "(default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    checker = Checker(args.tolerance)
+    ran = False
+    if args.engine_baseline and args.engine_new:
+        check_engine(_load(args.engine_baseline),
+                     _load(args.engine_new), checker)
+        ran = True
+    if args.advisor_baseline and args.advisor_new:
+        check_advisor(_load(args.advisor_baseline),
+                      _load(args.advisor_new), checker)
+        ran = True
+    if not ran:
+        parser.error("nothing to compare: pass --engine-* and/or "
+                     "--advisor-* baseline/new pairs")
+
+    if checker.failures:
+        print(f"\n{len(checker.failures)} regression(s) in "
+              f"{checker.checked} checks")
+        return 1
+    print(f"OK: {checker.checked} checks within "
+          f"{checker.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -62,6 +62,8 @@ class AppConfig:
     seed: int = 2013
     model: MachineModel | None = None
     trace: bool = False
+    #: Record a span profile (:mod:`repro.profiling`) of the run.
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if self.variant not in VARIANTS:
@@ -164,6 +166,8 @@ class AppResult:
     #: Per-rank virtual finish times (determinism regression tests
     #: compare these across scheduler implementations).
     finish_times: list[float] | None = None
+    #: Span profile of the run (``AppConfig.profile=True`` only).
+    profile: Any = None
 
 
 def run_app(config: AppConfig, *, engine_cls: type[Engine] = Engine
@@ -176,7 +180,8 @@ def run_app(config: AppConfig, *, engine_cls: type[Engine] = Engine
     """
     topo = config.topology
     model = config.model or gemini_model()
-    engine = engine_cls(topo.nprocs, trace=config.trace)
+    engine = engine_cls(topo.nprocs, trace=config.trace,
+                        profile=config.profile)
     phases = PhaseTimes()
     num_types = topo.atoms_per_group()
 
@@ -239,6 +244,7 @@ def run_app(config: AppConfig, *, engine_cls: type[Engine] = Engine
         makespan=run.makespan,
         trace=engine.trace,
         finish_times=run.finish_times,
+        profile=run.profile,
     )
 
 

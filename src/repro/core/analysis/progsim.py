@@ -49,6 +49,7 @@ from repro.dtypes.primitives import PrimitiveType
 from repro.errors import ReproError
 from repro.netmodel import gemini_model
 from repro.netmodel.base import MachineModel
+from repro.profiling.spans import Profile
 from repro.sim import Engine
 from repro.sim.process import Env
 
@@ -72,13 +73,16 @@ class SimOutcome:
     modeled_time: float
     #: Per-rank virtual finish times.
     finish_times: tuple[float, ...]
+    #: Span profile of the run (``profile=True`` only).
+    profile: Profile | None = None
 
 
 def simulate_program(program: Program, nprocs: int = 8, *,
                      target: Target | str = DEFAULT_TARGET,
                      extra_vars: dict[str, int] | None = None,
                      model: MachineModel | None = None,
-                     max_time: float | None = 10.0) -> SimOutcome:
+                     max_time: float | None = 10.0,
+                     profile: bool = False) -> SimOutcome:
     """Run ``program`` on ``nprocs`` simulated ranks and time it.
 
     ``target`` is the default lowering for directives without an
@@ -90,12 +94,17 @@ def simulate_program(program: Program, nprocs: int = 8, *,
     Raises :class:`ProgramSimError` when the program cannot be
     materialized (pointer/composite buffers, unknown names); runtime
     clause violations and simulator aborts propagate unwrapped.
+
+    With ``profile=True`` the run records a span profile
+    (:mod:`repro.profiling`), returned on :attr:`SimOutcome.profile`;
+    directive posts are labeled ``p2p@L<line>`` for per-directive
+    attribution.
     """
     default_target = Target.parse(target)
     machine = model if model is not None else gemini_model()
     order, symmetric = _plan_buffers(program, default_target)
     extras = dict(extra_vars or {})
-    engine = Engine(nprocs, max_time=max_time)
+    engine = Engine(nprocs, max_time=max_time, profile=profile)
 
     def main(env: Env) -> None:
         mpi.init(env, machine)  # fix the machine model for all targets
@@ -110,7 +119,8 @@ def simulate_program(program: Program, nprocs: int = 8, *,
     result = engine.run(main)
     times = tuple(result.finish_times)
     return SimOutcome(nprocs=nprocs, target=default_target.value,
-                      modeled_time=max(times), finish_times=times)
+                      modeled_time=max(times), finish_times=times,
+                      profile=result.profile)
 
 
 # ---------------------------------------------------------------------------
@@ -257,10 +267,17 @@ class _Executor:
         if "count" in merged.exprs:
             kwargs["count"] = int(exprs.evaluate(
                 merged.exprs["count"], self.variables))
-        with comm_p2p(self.env, **kwargs):
-            # The body is the overlap window: it executes while the
-            # posted transfers are in flight.
-            self._walk(node.body, region_clauses)
+        prof = self.env.engine.profile
+        if prof is not None:
+            prof.push_label(self.env.rank, f"p2p@L{node.line}")
+        try:
+            with comm_p2p(self.env, **kwargs):
+                # The body is the overlap window: it executes while the
+                # posted transfers are in flight.
+                self._walk(node.body, region_clauses)
+        finally:
+            if prof is not None:
+                prof.pop_label(self.env.rank)
 
     def _rank_of(self, merged: ClauseExprs, clause: str) -> int:
         value = exprs.evaluate(merged.exprs[clause], self.variables)

@@ -158,6 +158,8 @@ class CommP2P:
             env.trace("dir.dependent_flush")
             pending.sync(env)
 
+        profile = env.engine.profile
+        post_t0 = env.now
         my_sends = []
         my_recvs = []
         # Receives are declared before sends so self-transfers and
@@ -176,6 +178,14 @@ class CommP2P:
         pending.sends.extend(my_sends)
         pending.recvs.extend(my_recvs)
         pending.buffers.extend(local_arrays)
+        if profile is not None and (my_sends or my_recvs):
+            label = profile.current_label(env.rank)
+            profile.add(
+                env.rank, "post", post_t0, env.now, target=target.value,
+                count=count, sends=len(my_sends), recvs=len(my_recvs),
+                bytes=sum(h.nbytes for h in (*my_sends, *my_recvs)),
+                **({} if label is None else {"label": label}))
+            pending.note_window(env)
         env.trace("dir.p2p", target=target.value, count=count,
                   sends=len(my_sends), recvs=len(my_recvs))
         return self

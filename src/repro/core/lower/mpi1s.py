@@ -46,6 +46,7 @@ class Mpi1sBackend(Backend):
             raise TruncationError(
                 f"MPI_Put of {nbytes} bytes exceeds the exposed "
                 f"{target_arr.nbytes}-byte target buffer")
+        post_t0 = self.env.now
         self.env.advance(self.tp.send_overhead(nbytes))
         dst_bytes = target_arr.reshape(-1).view(np.uint8)
         src_bytes = np.ascontiguousarray(src).reshape(-1).view(np.uint8)
@@ -66,6 +67,11 @@ class Mpi1sBackend(Backend):
         completion = self.env.now + self.tp.wire_time(nbytes) + extra
         self.comm.world.stats.count_message(MPI_1SIDED, nbytes)
         self.env.trace("dir.mpi1s.put", dest=dest, nbytes=nbytes)
+        profile = self.env.engine.profile
+        if profile is not None:
+            profile.add(dest, "message", post_t0, completion,
+                        src=self.env.rank, dst=dest, seq=seq,
+                        nbytes=nbytes, transport="mpi1s")
         return SendHandle(backend=self, dest=dest, seq=seq, nbytes=nbytes,
                           payload=completion)
 

@@ -116,6 +116,13 @@ class ExposureService:
         """Record the sender's flag update for one message."""
         key = (src, dst, seq)
         self.notified[key] = visible_at
+        profile = env.engine.profile
+        if profile is not None:
+            # The flag update is what actually gates the receiver's
+            # synchronization on the one-sided targets — the delivery
+            # event critical-path edges follow.
+            profile.add(dst, "notify", env.now, visible_at,
+                        src=src, dst=dst, seq=seq, nbytes=8)
         waiter = self.notify_waiters.pop(key, None)
         if waiter is not None:
             env.engine.wake(waiter, visible_at)

@@ -39,6 +39,9 @@ class PendingComm:
     recvs: list[RecvHandle] = field(default_factory=list)
     #: Local arrays involved, for the buffer-independence check.
     buffers: list[np.ndarray] = field(default_factory=list)
+    #: Open ``window`` span ids (posted-but-unsynced intervals) when
+    #: profiling; every covering window closes at this set's sync.
+    window_sids: list[int] = field(default_factory=list)
 
     def __bool__(self) -> bool:
         return bool(self.sends or self.recvs)
@@ -48,6 +51,19 @@ class PendingComm:
         self.sends.extend(other.sends)
         self.recvs.extend(other.recvs)
         self.buffers.extend(other.buffers)
+        self.window_sids.extend(other.window_sids)
+        other.window_sids.clear()
+
+    def note_window(self, env: "Env") -> None:
+        """Open a posted-but-unsynced window span (profiling only).
+
+        Called after a directive instance posts into this set; compute
+        spans falling inside the window are *realized* overlap.
+        """
+        profile = env.engine.profile
+        if profile is not None and self and not self.window_sids:
+            self.window_sids.append(
+                profile.begin(env.rank, "window", env.now))
 
     def overlaps(self, arrays: list[np.ndarray]) -> bool:
         """True if any new array shares memory with a pending one."""
@@ -59,6 +75,13 @@ class PendingComm:
 
     def sync(self, env: "Env") -> None:
         """Issue one consolidated sync per backend and clear."""
+        profile = env.engine.profile
+        if profile is not None and self.window_sids:
+            # The overlap window ends where the synchronization starts:
+            # compute after this point is exposed, not overlapped.
+            for sid in self.window_sids:
+                profile.end(sid, env.now)
+            self.window_sids.clear()
         if not self:
             self.buffers.clear()
             return
@@ -73,8 +96,20 @@ class PendingComm:
             entry[2].append(h)
         n_ops = len(self.sends) + len(self.recvs)
         env.trace("dir.sync", ops=n_ops, backends=len(by_backend))
+        sync_t0 = env.now
         for backend, sends, recvs in by_backend.values():
             backend.sync(sends, recvs)
+        if profile is not None:
+            # The handle identity gives the critical-path extraction
+            # its cross-rank happens-before edges (sync -> delivery).
+            profile.add(
+                env.rank, "sync", sync_t0, env.now, ops=n_ops,
+                backends=sorted(b.target.value
+                                for b, _, _ in by_backend.values()),
+                bytes=sum(h.nbytes for h in (*self.sends, *self.recvs)),
+                send_keys=[(env.rank, h.dest, h.seq) for h in self.sends],
+                recv_keys=[(h.source, env.rank, h.seq)
+                           for h in self.recvs])
         self.sends.clear()
         self.recvs.clear()
         self.buffers.clear()

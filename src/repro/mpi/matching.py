@@ -142,6 +142,15 @@ def _complete_match(world: "World", env: "Env", s: SendOp, r: RecvOp) -> None:
     s.matched = True
     r.matched = True
     world.stats.count_message(s.kind, s.nbytes)
+    profile = env.engine.profile
+    if profile is not None:
+        # One span per delivered message, attributed to the receiving
+        # rank: from the send post to the receive completion. The
+        # (src, dst, tag) identity is what a consolidated sync's
+        # recv_keys refer to for directive traffic (tag == seq there).
+        profile.add(s.dst, "message", s.post_time, r.completion,
+                    src=s.src, dst=s.dst, seq=s.tag, nbytes=s.nbytes,
+                    transport=s.kind, channel=s.channel, eager=s.eager)
 
     # The deterministic wake order (receiver before sender) is part of
     # the engine's (virtual time, rank) dispatch contract: both wakes

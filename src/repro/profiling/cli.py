@@ -1,0 +1,191 @@
+"""``repro-trace``: profile a simulated run and analyse its spans.
+
+Three ways to obtain a profiled run:
+
+* a **pragma source file** (the translator's input format), replayed
+  through :func:`repro.core.analysis.progsim.simulate_program`::
+
+      repro-trace examples/pragmas/slow/early_sync.c --critical-path
+
+* a **communication pattern** from the catalog, via the fuzzer's
+  target-parameterized pattern programs::
+
+      repro-trace --pattern halo2d --target shmem --metrics
+
+* the **WL-LSMS application** (directive variant, quick
+  configuration)::
+
+      repro-trace --app wllsms --export-chrome wllsms.json
+
+Actions (combinable; ``--metrics`` is the default):
+
+* ``--metrics`` — the per-rank / per-directive aggregation table,
+  including the realized-overlap ratio and forfeited-overlap seconds;
+* ``--critical-path`` — the longest dependency chain through the run
+  with its per-kind breakdown, plus the forfeited-overlap figure to
+  cross-check against ``repro-lint``'s CI101/CI102 estimated saving;
+* ``--export-chrome FILE`` — trace-event JSON loadable in Perfetto or
+  ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Callable, Sequence
+
+from repro.profiling.chrome import export_chrome
+from repro.profiling.critpath import critical_path
+from repro.profiling.metrics import aggregate
+from repro.profiling.spans import Profile
+
+_TARGETS = {
+    "mpi2s": "TARGET_COMM_MPI_2SIDE",
+    "mpi1s": "TARGET_COMM_MPI_1SIDE",
+    "shmem": "TARGET_COMM_SHMEM",
+}
+
+#: Pattern name -> (program factory module attr, default nprocs).
+_PATTERNS = {
+    "ring": ("_ring_prog", 5),
+    "evenodd": ("_evenodd_prog", 6),
+    "halo2d": ("_halo2d_prog", 6),
+    "butterfly": ("_butterfly_prog", 4),
+}
+
+
+def _parse_vars(pairs: list[str]) -> dict[str, int]:
+    out: dict[str, int] = {}
+    for pair in pairs:
+        name, eq, value = pair.partition("=")
+        if not eq or not name:
+            raise SystemExit(f"--var expects NAME=VALUE, got {pair!r}")
+        try:
+            out[name] = int(value)
+        except ValueError:
+            raise SystemExit(f"--var {name}: {value!r} is not an integer")
+    return out
+
+
+def _profile_source(path: str, nprocs: int | None, target: str,
+                    extra_vars: dict[str, int]) -> Profile:
+    from repro.core.pragma import parse_program
+    from repro.core.analysis.progsim import simulate_program
+
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            source = f.read()
+    except OSError as exc:
+        raise SystemExit(f"repro-trace: cannot read {path}: {exc}")
+    program = parse_program(source)
+    outcome = simulate_program(program, nprocs=nprocs or 8,
+                               target=_TARGETS[target],
+                               extra_vars=extra_vars, profile=True)
+    assert outcome.profile is not None
+    return outcome.profile
+
+
+def _profile_pattern(name: str, nprocs: int | None,
+                     target: str) -> Profile:
+    import importlib
+
+    from repro import mpi
+    from repro.netmodel import gemini_model
+    from repro.sim import Engine
+    from repro.sim.process import Env
+
+    # repro.faults re-exports the fuzz *function*; fetch the module.
+    fuzz = importlib.import_module("repro.faults.fuzz")
+    attr, default_nprocs = _PATTERNS[name]
+    prog: Callable[[Env, str], Any] = getattr(fuzz, attr)
+    model = gemini_model()
+    engine = Engine(nprocs or default_nprocs, profile=True)
+
+    def main(env: Env) -> Any:
+        mpi.init(env, model)
+        return prog(env, _TARGETS[target])
+
+    result = engine.run(main)
+    assert result.profile is not None
+    return result.profile
+
+
+def _profile_app(nprocs: int | None, target: str) -> Profile:
+    from repro.apps.wllsms.app import AppConfig, run_app
+
+    config = AppConfig(n_lsms=2, group_size=4, t=32, tc=4, wl_steps=2,
+                       variant="directive", target=_TARGETS[target],
+                       profile=True)
+    if nprocs is not None and nprocs != config.nprocs:
+        raise SystemExit(
+            f"repro-trace: the quick WL-LSMS configuration runs on "
+            f"{config.nprocs} ranks; --nprocs cannot override it")
+    result = run_app(config)
+    assert result.profile is not None
+    return result.profile
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for ``repro-trace``; returns the exit status."""
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Profile a simulated run: span metrics, "
+                    "critical path, Chrome trace export.")
+    parser.add_argument("source", nargs="?", default=None,
+                        help="annotated pragma source file to replay")
+    parser.add_argument("--pattern", choices=sorted(_PATTERNS),
+                        help="profile a catalog communication pattern")
+    parser.add_argument("--app", choices=["wllsms"],
+                        help="profile an application (quick config)")
+    parser.add_argument("--target", choices=sorted(_TARGETS),
+                        default="mpi2s",
+                        help="lowering target (default: mpi2s)")
+    parser.add_argument("--nprocs", type=int, default=None,
+                        help="simulated world size (defaults: 8 for "
+                             "sources, per-pattern otherwise)")
+    parser.add_argument("--var", action="append", default=[],
+                        metavar="NAME=VALUE",
+                        help="bind a free clause variable (repeatable)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the per-rank/per-directive table "
+                             "(default action)")
+    parser.add_argument("--critical-path", action="store_true",
+                        help="print the longest dependency chain")
+    parser.add_argument("--export-chrome", metavar="FILE", default=None,
+                        help="write trace-event JSON for Perfetto")
+    args = parser.parse_args(argv)
+
+    sources = [s for s in (args.source, args.pattern, args.app)
+               if s is not None]
+    if len(sources) != 1:
+        parser.error("exactly one of a source file, --pattern or --app "
+                     "is required")
+    if args.nprocs is not None and args.nprocs < 1:
+        parser.error("--nprocs must be positive")
+
+    if args.pattern is not None:
+        profile = _profile_pattern(args.pattern, args.nprocs, args.target)
+    elif args.app is not None:
+        profile = _profile_app(args.nprocs, args.target)
+    else:
+        profile = _profile_source(args.source, args.nprocs, args.target,
+                                  _parse_vars(args.var))
+
+    did_something = False
+    if args.export_chrome is not None:
+        export_chrome(profile, args.export_chrome)
+        print(f"wrote {args.export_chrome} "
+              f"({len(profile)} spans, {profile.nranks} ranks)")
+        did_something = True
+    if args.critical_path:
+        print(critical_path(profile).render())
+        did_something = True
+    if args.metrics or not did_something:
+        if did_something:
+            print()
+        print(aggregate(profile).render())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

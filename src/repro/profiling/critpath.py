@@ -1,0 +1,353 @@
+"""Critical-path extraction over a profile's happens-before edges.
+
+The profile is re-cast as the verifier's dynamic graph: one
+:class:`repro.core.analysis.hb.Event` per activity span (compute, post,
+sync, barrier, stall) in per-rank program order, plus one extra trace of
+*delivery* events (message/notify spans). Cross-rank edges express what
+each span actually waited on in the run:
+
+* a **sync** span depends on the delivery spans its ``send_keys`` /
+  ``recv_keys`` identify — the ``(src, dst, seq)`` message identity the
+  consolidated synchronization recorded. Notify deliveries are
+  preferred where present (on the one-sided targets the flag update,
+  not the payload, is what the receiver's sync blocks on);
+* a **barrier** span on a non-critical rank depends on the episode's
+  last arriver (``critical_rank``);
+* a **delivery** leads back to the sender-side activity span in flight
+  when it was posted.
+
+The chain itself is recovered by the classic **backward time-walk**:
+start at the last-finishing rank at the makespan and walk virtual time
+backwards, charging each backward interval to the span that occupied
+it; whenever the walk enters a waiting region (the tail of a sync gated
+by a delivery, a barrier episode, an inter-span gap), it jumps through
+the happens-before edge to the rank that caused the wait and continues
+there. The charged intervals are disjoint sub-intervals of
+``[0, makespan]`` by construction, so the reported path length can
+never exceed the makespan — the invariant the catalog tests pin.
+
+The per-kind breakdown of the winning chain shows where the run's
+length actually comes from; the accompanying forfeited-overlap figure
+is the measured counterpart of the advisor's CI101/CI102
+``saving_s`` estimate.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+
+from repro.core.analysis.hb import Event, HBGraph
+from repro.profiling.metrics import aggregate
+from repro.profiling.spans import Profile, Span
+
+#: Span kinds that occupy a rank (tile its timeline; windows overlap
+#: compute/sync and are analysed by the metrics layer instead).
+_ACTIVITY = ("compute", "post", "sync", "barrier", "stall")
+
+
+@dataclass
+class CPStep:
+    """One chain link: a span and the seconds it charged to the path.
+
+    Synthetic ``wait`` spans fill regions where the rank was blocked
+    outside any recorded span (e.g. a raw-MPI wait between directive
+    episodes)."""
+
+    span: Span
+    charge_s: float
+
+
+@dataclass
+class CriticalPath:
+    """The longest dependency chain through one profiled run."""
+
+    length_s: float
+    makespan_s: float
+    #: Seconds charged to the path, by span kind.
+    breakdown: dict[str, float] = field(default_factory=dict)
+    steps: list[CPStep] = field(default_factory=list)
+    #: Measured forfeited overlap (see
+    #: :attr:`repro.profiling.metrics.ProfileMetrics.forfeited_overlap_s`)
+    #: — the number to cross-check against the advisor's CI101/CI102
+    #: ``saving_s`` estimate.
+    forfeited_overlap_s: float = 0.0
+
+    def render(self, limit: int = 40) -> str:
+        """Human-readable report: totals, per-kind breakdown, and the
+        path itself oldest-first (at most ``limit`` steps)."""
+        lines = [
+            f"critical path       {self.length_s * 1e6:12.3f} us "
+            f"({len(self.steps)} spans)",
+            f"makespan            {self.makespan_s * 1e6:12.3f} us",
+            "forfeited overlap   "
+            f"{self.forfeited_overlap_s * 1e6:12.3f} us",
+            "",
+            "breakdown:",
+        ]
+        for kind, secs in sorted(self.breakdown.items(),
+                                 key=lambda kv: -kv[1]):
+            lines.append(f"  {kind:10s} {secs * 1e6:12.3f} us")
+        lines.append("")
+        lines.append("path (oldest first):")
+        steps = self.steps if len(self.steps) <= limit \
+            else self.steps[:limit]
+        for step in steps:
+            lines.append(f"  +{step.charge_s * 1e6:10.3f} us  "
+                         f"{step.span}")
+        if len(self.steps) > limit:
+            lines.append(f"  ... ({len(self.steps) - limit} more spans)")
+        return "\n".join(lines)
+
+
+def _build_graph(profile: Profile) -> tuple[
+        HBGraph, dict[Event, Span], dict[int, Event],
+        list[list[Span]], list[Span]]:
+    """Re-cast the profile as an hb graph with timed events."""
+    nranks = profile.nranks
+    per_rank: list[list[Span]] = [[] for _ in range(nranks)]
+    deliveries: list[Span] = []
+    for span in profile:
+        if span.t1 is None:  # pragma: no cover - finish() closes these
+            continue
+        if span.kind in _ACTIVITY and 0 <= span.rank < nranks:
+            per_rank[span.rank].append(span)
+        elif span.kind in ("message", "notify"):
+            deliveries.append(span)
+    for spans in per_rank:
+        spans.sort(key=lambda s: (s.t0, s.t1, s.sid))
+    deliveries.sort(key=lambda s: (s.t0, s.t1, s.sid))
+
+    graph = HBGraph(nprocs=nranks)
+    span_of: dict[Event, Span] = {}
+    event_of: dict[int, Event] = {}
+
+    for rank, spans in enumerate(per_rank):
+        trace: list[Event] = []
+        for i, span in enumerate(spans):
+            ev = Event(rank=rank, index=i, kind=span.kind)
+            trace.append(ev)
+            span_of[ev] = span
+            event_of[span.sid] = ev
+        graph.traces.append(trace)
+    net: list[Event] = []
+    for i, span in enumerate(deliveries):
+        ev = Event(rank=nranks, index=i, kind=span.kind)
+        net.append(ev)
+        span_of[ev] = span
+        event_of[span.sid] = ev
+    graph.traces.append(net)
+
+    # Delivery index: (src, dst, seq) -> candidate delivery spans, the
+    # one-sided notify (the receiver's actual gate) kept apart from the
+    # payload message so it wins where both exist.
+    by_key: dict[tuple[int, int, int], dict[str, list[Span]]] = {}
+    for span in deliveries:
+        seq = span.attrs.get("seq")
+        src = span.attrs.get("src")
+        dst = span.attrs.get("dst")
+        if seq is None or src is None or dst is None:
+            continue
+        slot = by_key.setdefault((src, dst, seq),
+                                 {"message": [], "notify": []})
+        slot[span.kind].append(span)
+
+    def gate_for(key: tuple[int, int, int],
+                 deadline: float) -> Span | None:
+        slot = by_key.get(key)
+        if slot is None:
+            return None
+        for kind in ("notify", "message"):
+            best: Span | None = None
+            for cand in slot[kind]:
+                assert cand.t1 is not None
+                if cand.t1 <= deadline and (
+                        best is None or cand.t1 > best.t1):  # type: ignore
+                    best = cand
+            if best is not None:
+                return best
+        return None
+
+    # sync -> the deliveries it waited on.
+    for rank_trace in graph.traces[:nranks]:
+        for ev in rank_trace:
+            span = span_of[ev]
+            if span.kind != "sync":
+                continue
+            assert span.t1 is not None
+            keys = list(span.attrs.get("recv_keys", ())) \
+                + list(span.attrs.get("send_keys", ()))
+            for key in keys:
+                gate = gate_for(tuple(key), span.t1)
+                if gate is not None:
+                    graph.add_dep(ev, event_of[gate.sid])
+
+    # barrier episode: everyone waits for the last arriver.
+    episodes: dict[tuple, dict[int, Span]] = {}
+    for rank, spans in enumerate(per_rank):
+        for span in spans:
+            if span.kind == "barrier":
+                key = (span.attrs.get("name"), span.attrs.get("gen"))
+                episodes.setdefault(key, {})[rank] = span
+    for members in episodes.values():
+        critical = None
+        for span in members.values():
+            critical = span.attrs.get("critical_rank", critical)
+        if critical is None or critical not in members:
+            continue
+        crit_ev = event_of[members[critical].sid]
+        for rank, span in members.items():
+            if rank != critical:
+                graph.add_dep(event_of[span.sid], crit_ev)
+
+    return graph, span_of, event_of, per_rank, deliveries
+
+
+def critical_path(profile: Profile) -> CriticalPath:
+    """Extract the run's critical chain by a backward time-walk."""
+    graph, span_of, event_of, per_rank, deliveries = _build_graph(profile)
+    nranks = graph.nprocs
+    makespan = profile.makespan
+
+    starts = [[s.t0 for s in spans] for spans in per_rank]
+    #: Deliveries addressed to each rank, sorted by end time (the gap
+    #: fallback: what woke a rank blocked outside any recorded span).
+    inbound: list[list[Span]] = [[] for _ in range(nranks)]
+    for d in deliveries:
+        dst = d.attrs.get("dst", d.rank)
+        if isinstance(dst, int) and 0 <= dst < nranks:
+            inbound[dst].append(d)
+    for lst in inbound:
+        lst.sort(key=lambda s: (s.t1, s.sid))
+    inbound_ends = [[s.t1 for s in lst] for lst in inbound]
+
+    steps: list[CPStep] = []
+    synth_sid = -1
+
+    def charge(span: Span, seconds: float) -> None:
+        if seconds > 0:
+            steps.append(CPStep(span=span, charge_s=seconds))
+
+    def charge_wait(rank: int, t0: float, t1: float) -> None:
+        nonlocal synth_sid
+        if t1 > t0:
+            steps.append(CPStep(
+                span=Span(sid=synth_sid, rank=rank, kind="wait",
+                          t0=t0, t1=t1), charge_s=t1 - t0))
+            synth_sid -= 1
+
+    def sync_gate(span: Span, t: float) -> Span | None:
+        """The latest delivery this sync waited on that ended in
+        ``(span.t0, t]``."""
+        ev = event_of.get(span.sid)
+        best: Span | None = None
+        for dep in graph.deps.get(ev, ()):
+            g = span_of[dep]
+            assert g.t1 is not None
+            if span.t0 < g.t1 <= t and (
+                    best is None or g.t1 > best.t1):  # type: ignore
+                best = g
+        return best
+
+    def gap_gate(rank: int, lo: float, hi: float) -> Span | None:
+        """The latest delivery into ``rank`` ending in ``(lo, hi]``."""
+        i = bisect_right(inbound_ends[rank], hi) - 1
+        if i >= 0:
+            g = inbound[rank][i]
+            assert g.t1 is not None
+            if g.t1 > lo:
+                return g
+        return None
+
+    def jump_through(g: Span, t: float) -> tuple[int, float] | None:
+        """Charge a delivery and return the sender-side resume point."""
+        assert g.t1 is not None
+        charge(g, g.t1 - g.t0)
+        src = g.attrs.get("src")
+        if isinstance(src, int) and 0 <= src < nranks and g.t0 < t:
+            return src, g.t0
+        return None
+
+    # Start on the last-finishing rank at the makespan.
+    if profile.finish_times:
+        rank = max(range(nranks), key=lambda r: profile.finish_times[r])
+    else:
+        rank = max(range(nranks),
+                   key=lambda r: per_rank[r][-1].t1 if per_rank[r]
+                   else 0.0, default=0) if nranks else 0
+    t = makespan
+
+    limit = 4 * len(profile.spans) + 64
+    while t > 0 and nranks and limit > 0:
+        limit -= 1
+        i = bisect_left(starts[rank], t) - 1
+        span = per_rank[rank][i] if i >= 0 else None
+        if span is None:
+            # No recorded span before t on this rank (e.g. a rank doing
+            # raw-MPI waits only): follow the latest inbound delivery.
+            gate = gap_gate(rank, 0.0, t)
+            if gate is not None:
+                assert gate.t1 is not None
+                charge_wait(rank, gate.t1, t)
+                nxt = jump_through(gate, t)
+                if nxt is not None:
+                    rank, t = nxt
+                    continue
+            charge_wait(rank, 0.0, min(t, gate.t1 if gate is not None
+                                       and gate.t1 is not None else t))
+            break
+        assert span.t1 is not None
+        if span.t1 < t:
+            # Gap after the span: blocked outside any recorded span.
+            gate = gap_gate(rank, span.t1, t)
+            if gate is not None:
+                assert gate.t1 is not None
+                charge_wait(rank, gate.t1, t)
+                nxt = jump_through(gate, t)
+                if nxt is not None:
+                    rank, t = nxt
+                    continue
+                t = span.t1  # strict progress when the jump is degenerate
+                continue
+            charge_wait(rank, span.t1, t)
+            t = span.t1
+            continue
+        if span.kind == "sync":
+            gate = sync_gate(span, t)
+            if gate is not None:
+                assert gate.t1 is not None
+                charge(span, t - gate.t1)
+                nxt = jump_through(gate, t)
+                if nxt is not None:
+                    rank, t = nxt
+                    continue
+                t = span.t0  # strict progress when the jump is degenerate
+                continue
+        elif span.kind == "barrier":
+            crit = span.attrs.get("critical_rank")
+            if (isinstance(crit, int) and crit != rank
+                    and 0 <= crit < nranks):
+                crit_ev = next(
+                    (d for d in graph.deps.get(
+                        event_of.get(span.sid), ())), None)
+                crit_span = span_of.get(crit_ev) if crit_ev else None
+                if crit_span is not None and crit_span.t0 > span.t0:
+                    # Waited for the last arriver: charge the release
+                    # tail here, resume on the critical rank at its
+                    # arrival.
+                    charge(span, t - min(t, crit_span.t0))
+                    rank, t = crit, min(t, crit_span.t0)
+                    continue
+        charge(span, t - span.t0)
+        t = span.t0
+
+    steps.reverse()
+    breakdown: dict[str, float] = {}
+    for step in steps:
+        breakdown[step.span.kind] = \
+            breakdown.get(step.span.kind, 0.0) + step.charge_s
+
+    return CriticalPath(
+        length_s=sum(s.charge_s for s in steps), makespan_s=makespan,
+        breakdown=breakdown, steps=steps,
+        forfeited_overlap_s=aggregate(profile).forfeited_overlap_s)

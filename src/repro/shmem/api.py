@@ -151,6 +151,7 @@ class Shmem:
                 f"{name}: put of {src.size} elements at offset {offset} "
                 f"exceeds the {mirror.size}-element symmetric buffer")
         nbytes = src.size * mirror.dtype.itemsize
+        post_t0 = self.env.now
         self.env.advance(self._tp.send_overhead(nbytes))
         faults = self.env.engine.faults
         extra = (faults.message_delay(self._tp, self.env.rank, pe, nbytes)
@@ -159,6 +160,11 @@ class Shmem:
         self._pending.append(completion)
         self.env.engine.stats.count_message(SHMEM, nbytes)
         self.env.trace("shmem.put", pe=pe, nbytes=nbytes, call=name)
+        profile = self.env.engine.profile
+        if profile is not None:
+            profile.add(pe, "message", post_t0, completion,
+                        src=self.env.rank, dst=pe, nbytes=nbytes,
+                        transport="shmem", call=name)
         if staged:
             # The put conceptually reads the source *now*: snapshot it,
             # since the commit runs later (at the covering sync).

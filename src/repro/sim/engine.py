@@ -170,6 +170,10 @@ class RunResult:
     #: Crashed ranks contribute their crash time to ``finish_times`` and
     #: ``None`` to ``values``.
     failed_ranks: tuple[int, ...] = ()
+    #: Span profile of the run (``Engine(profile=True)``); feed it to
+    #: :mod:`repro.profiling` for metrics, Chrome export and
+    #: critical-path extraction.
+    profile: Any = None
 
     @property
     def makespan(self) -> float:
@@ -205,13 +209,18 @@ class Engine:
         wall-clock hangs and virtual-time stalls abort the run with a
         :class:`repro.errors.SimHangError` carrying a per-rank progress
         report instead of hanging silently.
+    profile:
+        If true, collect a :class:`repro.profiling.Profile` of span
+        events (compute, post, sync, message delivery, barriers,
+        faults); available as ``RunResult.profile`` after the run.
     """
 
     def __init__(self, nprocs: int, *, trace: bool = False,
                  trace_maxlen: int | None = 200_000,
                  max_time: float | None = None,
                  faults: Any = None,
-                 watchdog: Any = None):
+                 watchdog: Any = None,
+                 profile: bool = False):
         if nprocs < 1:
             raise ValueError(f"nprocs must be >= 1, got {nprocs}")
         self.nprocs = nprocs
@@ -226,6 +235,11 @@ class Engine:
         self.failed_ranks: set[int] = set()
         self.stats = SimStats()
         self.trace: Trace | None = Trace(trace_maxlen) if trace else None
+        if profile:
+            from repro.profiling.spans import Profile
+            self.profile: Any = Profile()
+        else:
+            self.profile = None
         self.procs: list[Proc] = []
         #: Runnable ranks as a ``(virtual time, rank)`` min-heap. Keys are
         #: stable while a proc stays READY (only a RUNNING rank can move
@@ -297,13 +311,17 @@ class Engine:
                 # failure), not a user bug: surface it unwrapped.
                 raise first.error
             raise SimProcessError(first.rank, first.error) from first.error
+        finish_times = [p.now for p in self.procs]
+        if self.profile is not None:
+            self.profile.finish(finish_times)
         return RunResult(
             nprocs=self.nprocs,
-            finish_times=[p.now for p in self.procs],
+            finish_times=finish_times,
             values=[p.result for p in self.procs],
             stats=self.stats,
             trace=self.trace,
             failed_ranks=tuple(sorted(self.failed_ranks)),
+            profile=self.profile,
         )
 
     # ------------------------------------------------------------------
@@ -495,6 +513,9 @@ class Engine:
             if action[0] == "stall":
                 duration = action[1]
                 self._trace(proc, "fault_stall", duration=duration)
+                if self.profile is not None:
+                    self.profile.add(proc.rank, "stall", proc.now,
+                                     proc.now + duration, cause="fault")
                 self.stats.count_fault("stall")
                 proc.now += duration
                 self._make_ready(proc)
@@ -515,6 +536,9 @@ class Engine:
         self.failed_ranks.add(proc.rank)
         self.stats.count_fault("crash")
         self._trace(proc, "fault_crash")
+        if self.profile is not None:
+            self.profile.instant(proc.rank, "crash", proc.now,
+                                 cause="fault")
 
     def _ready_before(self, proc: Proc) -> bool:
         """True if some READY rank orders strictly before ``proc``."""

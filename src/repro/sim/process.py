@@ -68,6 +68,11 @@ class Env:
         if seconds < 0:
             raise ValueError(f"compute() needs seconds >= 0, got {seconds}")
         self._check_current()
+        if self._engine.profile is not None and seconds > 0:
+            self._engine.profile.add(
+                self._proc.rank, "compute", self._proc.now,
+                self._proc.now + seconds,
+                **({} if label is None else {"label": label}))
         self._proc.now += seconds
         if seconds > 0:
             self._engine.note_progress()

@@ -39,6 +39,8 @@ class Rendezvous:
         self._generation = 0
         self._arrivals: dict[int, float] = {}
         self._waiters: list = []
+        #: Open profiling span ids of the current episode's members.
+        self._span_sids: list[int] = []
 
     def join(self, env: Env) -> float:
         """Arrive at the sync point; returns the common release time.
@@ -56,6 +58,11 @@ class Rendezvous:
                 f"rank {rank} joined {self.name} generation "
                 f"{self._generation} twice")
         self._arrivals[rank] = env.now
+        profile = env.engine.profile
+        if profile is not None:
+            self._span_sids.append(profile.begin(
+                rank, "barrier", env.now, name=self.name,
+                gen=self._generation))
         if len(self._arrivals) < len(self.members):
             waiter = env.make_waiter(
                 f"{self.name} (gen {self._generation}, "
@@ -65,6 +72,15 @@ class Rendezvous:
             return env.now
         # Last to arrive: compute the release time and wake everyone.
         release = max(self._arrivals.values()) + self.cost_fn(len(self.members))
+        if profile is not None:
+            # The episode's critical arriver: everyone else's wait ends
+            # because of it (the cross-rank happens-before edge the
+            # critical-path extraction follows).
+            critical = max(self._arrivals,
+                           key=lambda r: (self._arrivals[r], r))
+            for sid in self._span_sids:
+                profile.end(sid, release, critical_rank=critical)
+            self._span_sids.clear()
         for waiter in self._waiters:
             env.engine.wake(waiter, release)
         self._waiters.clear()

@@ -32,19 +32,32 @@ class Trace:
 
     ``maxlen`` guards against unbounded memory in long benchmark runs;
     when the cap is hit, *recording stops* (the prefix is kept, which is
-    what you want when debugging startup behaviour) and ``truncated``
-    becomes true.
+    what you want when debugging startup behaviour), ``truncated``
+    becomes true and every further record is counted in
+    ``dropped_events``. So that a capped trace is never silently
+    partial, one final ``trace.truncated`` warning event (timestamped at
+    the first dropped event) is appended past the cap when truncation
+    kicks in.
     """
 
     def __init__(self, maxlen: int | None = None):
         self.events: list[TraceEvent] = []
         self.maxlen = maxlen
         self.truncated = False
+        #: Events rejected after the cap was hit (the warning event
+        #: itself is not counted).
+        self.dropped_events = 0
 
     def record(self, time: float, rank: int, kind: str, **fields: Any) -> None:
-        """Append one event (no-op once the cap is hit)."""
+        """Append one event (counted drop once the cap is hit)."""
         if self.maxlen is not None and len(self.events) >= self.maxlen:
-            self.truncated = True
+            if not self.truncated:
+                self.truncated = True
+                self.events.append(TraceEvent(
+                    time, rank, "trace.truncated",
+                    {"maxlen": self.maxlen,
+                     "note": "event cap reached; later events dropped"}))
+            self.dropped_events += 1
             return
         self.events.append(TraceEvent(time, rank, kind, fields))
 

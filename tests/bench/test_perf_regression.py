@@ -1,0 +1,103 @@
+"""The perf-regression comparator and its committed baselines."""
+
+import json
+import os
+import sys
+
+import pytest
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+sys.path.insert(0, os.path.join(_ROOT, "benchmarks"))
+
+import check_perf_regression as cpr  # noqa: E402
+
+
+def _engine_report(makespan=1e-4, heap_ops=1000, nprocs=33):
+    return {"points": [{"nprocs": nprocs, "makespan": makespan,
+                        "heap_ops": heap_ops, "switches": 100}]}
+
+
+class TestChecker:
+    def test_identical_reports_pass(self):
+        base = _engine_report()
+        checker = cpr.Checker(0.25)
+        cpr.check_engine(base, base, checker)
+        assert not checker.failures
+        assert checker.checked > 0
+
+    def test_makespan_regression_fails(self):
+        checker = cpr.Checker(0.25)
+        cpr.check_engine(_engine_report(makespan=1e-4),
+                         _engine_report(makespan=1.3e-4), checker)
+        assert any("makespan" in f for f in checker.failures)
+
+    def test_within_tolerance_passes(self):
+        checker = cpr.Checker(0.25)
+        cpr.check_engine(_engine_report(heap_ops=1000),
+                         _engine_report(heap_ops=1200), checker)
+        assert not checker.failures
+
+    def test_quick_subset_is_accepted(self):
+        base = {"points": [{"nprocs": p, "makespan": 1e-4,
+                            "heap_ops": 10, "switches": 5}
+                           for p in (33, 65, 128, 257, 337)]}
+        new = {"points": base["points"][:3]}
+        checker = cpr.Checker(0.25)
+        cpr.check_engine(base, new, checker)
+        assert not checker.failures
+
+    def test_unknown_point_fails(self):
+        checker = cpr.Checker(0.25)
+        cpr.check_engine(_engine_report(nprocs=33),
+                         _engine_report(nprocs=999), checker)
+        assert checker.failures
+
+    def test_advisor_saving_drop_fails(self):
+        base = {"examples": [{"path": "a.c", "accepted": 1,
+                              "predicted_saving_s": 1e-5,
+                              "modeled_speedup": 1.5, "steps": []}],
+                "catalog": [{"name": "ring", "changed": False}]}
+        worse = json.loads(json.dumps(base))
+        worse["examples"][0]["predicted_saving_s"] = 1e-6
+        checker = cpr.Checker(0.25)
+        cpr.check_advisor(base, worse, checker)
+        assert any("predicted_saving_s" in f for f in checker.failures)
+
+    def test_catalog_must_stay_negative_control(self):
+        base = {"examples": [],
+                "catalog": [{"name": "ring", "changed": False}]}
+        worse = {"examples": [],
+                 "catalog": [{"name": "ring", "changed": True}]}
+        checker = cpr.Checker(0.25)
+        cpr.check_advisor(base, worse, checker)
+        assert any("catalog:ring" in f for f in checker.failures)
+
+    def test_main_exit_codes(self, tmp_path):
+        base = tmp_path / "base.json"
+        new = tmp_path / "new.json"
+        base.write_text(json.dumps(_engine_report()))
+        new.write_text(json.dumps(_engine_report()))
+        assert cpr.main(["--engine-baseline", str(base),
+                         "--engine-new", str(new)]) == 0
+        new.write_text(json.dumps(_engine_report(makespan=1.0)))
+        assert cpr.main(["--engine-baseline", str(base),
+                         "--engine-new", str(new)]) == 1
+
+
+class TestCommittedBaselineReproducibility:
+    def test_p33_point_matches_committed_engine_baseline(self):
+        """An unmodified checkout reproduces the committed modeled
+        values exactly — the property the CI perf-regression job rests
+        on (wall-clock columns excluded, of course)."""
+        import bench_engine_scaling as bes
+
+        with open(os.path.join(_ROOT, "BENCH_engine.json")) as fh:
+            baseline = {p["nprocs"]: p
+                        for p in json.load(fh)["points"]}
+        report = bes.run_scaling(process_counts=(33,), repeats=1)
+        point = report["points"][0]
+        base = baseline[33]
+        assert point["makespan"] == base["makespan"]
+        assert point["heap_ops"] == base["heap_ops"]
+        assert point["switches"] == base["switches"]

@@ -21,8 +21,21 @@ class TestTrace:
         tr = Trace(maxlen=2)
         for i in range(5):
             tr.record(float(i), 0, "x")
-        assert len(tr) == 2
+        # maxlen real events plus the one-line truncation warning.
+        assert len(tr) == 3
         assert tr.truncated
+        assert tr.dropped_events == 3
+        last = tr.events[-1]
+        assert last.kind == "trace.truncated"
+        assert last.fields["maxlen"] == 2
+
+    def test_no_truncation_means_no_drops(self):
+        tr = Trace(maxlen=10)
+        for i in range(5):
+            tr.record(float(i), 0, "x")
+        assert not tr.truncated
+        assert tr.dropped_events == 0
+        assert len(tr) == 5
 
     def test_event_str(self):
         e = TraceEvent(1.5e-6, 3, "mpi.send_post", {"dest": 1})
@@ -58,8 +71,11 @@ class TestEngineTraceIntegration:
                 env.compute(0.1, label="k")
 
         eng.run(prog)
-        assert len(eng.trace) == 3
+        # Cap + the appended truncation warning event.
+        assert len(eng.trace) == 4
         assert eng.trace.truncated
+        assert eng.trace.dropped_events == 7
+        assert eng.trace.events[-1].kind == "trace.truncated"
 
     def test_stats_summary_readable(self):
         eng = Engine(2)
