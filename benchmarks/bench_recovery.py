@@ -1,0 +1,173 @@
+"""Recovery-runtime bench: overhead vs fault rate, plus crash episodes.
+
+Two deterministic modeled experiments (virtual time only — no host
+wall-clock), written to ``BENCH_recovery.json`` and gated by
+``check_perf_regression.py``:
+
+* **drop sweep** — the ring pattern under increasing message-drop
+  probability with the bounded-retry transport of
+  :mod:`repro.recovery`: modeled makespan, retry count and the
+  overhead factor against the unfaulted run. Charts how reliable
+  delivery degrades with loss.
+* **crash scenarios** — an iterative checkpointed ring losing one rank
+  mid-run, recovered under each ULFM-style policy: modeled makespan,
+  episodes, checkpoints, restore cut and the virtual seconds recovery
+  cost. Charts what a failure costs end to end.
+
+Run:  PYTHONPATH=src python benchmarks/bench_recovery.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import numpy as np
+
+from repro import mpi
+from repro.core import comm_p2p
+from repro.faults import FaultPlan, RankCrash, Watchdog
+from repro.faults.fuzz import _ring_prog
+from repro.netmodel import gemini_model
+from repro.recovery import (
+    POLICIES,
+    RecoveryConfig,
+    RetryPolicy,
+    register_state,
+    restore,
+    run_with_recovery,
+)
+from repro.sim import Engine
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_OUT = os.path.join(_ROOT, "BENCH_recovery.json")
+
+_MODEL = gemini_model()
+_WD = Watchdog(wall_timeout=120.0, stall_events=5_000_000)
+_TARGET = "TARGET_COMM_MPI_2SIDE"
+
+NPROCS = 5
+DROP_RATES = (0.0, 0.05, 0.1, 0.2, 0.4)
+SWEEP_SEED = 12
+ITERS = 6
+
+
+def _ring_main(env):
+    mpi.init(env, _MODEL)
+    return _ring_prog(env, _TARGET)
+
+
+def _iter_main(env):
+    """Checkpointed iterative ring (the crash-scenario workload)."""
+    mpi.init(env, _MODEL)
+    prev = (env.rank - 1 + env.size) % env.size
+    nxt = (env.rank + 1) % env.size
+    acc = np.zeros(8)
+    start = 0
+    cp = restore(env)
+    if cp is not None:
+        acc[:] = cp.state["acc"] + cp.state["inb"]
+        start = cp.cut + 1
+    register_state(env, acc=acc)
+    for it in range(start, ITERS):
+        out = acc + (env.rank + 1) * (it + 1)
+        inb = np.zeros(8)
+        register_state(env, inb=inb)
+        with comm_p2p(env, sender=prev, receiver=nxt, sbuf=out, rbuf=inb):
+            pass
+        acc += inb
+    return acc.tolist()
+
+
+def drop_sweep() -> list[dict]:
+    """Overhead of bounded-retry delivery vs message-drop probability."""
+    clean = Engine(NPROCS).run(_ring_main).makespan
+    config = RecoveryConfig(retry=RetryPolicy(max_retries=6))
+    points = []
+    for drop in DROP_RATES:
+        plan = FaultPlan(seed=SWEEP_SEED, drop_prob=drop,
+                         max_retransmits=6)
+        res = run_with_recovery(_ring_main, NPROCS, faults=plan,
+                                config=config, watchdog=_WD)
+        points.append({
+            "drop_prob": drop,
+            "makespan": res.makespan,
+            "retries": res.stats.retries,
+            "overhead": round(res.makespan / clean, 6),
+            "restarts": res.stats.restarts,
+        })
+        print(f"  drop={drop:<5} makespan={res.makespan:.3e} "
+              f"retries={res.stats.retries:>3} "
+              f"overhead={res.makespan / clean:6.3f}x")
+    return points
+
+
+def crash_scenarios() -> list[dict]:
+    """One mid-run rank loss recovered under each policy."""
+    ref = Engine(NPROCS).run(_iter_main)
+    crash_at = ref.finish_times[2] * 0.5
+    scenarios = []
+    for policy in POLICIES:
+        plan = FaultPlan(seed=SWEEP_SEED,
+                         crashes=(RankCrash(rank=2, at=crash_at),))
+        res = run_with_recovery(_iter_main, NPROCS, faults=plan,
+                                config=RecoveryConfig(policy=policy),
+                                watchdog=_WD)
+        rstats = res.recovery
+        episode = rstats.episodes[0]
+        scenarios.append({
+            "name": f"ring-iter/{policy}",
+            "policy": policy,
+            "clean_makespan": ref.makespan,
+            "makespan": res.makespan,
+            "restarts": rstats.restarts,
+            "checkpoints": rstats.checkpoints_taken,
+            "failures_detected": rstats.failures_detected,
+            "restore_cut": episode.restore_cut,
+            "recovery_wall_s": rstats.recovery_wall_s,
+            "final_world": rstats.final_world,
+        })
+        print(f"  {policy:<8} makespan={res.makespan:.3e} "
+              f"restore_cut={episode.restore_cut} "
+              f"recovery_wall={rstats.recovery_wall_s:.3e}s "
+              f"world={rstats.final_world}")
+    return scenarios
+
+
+def run_bench() -> dict:
+    print("drop sweep (ring, bounded-retry transport):")
+    points = drop_sweep()
+    print("crash scenarios (iterative checkpointed ring):")
+    scenarios = crash_scenarios()
+    return {
+        "benchmark": "recovery_runtime",
+        "model": "gemini (calibrated default)",
+        "nprocs": NPROCS,
+        "pattern": "ring",
+        "sweep_seed": SWEEP_SEED,
+        "points": points,
+        "scenarios": scenarios,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=_OUT,
+                        help="output JSON path (default: %(default)s)")
+    args = parser.parse_args(argv)
+    report = run_bench()
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,9 @@
 """Compare fresh bench JSON against the committed baselines (CI gate).
 
-The perf-regression CI job reruns ``bench_engine_scaling.py --quick``
-and ``bench_advisor.py`` on the checkout and feeds the new JSON here
-next to the committed ``BENCH_engine.json`` / ``BENCH_advisor.json``.
+The perf-regression CI job reruns ``bench_engine_scaling.py --quick``,
+``bench_advisor.py`` and ``bench_recovery.py`` on the checkout and
+feeds the new JSON here next to the committed ``BENCH_engine.json`` /
+``BENCH_advisor.json`` / ``BENCH_recovery.json``.
 Only *deterministic modeled* quantities are gated — virtual makespans,
 scheduler heap operations, advisor savings/speedups and per-target
 modeled times — never host wall-clock, which shared CI runners cannot
@@ -126,6 +127,47 @@ def check_advisor(baseline: dict, new: dict, checker: Checker) -> None:
                       base["changed"], entry["changed"])
 
 
+def check_recovery(baseline: dict, new: dict, checker: Checker) -> None:
+    """Gate the recovery bench: retry overhead per drop rate and the
+    modeled cost of each crash-recovery scenario. Retry/restart counts
+    are seed-deterministic and must match exactly; modeled times get
+    the usual tolerance band."""
+    base_points = {p["drop_prob"]: p for p in baseline["points"]}
+    new_points = {p["drop_prob"]: p for p in new["points"]}
+    if not new_points:
+        checker._fail("recovery: new report has no sweep points")
+    for drop, point in sorted(new_points.items()):
+        base = base_points.get(drop)
+        if base is None:
+            checker._fail(f"recovery drop={drop}: not in the baseline "
+                          "sweep")
+            continue
+        checker.no_increase(f"recovery drop={drop} makespan",
+                            base["makespan"], point["makespan"])
+        checker.no_increase(f"recovery drop={drop} overhead",
+                            base["overhead"], point["overhead"])
+        checker.equal(f"recovery drop={drop} retries",
+                      base["retries"], point["retries"])
+        checker.equal(f"recovery drop={drop} restarts",
+                      base["restarts"], point["restarts"])
+    base_scenarios = {s["name"]: s for s in baseline["scenarios"]}
+    new_scenarios = {s["name"]: s for s in new["scenarios"]}
+    for name, base in sorted(base_scenarios.items()):
+        entry = new_scenarios.get(name)
+        if entry is None:
+            checker._fail(f"recovery scenario {name}: disappeared")
+            continue
+        checker.no_increase(f"recovery {name} makespan",
+                            base["makespan"], entry["makespan"])
+        checker.no_increase(f"recovery {name} recovery_wall_s",
+                            base["recovery_wall_s"],
+                            entry["recovery_wall_s"])
+        for field in ("restarts", "checkpoints", "failures_detected",
+                      "restore_cut", "final_world"):
+            checker.equal(f"recovery {name} {field}",
+                          base[field], entry[field])
+
+
 def _load(path: str) -> dict:
     with open(path, "r", encoding="utf-8") as fh:
         data = json.load(fh)
@@ -139,6 +181,8 @@ def main(argv=None) -> int:
     parser.add_argument("--engine-new")
     parser.add_argument("--advisor-baseline")
     parser.add_argument("--advisor-new")
+    parser.add_argument("--recovery-baseline")
+    parser.add_argument("--recovery-new")
     parser.add_argument("--tolerance", type=float,
                         default=DEFAULT_TOLERANCE,
                         help="allowed relative degradation "
@@ -155,9 +199,13 @@ def main(argv=None) -> int:
         check_advisor(_load(args.advisor_baseline),
                       _load(args.advisor_new), checker)
         ran = True
+    if args.recovery_baseline and args.recovery_new:
+        check_recovery(_load(args.recovery_baseline),
+                       _load(args.recovery_new), checker)
+        ran = True
     if not ran:
-        parser.error("nothing to compare: pass --engine-* and/or "
-                     "--advisor-* baseline/new pairs")
+        parser.error("nothing to compare: pass --engine-*, --advisor-* "
+                     "and/or --recovery-* baseline/new pairs")
 
     if checker.failures:
         print(f"\n{len(checker.failures)} regression(s) in "

@@ -113,6 +113,13 @@ class PendingComm:
         self.sends.clear()
         self.recvs.clear()
         self.buffers.clear()
+        # Consolidated-sync boundaries are the coordinated-checkpoint
+        # points: everything this sync covered is quiescent here, so the
+        # recovery runtime can snapshot registered state into a
+        # consistent cut (see docs/RECOVERY.md).
+        ctx = env.engine.recovery
+        if ctx is not None:
+            ctx.on_sync_boundary(env)
 
 
 class RegionState:

@@ -72,16 +72,32 @@ class RankFailedError(SimAbortError):
     with a failed peer — or at quiescence, when every surviving rank is
     blocked on communication that a failed rank will never perform. The
     message names the failed rank(s) and what each surviving blocked
-    rank was waiting on.
+    rank was waiting on; the structured fields below carry the same
+    facts machine-readably for the recovery runtime
+    (:mod:`repro.recovery`) and failure reports.
     """
 
     def __init__(self, message: str, failed: tuple[int, ...] = (),
-                 blocked: dict[int, str] | None = None):
+                 blocked: dict[int, str] | None = None,
+                 failed_rank: int | None = None,
+                 failure_time: float | None = None,
+                 detected_by: int | None = None):
         super().__init__(message)
         #: Ranks that were crashed (fault injection) before the abort.
         self.failed = tuple(failed)
         #: Mapping of surviving rank -> human-readable block reason.
         self.blocked = dict(blocked or {})
+        #: The failure this abort is *about* (first detected). Falls
+        #: back to the first crashed rank when a specific one was not
+        #: singled out.
+        self.failed_rank = (failed_rank if failed_rank is not None
+                            else (self.failed[0] if self.failed else None))
+        #: Virtual time the failed rank was killed, when known.
+        self.failure_time = failure_time
+        #: Rank that detected the failure (it initiated communication
+        #: naming the dead peer), or ``None`` when the engine detected
+        #: it at quiescence.
+        self.detected_by = detected_by
 
 
 class SimProcessError(SimError):

@@ -4,8 +4,10 @@ The robustness layer of the simulator: declarative, seed-deterministic
 :class:`FaultPlan` schedules (message jitter / reordering / drops, rank
 stalls, rank crashes) compiled into a :class:`FaultInjector` the engine
 consults; an opt-in progress :class:`Watchdog` turning hangs into rich
-reports; and the sync-plan correctness fuzzer of
-:mod:`repro.faults.fuzz`.
+reports; the sync-plan correctness fuzzer of
+:mod:`repro.faults.fuzz`; and the recovery-runtime chaos soak of
+:mod:`repro.faults.chaos` (crash + drop + stall plans recovered by
+:mod:`repro.recovery` with bit-exactness asserted).
 
 Typical use::
 
@@ -18,6 +20,15 @@ Typical use::
     eng.run(main)   # raises RankFailedError naming rank 2
 """
 
+from repro.faults.chaos import (
+    SOAK_CASES,
+    SOAK_NAMES,
+    ChaosCase,
+    ChaosFailure,
+    chaos_one,
+    chaos_plan,
+    chaos_soak,
+)
 from repro.faults.fuzz import (
     CASE_NAMES,
     FUZZ_TARGETS,
@@ -36,7 +47,11 @@ from repro.faults.watchdog import Watchdog
 __all__ = [
     "CASE_NAMES",
     "FUZZ_TARGETS",
+    "SOAK_CASES",
+    "SOAK_NAMES",
     "STATIC_TWINS",
+    "ChaosCase",
+    "ChaosFailure",
     "FaultInjector",
     "FaultPlan",
     "FuzzFailure",
@@ -44,6 +59,9 @@ __all__ = [
     "RankStall",
     "StaticTwin",
     "Watchdog",
+    "chaos_one",
+    "chaos_plan",
+    "chaos_soak",
     "fuzz",
     "fuzz_one",
     "static_twin_program",

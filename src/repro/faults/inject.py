@@ -87,12 +87,48 @@ class FaultInjector:
             if stats is not None:
                 stats.count_fault("reorder")
         if plan.drop_prob > 0:
+            extra += self._drop_delay(tp, src, dst, nbytes, rng, stats)
+        return extra
+
+    def _drop_delay(self, tp: "TransportParams", src: int, dst: int,
+                    nbytes: int, rng, stats) -> float:
+        """Total retransmission delay for one message's drop attempts.
+
+        Without a recovery context the plan's flat
+        ``max_retransmits`` × ``retransmit_cost`` model applies. With
+        one, the per-target :class:`repro.recovery.RetryPolicy` owns
+        delivery: bounded retries with exponential backoff plus
+        deterministic jitter, each retry counted in
+        ``SimStats.retries`` and recorded as a ``retry`` span so
+        recovery work is visible in the trace.
+        """
+        engine = self._engine
+        ctx = engine.recovery if engine is not None else None
+        policy = ctx.retry_for(tp) if ctx is not None else None
+        plan = self.plan
+        extra = 0.0
+        if policy is None:
             for _ in range(plan.max_retransmits):
                 if rng.random() >= plan.drop_prob:
                     break
                 extra += tp.retransmit_cost(nbytes)
                 if stats is not None:
                     stats.count_fault("drop")
+            return extra
+        profile = engine.profile if engine is not None else None
+        now = engine._current.now if engine._current is not None else 0.0
+        for attempt in range(policy.max_retries):
+            if rng.random() >= plan.drop_prob:
+                break
+            cost = policy.attempt_cost(tp, nbytes, attempt, rng)
+            if profile is not None:
+                profile.add(dst, "retry", now + extra, now + extra + cost,
+                            src=src, dst=dst, attempt=attempt,
+                            nbytes=nbytes, transport=tp.name)
+            extra += cost
+            if stats is not None:
+                stats.count_fault("drop")
+                stats.retries += 1
         return extra
 
     # -- scheduled rank events ---------------------------------------------

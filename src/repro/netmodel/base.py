@@ -90,13 +90,19 @@ class TransportParams:
         """True when a message of this size is sent eagerly."""
         return nbytes <= self.eager_threshold
 
-    def retransmit_cost(self, nbytes: int) -> float:
+    def retransmit_cost(self, nbytes: int, attempt: int = 0,
+                        backoff: float = 1.0) -> float:
         """Extra delivery delay for one dropped-and-resent message.
 
         The payload waits out the retransmission timeout and then
-        crosses the wire a second time.
+        crosses the wire again. ``attempt`` (0-based) and ``backoff``
+        model an exponential-backoff retry policy: attempt ``k`` waits
+        ``retransmit_rto * backoff**k`` before resending — the virtual-
+        time cost the reliable transport of :mod:`repro.recovery`
+        charges per bounded retry.
         """
-        return self.retransmit_rto + self.wire_time(nbytes)
+        return (self.retransmit_rto * (backoff ** attempt)
+                + self.wire_time(nbytes))
 
 
 #: Transport kind names used throughout the library.

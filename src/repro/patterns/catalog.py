@@ -16,6 +16,11 @@ from repro.patterns import (
 )
 
 
+def power_of_two(n: int) -> bool:
+    """True when ``n`` is a power of two (butterfly's world constraint)."""
+    return n >= 1 and (n & (n - 1)) == 0
+
+
 @dataclass(frozen=True)
 class PatternSpec:
     """One recurring pattern with its three faces."""
@@ -30,6 +35,12 @@ class PatternSpec:
     run_mpi: Callable[..., None]
     #: The classification the dataflow analysis should produce.
     expected_class: str
+    #: World sizes the pattern is defined for (``None`` = any). The
+    #: recovery runtime's *shrink* policy consults this when re-mapping
+    #: a pattern over the survivor set: partner functions re-evaluate
+    #: at the new ``env.size``, but only at sizes the pattern admits
+    #: (e.g. butterfly needs a power of two).
+    valid_world: Callable[[int], bool] | None = None
 
 
 PATTERNS: dict[str, PatternSpec] = {
@@ -56,8 +67,21 @@ PATTERNS: dict[str, PatternSpec] = {
         halo2d.run_mpi, expected_class="shift"),
     butterfly.NAME: PatternSpec(
         butterfly.NAME, lambda: None, butterfly.run_directive,
-        butterfly.run_mpi, expected_class="pairwise"),
+        butterfly.run_mpi, expected_class="pairwise",
+        valid_world=power_of_two),
 }
+
+
+def valid_world_of(name: str) -> Callable[[int], bool] | None:
+    """The world-size predicate one pattern imposes on shrink, if any.
+
+    Suitable directly as :attr:`repro.recovery.RecoveryConfig.
+    valid_world`; unknown names (patterns outside the registry, e.g.
+    the fuzzer's target-parameterized variants) fall back to ``None``
+    unless they share a registered pattern's name.
+    """
+    spec = PATTERNS.get(name)
+    return spec.valid_world if spec is not None else None
 
 
 def get_pattern(name: str) -> PatternSpec:

@@ -5,7 +5,8 @@ trace-event format's *JSON object* flavor:
 
 * process 0 (``ranks``) holds per-rank activity: one thread per rank,
   ``X`` complete events for compute/post/sync/window/barrier/stall
-  spans, ``i`` instant events for crashes;
+  spans and the recovery runtime's detect/retry/recovery spans, ``i``
+  instant events for crash/checkpoint/restore marks;
 * process 1 (``network``) holds deliveries: one thread per *source*
   rank, ``X`` events for message and notify spans (named by transport),
   so in-flight traffic reads as lanes under the ranks that produced it.
@@ -24,9 +25,12 @@ from typing import Any
 from repro.profiling.spans import Profile, Span
 
 #: Span kinds drawn in the per-rank process.
-_ACTIVITY = ("compute", "post", "sync", "window", "barrier", "stall")
+_ACTIVITY = ("compute", "post", "sync", "window", "barrier", "stall",
+             "detect", "retry", "recovery")
 #: Span kinds drawn in the network process, on the sender's lane.
 _NETWORK = ("message", "notify")
+#: Zero-length marks drawn as instant events on the rank lane.
+_INSTANT = ("crash", "checkpoint", "restore")
 
 
 def _us(t: float) -> float:
@@ -81,8 +85,9 @@ def chrome_trace(profile: Profile) -> dict[str, Any]:
     for span in profile:
         if span.t1 is None:  # pragma: no cover - finish() closes these
             continue
-        if span.kind == "crash":
-            events.append({"ph": "i", "name": "crash", "cat": "fault",
+        if span.kind in _INSTANT:
+            cat = "fault" if span.kind == "crash" else "recovery"
+            events.append({"ph": "i", "name": span.kind, "cat": cat,
                            "pid": 0, "tid": span.rank, "ts": _us(span.t0),
                            "s": "t", "args": _args(span)})
             continue

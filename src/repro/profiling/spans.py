@@ -23,6 +23,17 @@ barrier    one rank's episode of a :class:`repro.sim.sync.Rendezvous`
            (``critical_rank`` names the last arriver)
 stall      a fault-injected dispatch stall
 crash      a fault-injected rank kill (zero length)
+detect     a survivor waiting out the failure detector's deadline
+           before declaring a peer dead (``peer``)
+retry      one bounded-retransmission attempt for a dropped message
+           (``src``/``dst``/``attempt``/``transport``)
+checkpoint one coordinated snapshot at a sync boundary (zero length,
+           ``cut``)
+restore    a restarted rank resuming from a checkpoint (zero length,
+           ``cut``)
+recovery   the bridge between an aborted attempt and its restart in a
+           stitched multi-attempt profile (``policy``/``episode``/
+           ``failed_ranks``)
 ========== ==========================================================
 
 Spans are recorded by the rank that owns the interval except

@@ -1,0 +1,61 @@
+"""Fault-tolerance runtime: reliable transport, ULFM-style recovery,
+coordinated checkpoint/restart.
+
+The paper's portability argument extends to resilience: once programs
+state communication *intent*, delivery and recovery semantics belong to
+the runtime. This package supplies them for the simulated targets:
+
+* :class:`RetryPolicy` — bounded retransmission with exponential
+  backoff and deterministic jitter, per lowering target.
+* :class:`RecoveryConfig` + :func:`run_with_recovery` — deadline-based
+  failure detection and ULFM-style communicator recovery (``shrink``
+  re-maps the pattern over the survivors; ``respawn`` brings spares
+  back from the last consistent checkpoint cut).
+* :func:`register_state` / :func:`checkpoint` / :func:`restore` — the
+  program-facing coordinated-checkpoint API (snapshots are taken at
+  consolidated-sync boundaries, which the static verifier proves are
+  consistent cuts).
+
+See ``docs/RECOVERY.md`` for the full model and
+:mod:`repro.faults.chaos` for the chaos-soak harness exercising it.
+"""
+
+from repro.recovery.checkpoint import (
+    Checkpoint,
+    CheckpointStore,
+    checkpoint,
+    register_state,
+    restore,
+)
+from repro.recovery.manager import (
+    RecoveryContext,
+    RecoveryError,
+    run_with_recovery,
+)
+from repro.recovery.policy import (
+    POLICIES,
+    RESPAWN,
+    SHRINK,
+    RecoveryConfig,
+    RecoveryEpisode,
+    RecoveryStats,
+    RetryPolicy,
+)
+
+__all__ = [
+    "POLICIES",
+    "RESPAWN",
+    "SHRINK",
+    "Checkpoint",
+    "CheckpointStore",
+    "RecoveryConfig",
+    "RecoveryContext",
+    "RecoveryEpisode",
+    "RecoveryError",
+    "RecoveryStats",
+    "RetryPolicy",
+    "checkpoint",
+    "register_state",
+    "restore",
+    "run_with_recovery",
+]

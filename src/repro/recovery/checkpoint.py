@@ -1,0 +1,168 @@
+"""Coordinated checkpoint/restart state for directive programs.
+
+A checkpoint *cut* is taken at a consolidated-sync boundary: the static
+verifier's happens-before graphs prove that everything a sync covers is
+quiescent there, so snapshotting each rank as its sync returns yields a
+consistent cut for free — no Chandy-Lamport marker protocol needed.
+Each rank's successive sync boundaries are numbered; a cut ``c`` is
+*consistent* once every live rank has recorded cut ``c``.
+
+Programs opt state in two ways:
+
+* :func:`register_state` — name the arrays that constitute the rank's
+  restartable state once; every subsequent sync boundary snapshots them
+  automatically (coordinated checkpointing).
+* :func:`checkpoint` — snapshot explicit state right now, advancing the
+  rank's cut counter (for programs that want checkpoint placement under
+  their own control, e.g. once per outer iteration).
+
+After a crash, :func:`restore` hands a respawned or restarted rank the
+state of the last consistent cut so it can skip completed work; the
+in-flight windows of the aborted attempt were never committed (the
+engine died with them), so the restart observes a clean cut.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.process import Env
+
+
+def _snapshot(state: dict[str, Any]) -> dict[str, Any]:
+    """Deep value copy: numpy arrays are copied, the rest deep-copied."""
+    out: dict[str, Any] = {}
+    for name, value in state.items():
+        if isinstance(value, np.ndarray):
+            out[name] = value.copy()
+        else:
+            out[name] = copy.deepcopy(value)
+    return out
+
+
+@dataclass
+class Checkpoint:
+    """One rank's snapshot at one cut."""
+
+    rank: int
+    cut: int
+    time: float
+    state: dict[str, Any] = field(default_factory=dict)
+
+
+class CheckpointStore:
+    """All checkpoints of one recovered run, across restarts.
+
+    The store outlives individual engine attempts: the recovery manager
+    owns it, each attempt's :class:`~repro.recovery.manager.
+    RecoveryContext` writes into it, and restarts read from it.
+    """
+
+    def __init__(self) -> None:
+        #: (rank, cut) -> Checkpoint
+        self._by_rank_cut: dict[tuple[int, int], Checkpoint] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_rank_cut)
+
+    def save(self, rank: int, cut: int, time: float,
+             state: dict[str, Any]) -> Checkpoint:
+        """Record one rank's snapshot at one cut (value-copied)."""
+        cp = Checkpoint(rank=rank, cut=cut, time=time,
+                        state=_snapshot(state))
+        self._by_rank_cut[(rank, cut)] = cp
+        return cp
+
+    def get(self, rank: int, cut: int) -> Checkpoint | None:
+        """The snapshot one rank took at one cut, if any."""
+        return self._by_rank_cut.get((rank, cut))
+
+    def cuts_of(self, rank: int) -> list[int]:
+        """All cut ids one rank has recorded, ascending."""
+        return sorted(c for (r, c) in self._by_rank_cut if r == rank)
+
+    def latest_consistent_cut(self, ranks: list[int] | tuple[int, ...] | set[int],
+                              ) -> int:
+        """Largest cut id every given rank has recorded, or -1.
+
+        This is the cut a coordinated restart resumes from: later cuts
+        exist only on a subset of ranks and would tear the state.
+        """
+        best = -1
+        common: set[int] | None = None
+        for rank in ranks:
+            cuts = set(self.cuts_of(rank))
+            common = cuts if common is None else (common & cuts)
+            if not common:
+                return -1
+        if common:
+            best = max(common)
+        return best
+
+    def cut_time(self, cut: int, ranks) -> float:
+        """Virtual time of a cut: the latest member snapshot's clock."""
+        times = [cp.time for (r, c), cp in self._by_rank_cut.items()
+                 if c == cut and r in set(ranks)]
+        return max(times) if times else 0.0
+
+    def clear(self) -> None:
+        """Drop every checkpoint (shrink invalidates old-world cuts:
+        rank ids and partner maps change, so old snapshots are
+        meaningless in the new world)."""
+        self._by_rank_cut.clear()
+
+
+# ---------------------------------------------------------------------------
+# Env-level API (what recovery-aware programs call)
+
+
+def _context(env: "Env"):
+    """The run's RecoveryContext, or None outside a recovered run."""
+    return env.engine.recovery
+
+
+def register_state(env: "Env", **state: Any) -> None:
+    """Name this rank's restartable state for automatic checkpointing.
+
+    Every subsequent consolidated-sync boundary snapshots the registered
+    values (coordinated checkpointing at the points the verifier proves
+    quiescent). No-op outside a recovered run, so programs need no mode
+    checks.
+    """
+    ctx = _context(env)
+    if ctx is not None:
+        ctx.register_state(env.rank, state)
+
+
+def checkpoint(env: "Env", **state: Any) -> int | None:
+    """Snapshot explicit state now; returns the cut id (None = no-op).
+
+    Advances this rank's cut counter. Use for program-placed
+    checkpoints (e.g. once per outer iteration); mixed use with
+    :func:`register_state` is fine — both advance the same counter, so
+    cut numbering stays comparable across ranks that do the same calls
+    in the same order (SPMD).
+    """
+    ctx = _context(env)
+    if ctx is None:
+        return None
+    return ctx.take_checkpoint(env, state)
+
+
+def restore(env: "Env") -> Checkpoint | None:
+    """This rank's snapshot at the run's restore cut, if recovering.
+
+    Returns ``None`` on a fresh (non-restarted) run or when no
+    consistent cut exists — the program starts from scratch. The
+    returned :class:`Checkpoint` carries ``cut`` so the program knows
+    how much completed work to skip.
+    """
+    ctx = _context(env)
+    if ctx is None:
+        return None
+    return ctx.restore_for(env)

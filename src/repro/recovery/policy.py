@@ -1,0 +1,199 @@
+"""Recovery policies: bounded retry, failure detection, shrink/respawn.
+
+The paper's thesis is that once communication *intent* is abstracted,
+the runtime — not the application — owns delivery semantics. This
+module declares what the recovery runtime is allowed to do on the
+application's behalf:
+
+* :class:`RetryPolicy` — reliable-transport semantics for one target:
+  bounded retransmission with exponential backoff and deterministic
+  jitter, all in virtual time via the netmodel's
+  :meth:`~repro.netmodel.base.TransportParams.retransmit_cost`.
+* :class:`RecoveryConfig` — the whole fault-tolerance contract of one
+  run: per-target retry policies, the failure detector's deadline, the
+  ULFM-style communicator-recovery policy (``shrink`` or ``respawn``),
+  and coordinated checkpointing at sync boundaries.
+* :class:`RecoveryStats` / :class:`RecoveryEpisode` — the structured
+  account of what recovery actually did, surfaced on
+  :attr:`repro.sim.engine.RunResult.recovery`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netmodel.base import TransportParams
+
+#: The two ULFM-style communicator-recovery policies.
+SHRINK = "shrink"
+RESPAWN = "respawn"
+POLICIES = (SHRINK, RESPAWN)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-retry delivery semantics for one transport target.
+
+    A dropped message waits out a retransmission timeout and is resent;
+    attempt ``k`` (0-based) waits ``rto * backoff**k``, optionally
+    stretched by up to ``jitter_frac`` of itself (a deterministic draw
+    from the message's channel stream — jitter decorrelates retry
+    storms without breaking replay). Retries are *bounded*: the chaos
+    soak asserts no message ever needs more than ``max_retries``.
+    """
+
+    #: Hard cap on retransmissions per message.
+    max_retries: int = 4
+    #: Base retransmission timeout in seconds; ``None`` uses the
+    #: transport's own ``retransmit_rto``.
+    rto: float | None = None
+    #: Exponential backoff multiplier between attempts.
+    backoff: float = 2.0
+    #: Each attempt's timeout is stretched by up to this fraction.
+    jitter_frac: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 1:
+            raise ValueError("max_retries must be >= 1")
+        if self.rto is not None and self.rto < 0:
+            raise ValueError("rto must be >= 0")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1")
+        if not 0.0 <= self.jitter_frac <= 1.0:
+            raise ValueError("jitter_frac must be in [0, 1]")
+
+    def rto_for(self, tp: "TransportParams") -> float:
+        """The base retransmission timeout against one transport."""
+        return self.rto if self.rto is not None else tp.retransmit_rto
+
+    def attempt_cost(self, tp: "TransportParams", nbytes: int,
+                     attempt: int, rng) -> float:
+        """Virtual seconds one retry attempt adds to delivery.
+
+        Timeout (backed off, jittered) plus a second wire crossing —
+        the shape of :meth:`TransportParams.retransmit_cost`, with the
+        timeout portion owned by this policy.
+        """
+        timeout = self.rto_for(tp) * (self.backoff ** attempt)
+        timeout *= 1.0 + self.jitter_frac * float(rng.random())
+        return timeout + tp.wire_time(nbytes)
+
+    def worst_case_delay(self, tp: "TransportParams", nbytes: int) -> float:
+        """Upper bound on total retry delay for one message."""
+        total = 0.0
+        for attempt in range(self.max_retries):
+            timeout = self.rto_for(tp) * (self.backoff ** attempt)
+            total += timeout * (1.0 + self.jitter_frac) + tp.wire_time(nbytes)
+        return total
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """The fault-tolerance contract of one recovered run."""
+
+    #: Communicator-recovery policy: ``"shrink"`` re-maps the program
+    #: over the survivor set (partner functions re-evaluate at the new
+    #: world size); ``"respawn"`` replaces dead ranks with fresh spares
+    #: that rejoin with state transferred from the checkpoint store.
+    policy: str = RESPAWN
+    #: Default bounded-retry policy for every transport.
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Per-transport-kind overrides (``"mpi2s"``, ``"mpi1s"``,
+    #: ``"shmem"``); targets not listed use ``retry``.
+    retry_by_target: dict[str, RetryPolicy] = field(default_factory=dict)
+    #: Failure detector's deadline: virtual seconds a survivor waits
+    #: before declaring a silent peer dead.
+    detect_deadline: float = 1e-3
+    #: Take coordinated checkpoints of registered state at sync
+    #: boundaries (the verifier's happens-before graphs prove the cut
+    #: is consistent there: the consolidated sync is a quiescent point
+    #: for everything it covers).
+    checkpoint: bool = True
+    #: Modelled virtual cost of one engine restart (tearing down and
+    #: re-establishing the world).
+    restart_cost: float = 1e-3
+    #: Give up after this many recovery episodes in one run.
+    max_recoveries: int = 4
+    #: Smallest world size ``shrink`` may fall to.
+    min_world: int = 1
+    #: Optional validity predicate for shrink world sizes (e.g.
+    #: butterfly needs a power of two); shrink picks the largest valid
+    #: size not exceeding the survivor count.
+    valid_world: Callable[[int], bool] | None = None
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"policy must be one of {POLICIES}, got {self.policy!r}")
+        if self.detect_deadline < 0:
+            raise ValueError("detect_deadline must be >= 0")
+        if self.restart_cost < 0:
+            raise ValueError("restart_cost must be >= 0")
+        if self.max_recoveries < 0:
+            raise ValueError("max_recoveries must be >= 0")
+        if self.min_world < 1:
+            raise ValueError("min_world must be >= 1")
+
+    def retry_for(self, kind: str) -> RetryPolicy:
+        """The retry policy governing one transport kind."""
+        return self.retry_by_target.get(kind, self.retry)
+
+    def shrink_world(self, survivors: int) -> int:
+        """Largest valid world size not exceeding ``survivors``."""
+        n = survivors
+        while n >= self.min_world:
+            if self.valid_world is None or self.valid_world(n):
+                return n
+            n -= 1
+        return 0
+
+
+@dataclass
+class RecoveryEpisode:
+    """One detect → recover cycle, for reports and the Chrome trace."""
+
+    #: 1-based episode number within the run.
+    index: int
+    #: Policy applied (``"shrink"`` / ``"respawn"`` / ``"degraded"``).
+    policy: str
+    #: Ranks lost in this episode (attempt-local ids).
+    failed_ranks: tuple[int, ...]
+    #: Virtual makespan of the aborted attempt.
+    abort_time: float
+    #: Consistent-cut id the restart resumed from (-1 = from scratch).
+    restore_cut: int
+    #: Virtual time of that cut (0.0 when restarting from scratch).
+    restore_time: float
+    #: World size after recovery.
+    world_after: int
+    #: Virtual seconds this episode cost (lost work + restart).
+    recovery_s: float = 0.0
+
+
+@dataclass
+class RecoveryStats:
+    """What the recovery runtime did across one whole recovered run.
+
+    Mirrors the :class:`repro.sim.stats.SimStats` recovery counters but
+    aggregated across every attempt, plus the per-episode log.
+    """
+
+    failures_detected: int = 0
+    retries: int = 0
+    checkpoints_taken: int = 0
+    restarts: int = 0
+    recovery_wall_s: float = 0.0
+    #: Final world size (differs from the initial one after shrink).
+    final_world: int = 0
+    episodes: list[RecoveryEpisode] = field(default_factory=list)
+
+    def summary(self) -> str:
+        """One-line human-readable account."""
+        return (f"failures_detected={self.failures_detected}, "
+                f"retries={self.retries}, "
+                f"checkpoints={self.checkpoints_taken}, "
+                f"restarts={self.restarts}, "
+                f"recovery_wall={self.recovery_wall_s:.3g}s, "
+                f"final_world={self.final_world}")

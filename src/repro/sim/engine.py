@@ -154,6 +154,25 @@ class Proc:
         return f"<Proc rank={self.rank} t={self.now:.9f} {self.state.value}>"
 
 
+@dataclass(frozen=True)
+class FailureEvent:
+    """One rank failure, as structured data for reports and recovery."""
+
+    #: The rank that was killed.
+    rank: int
+    #: Virtual time it was killed.
+    time: float
+    #: Rank that detected the failure (eager detection), or ``None``
+    #: when the engine found it at quiescence / run end.
+    detected_by: int | None = None
+
+    def __str__(self) -> str:
+        by = ("engine" if self.detected_by is None
+              else f"rank {self.detected_by}")
+        return (f"rank {self.rank} failed at t={self.time:.9f} "
+                f"(detected by {by})")
+
+
 @dataclass
 class RunResult:
     """Outcome of one simulated SPMD run."""
@@ -174,15 +193,36 @@ class RunResult:
     #: :mod:`repro.profiling` for metrics, Chrome export and
     #: critical-path extraction.
     profile: Any = None
+    #: Structured record of every injected rank failure (degraded runs).
+    failures: tuple[FailureEvent, ...] = ()
+    #: :class:`repro.recovery.RecoveryStats` when the run was produced
+    #: by :func:`repro.recovery.run_with_recovery`; ``None`` otherwise.
+    recovery: Any = None
 
     @property
     def makespan(self) -> float:
         """Virtual time at which the last rank finished."""
         return max(self.finish_times) if self.finish_times else 0.0
 
+    @property
+    def degraded(self) -> bool:
+        """True when the run completed despite losing ranks."""
+        return bool(self.failed_ranks)
+
+    def failure_report(self) -> str:
+        """Human-readable account of a degraded run's casualties."""
+        if not self.failures:
+            return "no rank failures"
+        lines = [str(ev) for ev in self.failures]
+        lines.append(f"{self.nprocs - len(self.failures)} of "
+                     f"{self.nprocs} ranks finished")
+        return "\n".join(lines)
+
     def __repr__(self) -> str:
+        degraded = (f" failed_ranks={list(self.failed_ranks)}"
+                    if self.failed_ranks else "")
         return (f"<RunResult nprocs={self.nprocs} "
-                f"makespan={self.makespan:.9f}>")
+                f"makespan={self.makespan:.9f}{degraded}>")
 
 
 class Engine:
@@ -213,6 +253,11 @@ class Engine:
         If true, collect a :class:`repro.profiling.Profile` of span
         events (compute, post, sync, message delivery, barriers,
         faults); available as ``RunResult.profile`` after the run.
+    recovery:
+        Optional :class:`repro.recovery.RecoveryContext` binding this
+        run to the fault-tolerance runtime: per-target bounded-retry
+        policies for dropped messages, deadline-based failure
+        detection, and coordinated checkpointing at sync boundaries.
     """
 
     def __init__(self, nprocs: int, *, trace: bool = False,
@@ -220,7 +265,8 @@ class Engine:
                  max_time: float | None = None,
                  faults: Any = None,
                  watchdog: Any = None,
-                 profile: bool = False):
+                 profile: bool = False,
+                 recovery: Any = None):
         if nprocs < 1:
             raise ValueError(f"nprocs must be >= 1, got {nprocs}")
         self.nprocs = nprocs
@@ -231,8 +277,12 @@ class Engine:
         #: ``faults.on_dispatch``.
         self.faults = faults.compile() if hasattr(faults, "compile") else faults
         self.watchdog = watchdog
+        #: The bound recovery context (``None`` = no fault tolerance).
+        self.recovery = recovery
         #: Ranks killed by fault injection, in crash order.
         self.failed_ranks: set[int] = set()
+        #: Virtual crash time per killed rank.
+        self.crash_times: dict[int, float] = {}
         self.stats = SimStats()
         self.trace: Trace | None = Trace(trace_maxlen) if trace else None
         if profile:
@@ -260,6 +310,10 @@ class Engine:
         #: True once the wall-clock watchdog tripped: rank threads may be
         #: genuinely hung, so shutdown must not wait long for them.
         self._wall_hang = False
+        #: True once an abort (any :class:`SimAbortError` or user error)
+        #: is in flight; disarms both watchdog checks so a
+        #: ``SimHangError`` can never race or mask the real verdict.
+        self._aborting = False
         #: Free slot for cross-cutting services (communicators, symmetric
         #: heaps) to stash per-world state, keyed by service name.
         self.services: dict[str, Any] = {}
@@ -290,9 +344,13 @@ class Engine:
         self._abort_error = None
         self._stall_events = 0
         self._wall_hang = False
+        self._aborting = False
         self.failed_ranks = set()
+        self.crash_times = {}
         if self.faults is not None:
             self.faults.bind(self)
+        if self.recovery is not None:
+            self.recovery.bind(self)
         t0 = _time.perf_counter()
         try:
             for p in self.procs:
@@ -322,7 +380,13 @@ class Engine:
             trace=self.trace,
             failed_ranks=tuple(sorted(self.failed_ranks)),
             profile=self.profile,
+            failures=self.failure_events(),
         )
+
+    def failure_events(self) -> tuple[FailureEvent, ...]:
+        """Structured record of every injected crash, in rank order."""
+        return tuple(FailureEvent(rank=r, time=self.crash_times.get(r, 0.0))
+                     for r in sorted(self.failed_ranks))
 
     # ------------------------------------------------------------------
     # Primitives used by Env and the communication libraries.
@@ -426,16 +490,36 @@ class Engine:
 
         Communication libraries call this as a rank initiates
         communication naming a peer, converting a would-be hang on a
-        dead rank into an eager, diagnosable failure.
+        dead rank into an eager, diagnosable failure. With a recovery
+        context bound, the detecting rank first waits out the failure
+        detector's deadline (modelled virtual time — a real detector
+        cannot distinguish dead from slow before its timeout) and the
+        detection is counted and recorded as a ``detect`` span.
         """
-        if peer in self.failed_ranks:
-            cur = self._current
-            who = f"rank {cur.rank}" if cur is not None else "a rank"
-            failed = tuple(sorted(self.failed_ranks))
-            raise RankFailedError(
-                f"{who} attempted communication with rank {peer}, which "
-                f"was killed by fault injection; failed ranks: "
-                f"{list(failed)}", failed=failed)
+        if peer not in self.failed_ranks:
+            return
+        cur = self._current
+        who = f"rank {cur.rank}" if cur is not None else "a rank"
+        detected_by = cur.rank if cur is not None else None
+        ctx = self.recovery
+        if ctx is not None and cur is not None:
+            deadline = ctx.detect_deadline
+            if deadline > 0:
+                if self.profile is not None:
+                    self.profile.add(cur.rank, "detect", cur.now,
+                                     cur.now + deadline, peer=peer)
+                self.trace_event("recovery.detect", peer=peer,
+                                 deadline=deadline)
+                cur.now += deadline
+            self.stats.failures_detected += 1
+            self.stats.recovery_wall_s += deadline
+        failed = tuple(sorted(self.failed_ranks))
+        raise RankFailedError(
+            f"{who} attempted communication with rank {peer}, which "
+            f"was killed by fault injection; failed ranks: "
+            f"{list(failed)}", failed=failed, failed_rank=peer,
+            failure_time=self.crash_times.get(peer),
+            detected_by=detected_by)
 
     def progress_report(self) -> str:
         """Per-rank snapshot used in watchdog and failure reports."""
@@ -454,7 +538,7 @@ class Engine:
     def _note_stall_event(self) -> None:
         """Count one scheduling event toward the virtual-stall watchdog."""
         wd = self.watchdog
-        if wd is None or wd.stall_events is None:
+        if wd is None or wd.stall_events is None or self._aborting:
             return
         self._stall_events += 1
         if self._stall_events > wd.stall_events:
@@ -534,6 +618,7 @@ class Engine:
         """
         proc.state = ProcState.CRASHED
         self.failed_ranks.add(proc.rank)
+        self.crash_times[proc.rank] = proc.now
         self.stats.count_fault("crash")
         self._trace(proc, "fault_crash")
         if self.profile is not None:
@@ -568,7 +653,10 @@ class Engine:
     def _on_proc_exit(self, proc: Proc) -> None:
         """Called on ``proc``'s own thread as its program ends."""
         if proc.state is ProcState.FAILED:
-            # Let the scheduler thread abort the run.
+            # Let the scheduler thread abort the run. Disarm the
+            # watchdog first: the abort is the verdict, and a hang
+            # report must never race or mask it.
+            self._aborting = True
             self._current = None
             self._sched_evt.set()
             return
@@ -585,6 +673,7 @@ class Engine:
             # Same abort as the scheduler-side guard, surfaced through
             # the scheduler thread so it unwinds the run.
             self._abort_error = self._max_time_error(nxt)
+            self._aborting = True
             self._current = None
             self._sched_evt.set()
             return
@@ -654,6 +743,11 @@ class Engine:
             # scheduling point) — abort with a report instead of hanging.
             last_activity = -1
             while not self._sched_evt.wait(timeout):
+                if self._aborting:
+                    # An abort is already in flight on a rank thread;
+                    # it will set the event. The hang watchdog is
+                    # disarmed so it cannot mask the real verdict.
+                    continue
                 activity = (self.stats.switches + self.stats.fast_yields
                             + self.stats.heap_ops)
                 if activity == last_activity:
@@ -668,6 +762,7 @@ class Engine:
         self._current = None
 
     def _raise_deadlock(self, blocked: list[Proc]) -> None:
+        self._aborting = True
         blocked = sorted(blocked, key=lambda p: p.rank)
         detail = {
             p.rank: (p.waiter.reason if p.waiter else "unknown")
@@ -681,11 +776,15 @@ class Engine:
             # the survivors are blocked on communication those ranks
             # will never perform.
             failed = tuple(sorted(self.failed_ranks))
+            if self.recovery is not None:
+                self.stats.failures_detected += len(failed)
             msg = (f"rank(s) {', '.join(map(str, failed))} crashed "
                    f"(injected fault); {len(blocked)} surviving rank(s) "
                    f"blocked on communication that will never complete, "
                    f"{done} finished\n" + "\n".join(lines))
-            raise RankFailedError(msg, failed=failed, blocked=detail)
+            raise RankFailedError(
+                msg, failed=failed, blocked=detail,
+                failure_time=self.crash_times.get(failed[0]))
         msg = (f"deadlock: {len(blocked)} rank(s) blocked, {done} finished, "
                f"none runnable\n" + "\n".join(lines))
         raise SimDeadlockError(msg, blocked=detail)

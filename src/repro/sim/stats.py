@@ -52,6 +52,32 @@ class SimStats:
     #: failure report is replayable; ``None`` when no plan was bound.
     fault_seed: int | None = None
 
+    # -- recovery counters (populated when a RecoveryContext is bound;
+    # aggregated across restart attempts by repro.recovery.manager) ----
+    #: Rank failures detected (eager deadline detection or quiescence).
+    failures_detected: int = 0
+    #: Bounded retransmissions performed by the reliable transport.
+    retries: int = 0
+    #: Coordinated checkpoints taken at sync boundaries.
+    checkpoints_taken: int = 0
+    #: Engine restarts performed by the recovery runtime.
+    restarts: int = 0
+    #: Virtual seconds spent recovering: failure-detection deadlines,
+    #: work redone since the last consistent cut, and restart overhead.
+    recovery_wall_s: float = 0.0
+
+    def add_recovery(self, other: "SimStats") -> None:
+        """Fold another run's recovery counters into this one.
+
+        The recovery manager calls this to accumulate the counters of
+        failed attempts into the final (surviving) run's stats.
+        """
+        self.failures_detected += other.failures_detected
+        self.retries += other.retries
+        self.checkpoints_taken += other.checkpoints_taken
+        self.restarts += other.restarts
+        self.recovery_wall_s += other.recovery_wall_s
+
     def count_fault(self, kind: str, n: int = 1) -> None:
         """Record ``n`` injected fault events of one kind."""
         self.faults[kind] += n
@@ -100,4 +126,11 @@ class SimStats:
         if self.fault_seed is not None:
             parts.append(f"fault_seed={self.fault_seed}")
             parts.append(f"faults={sum(self.faults.values())}")
+        if (self.failures_detected or self.retries
+                or self.checkpoints_taken or self.restarts):
+            parts.append(f"failures_detected={self.failures_detected}")
+            parts.append(f"retries={self.retries}")
+            parts.append(f"checkpoints={self.checkpoints_taken}")
+            parts.append(f"restarts={self.restarts}")
+            parts.append(f"recovery_wall={self.recovery_wall_s:.3g}s")
         return ", ".join(parts)

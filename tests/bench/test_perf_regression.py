@@ -73,6 +73,38 @@ class TestChecker:
         cpr.check_advisor(base, worse, checker)
         assert any("catalog:ring" in f for f in checker.failures)
 
+    def test_recovery_retry_count_is_exact_match(self):
+        base = {"points": [{"drop_prob": 0.1, "makespan": 1e-4,
+                            "overhead": 2.0, "retries": 3,
+                            "restarts": 0}],
+                "scenarios": []}
+        worse = json.loads(json.dumps(base))
+        worse["points"][0]["retries"] = 4
+        checker = cpr.Checker(0.25)
+        cpr.check_recovery(base, worse, checker)
+        # counts are seed-deterministic: no tolerance band applies
+        assert any("retries" in f for f in checker.failures)
+
+    def test_recovery_scenario_regression_fails(self):
+        base = {"points": [{"drop_prob": 0.0, "makespan": 1e-4,
+                            "overhead": 1.0, "retries": 0,
+                            "restarts": 0}],
+                "scenarios": [{"name": "ring-iter/respawn",
+                               "makespan": 1e-4, "recovery_wall_s": 1e-5,
+                               "restarts": 1, "checkpoints": 12,
+                               "failures_detected": 1, "restore_cut": 2,
+                               "final_world": 5}]}
+        checker = cpr.Checker(0.25)
+        cpr.check_recovery(base, base, checker)
+        assert not checker.failures
+        worse = json.loads(json.dumps(base))
+        worse["scenarios"][0]["makespan"] = 2e-4
+        worse["scenarios"][0]["restore_cut"] = 0
+        checker = cpr.Checker(0.25)
+        cpr.check_recovery(base, worse, checker)
+        assert any("makespan" in f for f in checker.failures)
+        assert any("restore_cut" in f for f in checker.failures)
+
     def test_main_exit_codes(self, tmp_path):
         base = tmp_path / "base.json"
         new = tmp_path / "new.json"
@@ -101,3 +133,12 @@ class TestCommittedBaselineReproducibility:
         assert point["makespan"] == base["makespan"]
         assert point["heap_ops"] == base["heap_ops"]
         assert point["switches"] == base["switches"]
+
+    def test_recovery_report_matches_committed_baseline(self):
+        """Every column of BENCH_recovery.json is modeled (virtual
+        time) — a fresh run reproduces the committed file exactly."""
+        import bench_recovery as br
+
+        with open(os.path.join(_ROOT, "BENCH_recovery.json")) as fh:
+            baseline = json.load(fh)
+        assert br.run_bench() == baseline

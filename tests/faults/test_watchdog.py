@@ -2,10 +2,13 @@
 
 import threading
 
+import numpy as np
 import pytest
 
-from repro.errors import SimHangError
-from repro.faults import Watchdog
+from repro import mpi
+from repro.errors import RankFailedError, SimHangError
+from repro.faults import FaultPlan, RankCrash, Watchdog
+from repro.netmodel import gemini_model
 from repro.sim import Engine
 
 
@@ -74,3 +77,35 @@ class TestVirtualStall:
         eng = Engine(2, watchdog=Watchdog(wall_timeout=None,
                                           stall_events=100))
         assert eng.run(main).values == [0, 1]
+
+
+class TestDisarmOnAbort:
+    """Once an abort (any SimAbortError) is in flight, both watchdog
+    checks are disarmed: the abort is the verdict, and a SimHangError
+    must never race it or mask it during teardown."""
+
+    def test_rank_failure_wins_over_tight_watchdog(self):
+        """A crash abort with the tightest watchdog settings still
+        surfaces as RankFailedError, never SimHangError."""
+        model = gemini_model()
+
+        def main(env):
+            comm = mpi.init(env, model)
+            if env.rank == 0:
+                comm.Recv(np.zeros(2), source=1)  # rank 1 dies first
+            return None
+
+        plan = FaultPlan(seed=0, crashes=(RankCrash(rank=1, at=0.0),))
+        eng = Engine(2, faults=plan,
+                     watchdog=Watchdog(wall_timeout=0.2, stall_events=1))
+        with pytest.raises(RankFailedError):
+            eng.run(main)
+        assert eng._aborting  # the disarm flag latched
+
+    def test_stall_counter_ignores_events_while_aborting(self):
+        eng = Engine(2, watchdog=Watchdog(wall_timeout=None,
+                                          stall_events=1))
+        eng._aborting = True
+        for _ in range(10):   # would raise SimHangError if armed
+            eng._note_stall_event()
+        assert eng._stall_events == 0

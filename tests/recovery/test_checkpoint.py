@@ -1,0 +1,75 @@
+"""Checkpoint store semantics and the env-level checkpoint API."""
+
+import numpy as np
+
+from repro import mpi
+from repro.netmodel import gemini_model
+from repro.recovery import CheckpointStore, checkpoint, register_state, restore
+from repro.sim import Engine
+
+_MODEL = gemini_model()
+
+
+class TestStore:
+    def test_save_is_a_value_copy(self):
+        store = CheckpointStore()
+        arr = np.arange(4.0)
+        store.save(0, 0, 1.0, {"arr": arr, "it": 3})
+        arr[:] = -1.0
+        cp = store.get(0, 0)
+        assert cp is not None
+        assert cp.state["arr"].tolist() == [0.0, 1.0, 2.0, 3.0]
+        assert cp.state["it"] == 3
+        assert cp.time == 1.0
+
+    def test_get_missing_is_none(self):
+        assert CheckpointStore().get(0, 0) is None
+
+    def test_cuts_of_orders_ascending(self):
+        store = CheckpointStore()
+        for cut in (2, 0, 1):
+            store.save(1, cut, float(cut), {})
+        assert store.cuts_of(1) == [0, 1, 2]
+        assert store.cuts_of(0) == []
+
+    def test_latest_consistent_cut_is_common_maximum(self):
+        store = CheckpointStore()
+        for cut in range(3):
+            store.save(0, cut, float(cut), {})
+        for cut in range(2):           # rank 1 lags one cut behind
+            store.save(1, cut, float(cut), {})
+        assert store.latest_consistent_cut([0, 1]) == 1
+        assert store.latest_consistent_cut([0]) == 2
+        assert store.latest_consistent_cut([0, 1, 2]) == -1  # rank 2 bare
+
+    def test_cut_time_is_latest_member_clock(self):
+        store = CheckpointStore()
+        store.save(0, 0, 1.5, {})
+        store.save(1, 0, 2.5, {})
+        assert store.cut_time(0, [0, 1]) == 2.5
+        assert store.cut_time(0, [0]) == 1.5
+        assert store.cut_time(7, [0, 1]) == 0.0
+
+    def test_clear_drops_everything(self):
+        store = CheckpointStore()
+        store.save(0, 0, 0.0, {})
+        store.clear()
+        assert len(store) == 0
+        assert store.latest_consistent_cut([0]) == -1
+
+
+class TestEnvApiOutsideRecovery:
+    def test_noop_without_recovery_context(self):
+        """Recovery-aware programs run unchanged on a plain engine: the
+        checkpoint API degrades to no-ops instead of requiring mode
+        checks in application code."""
+        def main(env):
+            mpi.init(env, _MODEL)
+            acc = np.zeros(2)
+            assert restore(env) is None
+            register_state(env, acc=acc)
+            assert checkpoint(env, acc=acc) is None
+            return acc.tolist()
+
+        res = Engine(2).run(main)
+        assert res.values == [[0.0, 0.0]] * 2

@@ -1,0 +1,124 @@
+"""Recovery policy values: retry maths, config validation, shrink sizing."""
+
+import pytest
+
+from repro.netmodel import gemini_model
+from repro.recovery import (
+    POLICIES,
+    RESPAWN,
+    SHRINK,
+    RecoveryConfig,
+    RecoveryStats,
+    RetryPolicy,
+)
+from repro.util.rng import stream_rng
+
+_TP = gemini_model().transport("mpi2s")
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(rto=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter_frac=1.5)
+
+    def test_rto_defaults_to_transport(self):
+        assert RetryPolicy().rto_for(_TP) == _TP.retransmit_rto
+        assert RetryPolicy(rto=0.25).rto_for(_TP) == 0.25
+
+    def test_backoff_grows_attempt_cost(self):
+        """Without jitter, each attempt's timeout doubles under the
+        default backoff, on top of a constant wire re-crossing."""
+        policy = RetryPolicy(backoff=2.0, jitter_frac=0.0)
+        rng = stream_rng(0, 0)
+        wire = _TP.wire_time(64)
+        c0 = policy.attempt_cost(_TP, 64, 0, rng)
+        c1 = policy.attempt_cost(_TP, 64, 1, rng)
+        c2 = policy.attempt_cost(_TP, 64, 2, rng)
+        assert c1 - wire == pytest.approx(2 * (c0 - wire))
+        assert c2 - wire == pytest.approx(4 * (c0 - wire))
+
+    def test_jitter_stays_within_fraction(self):
+        policy = RetryPolicy(backoff=1.0, jitter_frac=0.5)
+        lo = policy.rto_for(_TP) + _TP.wire_time(8)
+        hi = policy.rto_for(_TP) * 1.5 + _TP.wire_time(8)
+        rng = stream_rng(3, 1)
+        for _ in range(50):
+            cost = policy.attempt_cost(_TP, 8, 0, rng)
+            assert lo <= cost <= hi
+
+    def test_worst_case_bounds_every_attempt_sum(self):
+        policy = RetryPolicy(max_retries=3)
+        rng = stream_rng(9, 2)
+        total = sum(policy.attempt_cost(_TP, 128, a, rng)
+                    for a in range(policy.max_retries))
+        assert total <= policy.worst_case_delay(_TP, 128)
+
+    def test_netmodel_retransmit_cost_backoff(self):
+        """The raw transport helper applies the same exponential shape."""
+        base = _TP.retransmit_cost(64)
+        assert _TP.retransmit_cost(64, attempt=2, backoff=2.0) == \
+            pytest.approx(_TP.retransmit_rto * 4 + _TP.wire_time(64))
+        assert base == pytest.approx(_TP.retransmit_rto + _TP.wire_time(64))
+
+
+class TestRecoveryConfig:
+    def test_policy_must_be_known(self):
+        for policy in POLICIES:
+            assert RecoveryConfig(policy=policy).policy == policy
+        with pytest.raises(ValueError):
+            RecoveryConfig(policy="abort-on-failure")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RecoveryConfig(detect_deadline=-1.0)
+        with pytest.raises(ValueError):
+            RecoveryConfig(restart_cost=-1.0)
+        with pytest.raises(ValueError):
+            RecoveryConfig(max_recoveries=-1)
+        with pytest.raises(ValueError):
+            RecoveryConfig(min_world=0)
+
+    def test_per_target_retry_override(self):
+        shmem_policy = RetryPolicy(max_retries=8)
+        cfg = RecoveryConfig(retry_by_target={"shmem": shmem_policy})
+        assert cfg.retry_for("shmem") is shmem_policy
+        assert cfg.retry_for("mpi2s") is cfg.retry
+        assert cfg.retry_for("mpi1s") is cfg.retry
+
+    def test_shrink_world_unconstrained(self):
+        assert RecoveryConfig().shrink_world(5) == 5
+
+    def test_shrink_world_respects_validity(self):
+        pow2 = RecoveryConfig(
+            policy=SHRINK, valid_world=lambda n: (n & (n - 1)) == 0)
+        assert pow2.shrink_world(7) == 4
+        assert pow2.shrink_world(4) == 4
+        assert pow2.shrink_world(1) == 1
+
+    def test_shrink_world_respects_min_world(self):
+        cfg = RecoveryConfig(min_world=3)
+        assert cfg.shrink_world(3) == 3
+        assert cfg.shrink_world(2) == 0   # no valid size left
+
+    def test_defaults(self):
+        cfg = RecoveryConfig()
+        assert cfg.policy == RESPAWN
+        assert cfg.checkpoint is True
+        assert cfg.max_recoveries >= 1
+
+
+class TestRecoveryStats:
+    def test_summary_mentions_every_counter(self):
+        stats = RecoveryStats(failures_detected=2, retries=7,
+                              checkpoints_taken=12, restarts=2,
+                              recovery_wall_s=0.5, final_world=4)
+        text = stats.summary()
+        for token in ("failures_detected=2", "retries=7",
+                      "checkpoints=12", "restarts=2", "final_world=4"):
+            assert token in text
