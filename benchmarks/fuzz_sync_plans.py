@@ -11,14 +11,21 @@ Run:  PYTHONPATH=src python benchmarks/fuzz_sync_plans.py
       PYTHONPATH=src python benchmarks/fuzz_sync_plans.py --seeds 200
       PYTHONPATH=src python benchmarks/fuzz_sync_plans.py \
           --patterns ring halo2d --targets TARGET_COMM_SHMEM
+      PYTHONPATH=src python benchmarks/fuzz_sync_plans.py \
+          --sanitize --seeds 25 --stats-out fuzz-sanitize-stats.json
 
 Exit status 0 when every schedule passed, 1 otherwise — suitable as a
-CI gate (the ``fuzz`` job runs exactly this).
+CI gate (the ``fuzz`` job runs exactly this). ``--sanitize`` arms the
+byte-interval access sanitizer in every run (a ``RaceError`` fails the
+schedule like any data divergence — the differential soundness gate),
+and ``--stats-out`` writes a JSON summary including the accumulated
+``sanitizer_checks`` count.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -38,17 +45,43 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--targets", nargs="+", default=list(FUZZ_TARGETS),
                         choices=list(FUZZ_TARGETS), metavar="TARGET",
                         help=f"subset of {', '.join(FUZZ_TARGETS)}")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="arm the access sanitizer in every run "
+                             "(RaceError fails the schedule)")
+    parser.add_argument("--stats-out", metavar="PATH", default=None,
+                        help="write a JSON sweep summary (incl. "
+                             "sanitizer_checks) to PATH")
     args = parser.parse_args(argv)
 
     seeds = range(args.seed_base, args.seed_base + args.seeds)
     total = len(args.patterns) * len(args.targets) * args.seeds
+    mode = " with access sanitizer" if args.sanitize else ""
     print(f"fuzzing {len(args.patterns)} pattern(s) x "
           f"{len(args.targets)} target(s) x {args.seeds} seed(s) "
-          f"= {total} schedules")
+          f"= {total} schedules{mode}")
     t0 = time.perf_counter()
+    tally: dict = {}
     failures = fuzz(patterns=args.patterns, targets=args.targets,
-                    seeds=seeds, progress=print)
+                    seeds=seeds, progress=print,
+                    sanitize=args.sanitize, tally=tally)
     dt = time.perf_counter() - t0
+
+    if args.stats_out:
+        summary = {
+            "patterns": list(args.patterns),
+            "targets": list(args.targets),
+            "seeds": args.seeds,
+            "seed_base": args.seed_base,
+            "sanitize": args.sanitize,
+            "schedules": total,
+            "failures": len(failures),
+            "sanitizer_checks": tally.get("sanitizer_checks", 0),
+            "runs": tally.get("runs", 0),
+            "wall_seconds": round(dt, 3),
+        }
+        with open(args.stats_out, "w", encoding="utf-8") as fh:
+            json.dump(summary, fh, indent=2)
+        print(f"stats written to {args.stats_out}")
 
     if failures:
         print(f"\n{len(failures)} failing schedule(s):")
@@ -56,7 +89,10 @@ def main(argv: list[str] | None = None) -> int:
             print(str(f))
         print(f"\nFAILED in {dt:.1f}s")
         return 1
-    print(f"\nall {total} schedules passed in {dt:.1f}s")
+    checks = tally.get("sanitizer_checks", 0)
+    suffix = (f" ({checks} sanitizer checks)"
+              if args.sanitize and checks else "")
+    print(f"\nall {total} schedules passed in {dt:.1f}s{suffix}")
     return 0
 
 

@@ -1,0 +1,37 @@
+/* Seeded CI040 write-write race (kept out of the clean CI glob on
+ * purpose): the halo receive's synchronization is consolidated across
+ * an adjacent-region chain (place_sync(END_ADJ_PARAM_REGIONS)), so
+ * its delivery window stays open through the second region — whose
+ * overlap body overwrites the corner cell halo[0]. Whether the local
+ * update or the incoming message wins is schedule-dependent on every
+ * lowering target.
+ *
+ * repro-lint refutes this statically (CI040 with byte-range
+ * evidence); Engine(..., sanitize=True) refutes it dynamically
+ * (RaceError from the access sanitizer). */
+double field[16];
+double halo[16];
+double x2[16];
+double y2[16];
+double x3[16];
+double y3[16];
+int rank, nprocs;
+
+#pragma comm_parameters place_sync(END_ADJ_PARAM_REGIONS)
+{
+    #pragma comm_p2p sender((rank-1+nprocs)%nprocs) receiver((rank+1)%nprocs) sbuf(field) rbuf(halo)
+}
+#pragma comm_parameters place_sync(END_ADJ_PARAM_REGIONS)
+{
+    #pragma comm_p2p sender((rank+1)%nprocs) receiver((rank-1+nprocs)%nprocs) sbuf(x2) rbuf(y2)
+    {
+        halo[0] = 1.0;
+    }
+}
+#pragma comm_parameters place_sync(END_PARAM_REGION)
+{
+    #pragma comm_p2p sender((rank-1+nprocs)%nprocs) receiver((rank+1)%nprocs) sbuf(x3) rbuf(y3)
+}
+consume(halo);
+consume(y2);
+consume(y3);

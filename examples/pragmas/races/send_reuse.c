@@ -1,0 +1,35 @@
+/* Seeded CI041 read-write race: the send buffer is recycled before
+ * the synchronization that completes the transfer. The chain's
+ * consolidated sync (place_sync(END_ADJ_PARAM_REGIONS)) keeps the
+ * send posted through the second region, whose overlap body reassigns
+ * out[3] — the bytes the in-flight transfer reads are
+ * schedule-dependent.
+ *
+ * repro-lint refutes this statically (CI041 with byte-range
+ * evidence); Engine(..., sanitize=True) refutes it dynamically. */
+double out[16];
+double in[16];
+double x2[16];
+double y2[16];
+double x3[16];
+double y3[16];
+int rank, nprocs;
+
+#pragma comm_parameters place_sync(END_ADJ_PARAM_REGIONS)
+{
+    #pragma comm_p2p sender((rank-1+nprocs)%nprocs) receiver((rank+1)%nprocs) sbuf(out) rbuf(in)
+}
+#pragma comm_parameters place_sync(END_ADJ_PARAM_REGIONS)
+{
+    #pragma comm_p2p sender((rank+1)%nprocs) receiver((rank-1+nprocs)%nprocs) sbuf(x2) rbuf(y2)
+    {
+        out[3] = 0.0;
+    }
+}
+#pragma comm_parameters place_sync(END_PARAM_REGION)
+{
+    #pragma comm_p2p sender((rank-1+nprocs)%nprocs) receiver((rank+1)%nprocs) sbuf(x3) rbuf(y3)
+}
+consume(in);
+consume(y2);
+consume(y3);

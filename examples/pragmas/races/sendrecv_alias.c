@@ -1,0 +1,15 @@
+/* Seeded CI042 send/recv aliasing: one ring directive names the same
+ * buffer as sbuf and rbuf, so every rank reads buf for its outgoing
+ * transfer while the incoming delivery writes the same bytes inside
+ * the same window. There is no dependent flush between the two halves
+ * of a single directive instance — the aliasing is intra-directive.
+ *
+ * repro-lint refutes this statically (CI042 with byte-range
+ * evidence); Engine(..., sanitize=True) refutes it dynamically. */
+double buf[16];
+int rank, nprocs;
+
+#pragma comm_p2p sender((rank-1+nprocs)%nprocs) receiver((rank+1)%nprocs) sbuf(buf) rbuf(buf)
+{
+}
+consume(buf);

@@ -1,0 +1,23 @@
+/* Seeded CI043 symmetric-heap collision: two different origin ranks
+ * put into the same symmetric allocation on rank 0 with no ordering
+ * between the origins. SHMEM puts do not wait for the target, so the
+ * second region's put can land before, during, or after the first —
+ * the receiver's synchronization orders each delivery against *its*
+ * origin only, never the two origins against each other.
+ *
+ * repro-lint refutes this statically (CI043 with byte-range
+ * evidence); Engine(..., sanitize=True) refutes it dynamically. */
+double mine[16];
+double other[16];
+double acc[16];
+int rank, nprocs;
+
+#pragma comm_parameters target(TARGET_COMM_SHMEM)
+{
+    #pragma comm_p2p sender(1) receiver(0) sendwhen(rank==1) receivewhen(rank==0) sbuf(mine) rbuf(acc)
+}
+#pragma comm_parameters target(TARGET_COMM_SHMEM)
+{
+    #pragma comm_p2p sender(2) receiver(0) sendwhen(rank==2) receivewhen(rank==0) sbuf(other) rbuf(acc)
+}
+consume(acc);

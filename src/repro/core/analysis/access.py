@@ -1,0 +1,144 @@
+"""Symbolic byte-interval access sets for directive buffers.
+
+The CI04x race pass (:mod:`repro.core.analysis.races`) needs to know
+*which bytes* of a buffer each access touches. This module derives
+that from what the clauses declare: a buffer expression (``buf``,
+``&buf[p]``), a count expression (explicit ``count`` clause or the
+Section III-B inferred minimum array length), the declared element
+type's storage size, and the per-rank variable bindings the verifier
+unrolled with.
+
+Derivation is conservative: when an offset or count cannot be
+evaluated statically (loop-carried ``max_comm_iter`` indices, unbound
+free names, pointer-only declarations), the interval *widens* to the
+whole declared allocation and the finding it supports is demoted from
+proof to warning — widening never shrinks an access, so race freedom
+claimed on widened intervals is still sound.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core import exprs
+from repro.core.analysis.independence import base_identifier
+from repro.core.ir import BufferDecl
+from repro.errors import ReproError
+
+#: ``&buf[expr]`` / ``buf[expr]`` — the single-subscript forms the
+#: pragma buffer lists use (paper Listing 3).
+_SUBSCRIPT = re.compile(r"^\s*&?\s*[A-Za-z_]\w*\s*\[(.*)\]\s*$",
+                        re.DOTALL)
+
+
+@dataclass(frozen=True)
+class ByteInterval:
+    """A half-open byte range ``[lo, hi)`` within one allocation.
+
+    ``hi`` is ``None`` when the extent is unknown (pointer declaration
+    with no length); ``widened`` marks intervals grown to the whole
+    allocation because an offset/count was not statically evaluable.
+    """
+
+    lo: int
+    hi: int | None
+    widened: bool = False
+
+    def overlap(self, other: "ByteInterval") -> "ByteInterval | None":
+        """The common byte range, or None when disjoint."""
+        lo = max(self.lo, other.lo)
+        if self.hi is None:
+            hi = other.hi
+        elif other.hi is None:
+            hi = self.hi
+        else:
+            hi = min(self.hi, other.hi)
+        if hi is not None and hi <= lo:
+            return None
+        return ByteInterval(lo, hi,
+                            widened=self.widened or other.widened)
+
+    def describe(self) -> str:
+        """Evidence spelling: ``bytes [lo, hi)`` (``...`` = unknown)."""
+        hi = "..." if self.hi is None else str(self.hi)
+        tag = ", widened" if self.widened else ""
+        return f"bytes [{self.lo}, {hi}){tag}"
+
+
+def element_size_of(decl: BufferDecl | None) -> int:
+    """Declared element storage size in bytes (1 when undeclared)."""
+    if decl is None:
+        return 1
+    return int(decl.ctype.size)
+
+
+def widened_interval(decl: BufferDecl | None) -> ByteInterval:
+    """The whole declared allocation, marked widened."""
+    if decl is None or decl.length is None:
+        return ByteInterval(0, None, widened=True)
+    return ByteInterval(0, decl.length * element_size_of(decl),
+                        widened=True)
+
+
+def _evaluate_int(expr: str, variables: dict[str, Any]) -> int | None:
+    try:
+        return int(exprs.evaluate(expr, variables))
+    except (ReproError, TypeError, ValueError):
+        return None
+
+
+def buffer_interval(buffer_expr: str, count_expr: str | None,
+                    decls: dict[str, BufferDecl],
+                    variables: dict[str, Any]) -> ByteInterval:
+    """Bytes a directive transfer touches through one buffer expression.
+
+    ``count_expr`` is the directive's count in *elements* (explicit
+    clause text or the inferred literal); ``None`` widens. The offset
+    comes from the subscript in ``buffer_expr`` (0 for a plain name).
+    Out-of-range intervals are clamped to the declared allocation —
+    oversized counts are CI103's finding, not a new race.
+    """
+    decl = decls.get(base_identifier(buffer_expr))
+    esize = element_size_of(decl)
+    m = _SUBSCRIPT.match(buffer_expr)
+    if m is None:
+        offset: int | None = 0
+    else:
+        offset = _evaluate_int(m.group(1), variables)
+    count = (None if count_expr is None
+             else _evaluate_int(count_expr, variables))
+    if offset is None or count is None or offset < 0 or count < 0:
+        return widened_interval(decl)
+    lo = offset * esize
+    hi = (offset + count) * esize
+    if decl is not None and decl.length is not None:
+        cap = decl.length * esize
+        lo = min(lo, cap)
+        hi = min(hi, cap)
+    return ByteInterval(lo, hi)
+
+
+def write_interval(name: str, index_expr: str,
+                   decls: dict[str, BufferDecl],
+                   variables: dict[str, Any]) -> ByteInterval:
+    """Bytes one raw-code assignment ``name[index] = ...`` touches.
+
+    An evaluable index pins a single element; anything else widens to
+    the whole declared allocation (the write certainly lands inside
+    it, and the demotion keeps unevaluable indices from manufacturing
+    error-severity proofs).
+    """
+    decl = decls.get(name)
+    if not index_expr:
+        return widened_interval(decl)
+    index = _evaluate_int(index_expr, variables)
+    if index is None or index < 0:
+        return widened_interval(decl)
+    esize = element_size_of(decl)
+    if decl is not None and decl.length is not None:
+        cap = decl.length * esize
+        return ByteInterval(min(index * esize, cap),
+                            min((index + 1) * esize, cap))
+    return ByteInterval(index * esize, (index + 1) * esize)

@@ -13,6 +13,10 @@ Code ranges:
 * ``CI010``–``CI019`` — stale-read proofs (data guaranteed by sync);
 * ``CI020``–``CI029`` — synchronization-consolidation safety;
 * ``CI030``–``CI039`` — clause/declaration/inference validation;
+* ``CI040``–``CI049`` — byte-interval aliasing and race proofs
+  (conflicting overlapping accesses unordered in the happens-before
+  graph), emitted by :mod:`repro.core.analysis.races` with byte-range
+  evidence;
 * ``CI100``–``CI119`` — performance advisories (missed consolidation,
   forfeited overlap, oversized transfers, lowering-target mismatch),
   emitted by :mod:`repro.core.analysis.advisor` with a net-model
@@ -90,6 +94,32 @@ RULES: dict[str, Rule] = {r.code: r for r in (
     Rule("CI032", "not-evaluable", "info",
          "clause expressions reference names with no static value; the "
          "pattern cannot be unrolled for this world"),
+    Rule("CI040", "race-write-write", "error",
+         "two unordered writes touch overlapping bytes of one buffer "
+         "inside an open communication window; the final contents are "
+         "schedule-dependent",
+         "order the writes: synchronize the in-flight communication "
+         "before the conflicting write, or move the write after the "
+         "guaranteeing synchronization"),
+    Rule("CI041", "race-read-write", "error",
+         "a buffer is written while posted communication still reads "
+         "overlapping bytes of it; the transferred data is "
+         "schedule-dependent",
+         "keep the send buffer unmodified until the synchronization "
+         "that completes the transfer, or double-buffer the write"),
+    Rule("CI042", "send-recv-aliasing", "error",
+         "one directive sends and receives overlapping bytes of the "
+         "same local buffer on the same rank; the outgoing data races "
+         "with the incoming delivery",
+         "use distinct (or non-overlapping) sbuf and rbuf windows on "
+         "ranks that play both roles"),
+    Rule("CI043", "symmetric-heap-collision", "error",
+         "puts from different origin ranks land in overlapping bytes "
+         "of one symmetric-heap allocation with no ordering between "
+         "the origins; SHMEM delivery order is undefined",
+         "give each origin a disjoint byte window of the symmetric "
+         "buffer, or order the origins with an intervening "
+         "synchronization"),
     Rule("CI100", "missed-consolidation", "warning",
          "adjacent independent communication synchronizes separately; "
          "one consolidated call would cover every transfer "
@@ -126,6 +156,12 @@ DEADLOCK_CODES: frozenset[str] = frozenset({"CI001", "CI002", "CI003"})
 #: Codes whose findings prove a stale read: data consumed unguaranteed.
 STALE_READ_CODES: frozenset[str] = frozenset({"CI010", "CI011", "CI012"})
 
+#: Byte-interval race codes (the CI04x family): conflicting overlapping
+#: accesses left unordered by the synchronization plan, with byte-range
+#: evidence (see :mod:`repro.core.analysis.races`).
+RACE_CODES: frozenset[str] = frozenset(
+    {"CI040", "CI041", "CI042", "CI043"})
+
 #: Performance-advisory codes (the CI1xx family): each finding carries
 #: a net-model estimated saving and, via the advisor, a concrete
 #: pragma rewrite that ``repro-lint --fix`` can prove and apply.
@@ -137,6 +173,16 @@ def severity_of(code: str) -> str:
     """The default severity of a rule code."""
     rule = RULES.get(code)
     return rule.severity if rule is not None else "warning"
+
+
+#: Anchor base for per-rule documentation links (SARIF ``helpUri``).
+HELP_URI_BASE = ("https://github.com/ipdpsw13-comm-intent/blob/main/"
+                 "docs/LINT.md")
+
+
+def help_uri(code: str) -> str:
+    """Stable documentation URI for a rule code (SARIF ``helpUri``)."""
+    return f"{HELP_URI_BASE}#{code.lower()}"
 
 
 @dataclass(frozen=True)

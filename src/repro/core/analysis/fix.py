@@ -8,7 +8,9 @@ diagnostic order:
    (:meth:`Program.to_source` — the parse/print fixpoint);
 2. **verifier gate** — the rewritten program must lint with zero
    error-severity CI0xx findings, which sweeps *all three* lowering
-   targets (:func:`repro.core.analysis.lint.lint_program`);
+   targets (:func:`repro.core.analysis.lint.lint_program`); CI04x race
+   findings additionally reject at *any* severity — a rewrite that may
+   introduce a buffer-aliasing race is never a proof-carrying fix;
 3. **simulation gate** — the rewritten program's modeled time must not
    regress against the original on any target it can run on
    (:func:`repro.core.analysis.progsim.simulate_program`); an original
@@ -27,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.analysis.advisor import advise_program, apply_rewrite
+from repro.core.analysis.codes import RACE_CODES
 from repro.core.analysis.lint import lint_program
 from repro.core.analysis.progsim import simulate_program
 from repro.core.clauses import Target
@@ -155,6 +158,16 @@ def fix_source(source: str, *, nprocs: int = 8,
             result.steps.append(step(
                 False, f"verifier gate: rewritten program is not "
                        f"CI0xx-clean: {listing}"))
+            continue
+        races = [d for d in report.diagnostics if d.code in RACE_CODES]
+        if races:
+            # CI04x findings reject at ANY severity: a rewrite that
+            # merely *might* introduce a race (widened byte intervals
+            # demote to warning) is still not a proof-carrying fix.
+            listing = "; ".join(str(d) for d in races[:3])
+            result.steps.append(step(
+                False, f"verifier gate: rewrite introduces CI04x race "
+                       f"finding(s): {listing}"))
             continue
 
         ok, reason, before, after = _simulation_gate(

@@ -44,6 +44,9 @@ class Event:
     peer: int | None = None
     #: Buffer base names the event touches (posts and uses).
     names: frozenset[str] = frozenset()
+    #: Raw-code writes to declared buffers: ``(base name, index
+    #: expression text)`` pairs (empty index text = whole buffer).
+    writes: frozenset[tuple[str, str]] = frozenset()
     #: Directive lines whose overlap body lexically encloses this event.
     enclosing: tuple[int, ...] = ()
 
@@ -70,6 +73,9 @@ class Handle:
     directive: int                  # directive source line
     names: frozenset[str]           # buffer base names it moves
     target: str                     # lowering target keyword
+    #: The buffer expression as written (``&buf[p]``), for the
+    #: byte-interval derivation of :mod:`repro.core.analysis.access`.
+    expr: str = ""
     #: The sync event that completed this handle; None when a weakened
     #: plan discarded it (the runtime handle was dropped before sync).
     sync: Event | None = None
@@ -145,6 +151,44 @@ class HBGraph:
                     frontier.append(event)
                     break
         return frontier
+
+
+def vector_clocks(graph: HBGraph) -> dict[Event, list[int]]:
+    """Per-event vector clocks over the happens-before relation.
+
+    ``vc[e][r]`` is the number of rank-``r`` events that happen before
+    ``e`` (inclusive of ``e`` itself on its own rank): an event ``a``
+    happens before ``b`` iff ``vc[b][a.rank] > a.index``. Only events
+    the executability fixpoint reaches get a clock — blocked events
+    (deadlocked programs) are absent from the result.
+    """
+    done: dict[Event, list[int]] = {}
+    n = graph.nprocs
+    progress = [0] * len(graph.traces)
+    changed = True
+    while changed:
+        changed = False
+        for tidx, trace in enumerate(graph.traces):
+            i = progress[tidx]
+            while i < len(trace):
+                event = trace[i]
+                if event in graph.missing:
+                    break
+                deps = graph.deps.get(event, ())
+                if any(d not in done for d in deps):
+                    break
+                vc = list(done[trace[i - 1]]) if i else [0] * n
+                for d in deps:
+                    dv = done[d]
+                    for k in range(n):
+                        if dv[k] > vc[k]:
+                            vc[k] = dv[k]
+                vc[event.rank] = event.index + 1
+                done[event] = vc
+                i += 1
+                changed = True
+            progress[tidx] = i
+    return done
 
 
 def find_cycle(graph: HBGraph, done: set[Event]) -> list[Event]:

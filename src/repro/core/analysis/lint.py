@@ -6,7 +6,9 @@ argues directives enable that raw MPI defeats. Per-directive checks
 (clause completeness, count inference, SPMD matching, overlap legality)
 are combined with the whole-program verifier
 (:mod:`repro.core.analysis.verify`), which proves deadlock freedom,
-stale-read freedom and consolidation safety for every lowering target.
+stale-read freedom, consolidation safety and byte-interval race
+freedom (the CI04x family, :mod:`repro.core.analysis.races`) for
+every lowering target.
 
 Findings are :class:`~repro.core.analysis.codes.Diagnostic` records
 with stable ``CI``-prefixed codes; :func:`render_json` and
@@ -21,7 +23,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.core.analysis.codes import RULES, Diagnostic, make
+from repro.core.analysis.codes import RULES, Diagnostic, help_uri, make
 from repro.core.analysis.dataflow import (
     classify_pattern,
     comm_graph,
@@ -136,21 +138,26 @@ _SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
 def render_sarif(reports: list[LintReport]) -> str:
     """Serialize lint reports as a SARIF 2.1.0 log.
 
-    One run; one result per diagnostic; the rule metadata comes from
-    the :data:`~repro.core.analysis.codes.RULES` registry so viewers
-    can show the summary and fix-it text.
+    One run; one result per diagnostic. The driver's rule table is the
+    *complete* :data:`~repro.core.analysis.codes.RULES` registry — not
+    just the codes this run produced — each with ``name``,
+    ``shortDescription``, ``helpUri`` and default severity, so a new
+    diagnostic family can never ship half-rendered
+    (``tests/core/test_lint.py`` pins registry completeness).
     """
-    used = sorted({d.code for r in reports for d in r.diagnostics
-                   if d.code})
     rules = []
-    for code in used:
-        rule = RULES.get(code)
-        entry: dict[str, object] = {"id": code}
-        if rule is not None:
-            entry["name"] = rule.name
-            entry["shortDescription"] = {"text": rule.summary}
-            if rule.fixit:
-                entry["help"] = {"text": rule.fixit}
+    for code in sorted(RULES):
+        rule = RULES[code]
+        entry: dict[str, object] = {
+            "id": code,
+            "name": rule.name,
+            "shortDescription": {"text": rule.summary},
+            "helpUri": help_uri(code),
+            "defaultConfiguration": {
+                "level": _SARIF_LEVELS.get(rule.severity, "warning")},
+        }
+        if rule.fixit:
+            entry["help"] = {"text": rule.fixit}
         rules.append(entry)
     results = []
     for report in reports:

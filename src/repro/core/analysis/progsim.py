@@ -52,11 +52,18 @@ from repro.netmodel.base import MachineModel
 from repro.profiling.spans import Profile
 from repro.sim import Engine
 from repro.sim.process import Env
+from repro.sim.stats import SimStats
 
 __all__ = ["ProgramSimError", "SimOutcome", "simulate_program"]
 
 #: ``compute_us(<expr>)`` in raw code charges modeled microseconds.
 _COMPUTE = re.compile(r"\bcompute_us\s*\(([^()]*)\)")
+
+#: ``name[idx] = ...`` (plain or compound) in raw code — the write
+#: sites the access sanitizer records (mirrors the static verifier's
+#: assignment scan; ``==``/``<=``/``>=``/``!=`` are rejected).
+_ASSIGN = re.compile(
+    r"\b([A-Za-z_]\w*)\s*\[([^\][]*)\]\s*(?:[+\-*/%&|^]|<<|>>)?=(?!=)")
 
 
 class ProgramSimError(ReproError):
@@ -75,6 +82,9 @@ class SimOutcome:
     finish_times: tuple[float, ...]
     #: Span profile of the run (``profile=True`` only).
     profile: Profile | None = None
+    #: Engine statistics of the run (message counts, and — when
+    #: ``sanitize=True`` — the ``sanitizer_checks`` pair count).
+    stats: SimStats | None = None
 
 
 def simulate_program(program: Program, nprocs: int = 8, *,
@@ -82,7 +92,8 @@ def simulate_program(program: Program, nprocs: int = 8, *,
                      extra_vars: dict[str, int] | None = None,
                      model: MachineModel | None = None,
                      max_time: float | None = 10.0,
-                     profile: bool = False) -> SimOutcome:
+                     profile: bool = False,
+                     sanitize: bool = False) -> SimOutcome:
     """Run ``program`` on ``nprocs`` simulated ranks and time it.
 
     ``target`` is the default lowering for directives without an
@@ -99,12 +110,19 @@ def simulate_program(program: Program, nprocs: int = 8, *,
     (:mod:`repro.profiling`), returned on :attr:`SimOutcome.profile`;
     directive posts are labeled ``p2p@L<line>`` for per-directive
     attribution.
+
+    With ``sanitize=True`` the engine's byte-interval access sanitizer
+    is armed and raw-code buffer assignments are recorded as point
+    writes, so a program the static race pass refutes (CI04x) aborts
+    here with :class:`repro.errors.RaceError` — the differential
+    cross-check the race examples exercise.
     """
     default_target = Target.parse(target)
     machine = model if model is not None else gemini_model()
     order, symmetric = _plan_buffers(program, default_target)
     extras = dict(extra_vars or {})
-    engine = Engine(nprocs, max_time=max_time, profile=profile)
+    engine = Engine(nprocs, max_time=max_time, profile=profile,
+                    sanitize=sanitize)
 
     def main(env: Env) -> None:
         mpi.init(env, machine)  # fix the machine model for all targets
@@ -120,7 +138,7 @@ def simulate_program(program: Program, nprocs: int = 8, *,
     times = tuple(result.finish_times)
     return SimOutcome(nprocs=nprocs, target=default_target.value,
                       modeled_time=max(times), finish_times=times,
-                      profile=result.profile)
+                      profile=result.profile, stats=engine.stats)
 
 
 # ---------------------------------------------------------------------------
@@ -236,6 +254,37 @@ class _Executor:
             for match in _COMPUTE.finditer(line):
                 micros = exprs.evaluate(match.group(1), self.variables)
                 self.env.compute(float(micros) * 1e-6)
+        sanitizer = self.env.engine.sanitizer
+        if sanitizer is not None:
+            for offset, line in enumerate(node.lines):
+                for match in _ASSIGN.finditer(line):
+                    self._raw_write(sanitizer, match.group(1),
+                                    match.group(2).strip(),
+                                    node.line + offset)
+
+    def _raw_write(self, sanitizer: Any, name: str, index: str,
+                   line: int) -> None:
+        """Record one raw-code buffer assignment as a sanitized write.
+
+        An evaluable index narrows the write to one element; anything
+        else conservatively covers the whole buffer (mirroring the
+        static side's interval widening).
+        """
+        buf = self.buffers.get(name)
+        if buf is None:
+            return
+        arr = np.asarray(buf.data if hasattr(buf, "data") else buf)
+        item = arr.dtype.itemsize
+        try:
+            idx = exprs.evaluate(index, self.variables)
+            lo, hi = int(idx) * item, (int(idx) + 1) * item
+        except (ReproError, TypeError, ValueError):
+            lo, hi = 0, arr.nbytes
+        lo = max(0, min(lo, arr.nbytes))
+        hi = max(lo, min(hi, arr.nbytes))
+        sanitizer.write(self.env.rank, arr, lo, hi,
+                        f"the assignment to {name}[{index}] at line "
+                        f"{line}")
 
     def _region(self, node: ParamRegionNode) -> None:
         kwargs: dict[str, Any] = {}

@@ -38,6 +38,7 @@ from repro.core import exprs
 from repro.core.analysis import hb
 from repro.core.analysis.codes import Diagnostic, make
 from repro.core.analysis.independence import base_identifier
+from repro.core.analysis.races import race_diagnostics
 from repro.core.analysis.syncopt import SyncPlan, plan_synchronization
 from repro.core.clauses import Target
 from repro.core.ir import (
@@ -69,6 +70,12 @@ WEAKENINGS: tuple[str, ...] = (
 
 _IDENT = re.compile(r"[A-Za-z_]\w*")
 
+#: Raw-code assignment into a subscripted buffer (``buf[i] = ...``,
+#: compound assignments included; ``==``/``<=``/``>=``/``!=`` are not
+#: assignments).
+_ASSIGN = re.compile(
+    r"\b([A-Za-z_]\w*)\s*\[([^\][]*)\]\s*(?:[+\-*/%&|^]|<<|>>)?=(?!=)")
+
 _TWO_SIDED = Target.MPI_2SIDE
 
 
@@ -82,6 +89,9 @@ class VerifyReport:
     #: The happens-before graph, for tooling/tests; None when the
     #: program had nothing to unroll.
     graph: hb.HBGraph | None = None
+    #: The per-rank symbolic traces, for downstream passes (the CI04x
+    #: race analysis) and tests; None when nothing was unrolled.
+    tracers: "list[_RankTracer] | None" = None
 
     @property
     def errors(self) -> list[Diagnostic]:
@@ -120,13 +130,15 @@ class _RankTracer:
                  default_target: Target, plan_points: dict[
                      tuple[int, str], int],
                  rbuf_names: frozenset[str],
-                 weakening: str | None) -> None:
+                 weakening: str | None,
+                 buffer_names: frozenset[str] = frozenset()) -> None:
         self.rank = rank
         self.nprocs = nprocs
         self.variables = variables
         self.default_target = default_target
         self.plan_points = plan_points
         self.rbuf_names = rbuf_names
+        self.buffer_names = buffer_names or rbuf_names
         self.weakening = weakening
         self.trace: list[hb.Event] = []
         self.handles: list[hb.Handle] = []
@@ -139,10 +151,13 @@ class _RankTracer:
 
     def _event(self, kind: str, line: int, *, directive: int | None = None,
                peer: int | None = None,
-               names: frozenset[str] = frozenset()) -> hb.Event:
+               names: frozenset[str] = frozenset(),
+               writes: frozenset[tuple[str, str]] = frozenset()
+               ) -> hb.Event:
         event = hb.Event(rank=self.rank, index=len(self.trace), kind=kind,
                          line=line, directive=directive, peer=peer,
-                         names=names, enclosing=tuple(self._enclosing))
+                         names=names, writes=writes,
+                         enclosing=tuple(self._enclosing))
         self.trace.append(event)
         return event
 
@@ -193,9 +208,21 @@ class _RankTracer:
 
     def _scan_uses(self, node: RawCode) -> None:
         text = "\n".join(node.lines)
-        touched = frozenset(_IDENT.findall(text)) & self.rbuf_names
-        if touched:
-            self._event(hb.USE, node.line, names=touched)
+        idents = _IDENT.findall(text)
+        assigns = [(m.group(1), m.group(2).strip())
+                   for m in _ASSIGN.finditer(text)
+                   if m.group(1) in self.buffer_names]
+        lhs_counts: dict[str, int] = {}
+        for name, _ in assigns:
+            lhs_counts[name] = lhs_counts.get(name, 0) + 1
+        # A name whose every appearance is an assignment LHS is written,
+        # not read — it must not count as a stale-read use.
+        reads = frozenset(
+            name for name in set(idents) & self.rbuf_names
+            if idents.count(name) > lhs_counts.get(name, 0))
+        writes = frozenset(assigns)
+        if reads or writes:
+            self._event(hb.USE, node.line, names=reads, writes=writes)
 
     def _directive(self, node: P2PNode, region: ParamRegionNode | None,
                    region_clauses: ClauseExprs | None) -> None:
@@ -230,13 +257,13 @@ class _RankTracer:
                     posted.append(self._post("recv", node, src,
                                              frozenset({
                                                  base_identifier(rb)}),
-                                             target, region))
+                                             target, region, rb))
             if sends_here and 0 <= dst < self.nprocs:
                 for sb in clauses.sbuf:
                     posted.append(self._post("send", node, dst,
                                              frozenset({
                                                  base_identifier(sb)}),
-                                             target, region))
+                                             target, region, sb))
             pending_box.extend(posted)
 
         self._enclosing.append(node.line)
@@ -253,14 +280,15 @@ class _RankTracer:
 
     def _post(self, kind: str, node: P2PNode, peer: int,
               names: frozenset[str], target: Target,
-              region: ParamRegionNode | None) -> hb.Handle:
+              region: ParamRegionNode | None,
+              expr: str = "") -> hb.Handle:
         event = self._event(hb.POST_SEND if kind == "send"
                             else hb.POST_RECV,
                             node.line, directive=node.line, peer=peer,
                             names=names)
         handle = hb.Handle(kind=kind, rank=self.rank, peer=peer,
                            post=event, directive=node.line, names=names,
-                           target=target.value,
+                           target=target.value, expr=expr,
                            region_key=(id(region) if region is not None
                                        else None))
         self.handles.append(handle)
@@ -553,6 +581,9 @@ def verify_program(program: Program, nprocs: int = 8,
     rbuf_names = frozenset(
         base_identifier(e) for node in program.all_p2p()
         for e in node.clauses.rbuf)
+    buffer_names = frozenset(program.decls) | rbuf_names | frozenset(
+        base_identifier(e) for node in program.all_p2p()
+        for e in node.clauses.sbuf)
     plan_points = _plan_point_map(plan)
 
     if report_unrollable:
@@ -564,7 +595,8 @@ def verify_program(program: Program, nprocs: int = 8,
         variables = dict(variables_base)
         variables["rank"] = rank
         tracer = _RankTracer(rank, nprocs, variables, target,
-                             plan_points, rbuf_names, weakening)
+                             plan_points, rbuf_names, weakening,
+                             buffer_names)
         tracer.run(program.nodes)
         tracers.append(tracer)
 
@@ -575,12 +607,19 @@ def verify_program(program: Program, nprocs: int = 8,
     _match(tracers)
     graph = _build_graph(tracers, nprocs)
     report.graph = graph
-    report.diagnostics.extend(
-        _deadlock_diagnostics(graph, target,
-                              _loop_varying_lines(program)))
+    report.tracers = tracers
+    loop_varying = _loop_varying_lines(program)
+    deadlocks = _deadlock_diagnostics(graph, target, loop_varying)
+    report.diagnostics.extend(deadlocks)
     report.diagnostics.extend(_stale_read_diagnostics(tracers, target))
     report.diagnostics.extend(
         _consolidation_diagnostics(tracers, target))
+    if not any(d.severity == "error" for d in deadlocks):
+        # The race pass needs the executability fixpoint to order
+        # events (vector clocks); a refuted-deadlocked unroll has no
+        # meaningful clocks to reason over.
+        report.diagnostics.extend(race_diagnostics(
+            program, tracers, graph, target, loop_varying))
     report.diagnostics.sort(key=lambda d: d.sort_key())
     return report
 

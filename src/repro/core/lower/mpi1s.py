@@ -42,6 +42,12 @@ class Mpi1sBackend(Backend):
         seq = self.svc.next_send_seq(self.env.rank, dest)
         target_arr = self.svc.await_exposure(self.env, self.env.rank,
                                              dest, seq)
+        san = self.env.engine.sanitizer
+        if san is not None:
+            # The exposure handshake is an acquire: the origin's access
+            # epoch orders after the receiver's pre-exposure history.
+            san.acquire(("expose", self.env.rank, dest, seq),
+                        self.env.rank)
         if target_arr.nbytes < nbytes:
             raise TruncationError(
                 f"MPI_Put of {nbytes} bytes exceeds the exposed "
@@ -72,19 +78,40 @@ class Mpi1sBackend(Backend):
             profile.add(dest, "message", post_t0, completion,
                         src=self.env.rank, dst=dest, seq=seq,
                         nbytes=nbytes, transport="mpi1s")
-        return SendHandle(backend=self, dest=dest, seq=seq, nbytes=nbytes,
-                          payload=completion)
+        handle = SendHandle(backend=self, dest=dest, seq=seq,
+                            nbytes=nbytes, payload=completion)
+        if san is not None:
+            rank = self.env.rank
+            # The put's target-side write and source-side read are both
+            # live until the origin's flush (the directive contract: no
+            # buffer may be touched before the guaranteeing sync).
+            san.open_window(
+                ("put", id(handle)), rank, target_arr, 0, nbytes,
+                "write",
+                f"the put of message #{seq} into rank {dest}'s buffer")
+            san.open_window(
+                ("put-src", id(handle)), rank, src, 0, nbytes, "read",
+                f"the put of message #{seq} to rank {dest} (source "
+                "read)")
+        return handle
 
     def post_recv(self, source: int, rbuf, count: int) -> RecvHandle:
         self.env.engine.check_peer_alive(source)
         arr = array_of(rbuf)
         seq = self.svc.next_recv_seq(source, self.env.rank)
+        san = self.env.engine.sanitizer
+        if san is not None:
+            # Publish the receiver's snapshot with the exposure: the
+            # origin acquires it before writing the exposed buffer.
+            san.publish(("expose", source, self.env.rank, seq),
+                        self.env.rank)
         self.svc.expose(self.env, source, self.env.rank, seq, arr)
         return RecvHandle(backend=self, source=source, seq=seq,
                           nbytes=count * arr.dtype.itemsize)
 
     def sync(self, sends: list[SendHandle], recvs: list[RecvHandle]) -> None:
         env = self.env
+        san = env.engine.sanitizer
         if sends:
             # Local flush of the access epoch, then one notify per
             # message (the flag put the generated code pairs with data).
@@ -93,7 +120,18 @@ class Mpi1sBackend(Backend):
             env.advance_to(max(h.payload for h in sends))
             notify_visible = env.now + self.tp.wire_time(8)
             for h in sends:
+                if san is not None:
+                    # Close at the flush, then publish the post-flush
+                    # snapshot with the notify: the receiver's acquire
+                    # orders the put before its post-sync accesses.
+                    san.close_window(("put", id(h)), env.rank)
+                    san.close_window(("put-src", id(h)), env.rank)
+                    san.publish(("notify", env.rank, h.dest, h.seq),
+                                env.rank)
                 self.svc.notify(env, env.rank, h.dest, h.seq,
                                 notify_visible)
         for h in recvs:
             self.svc.await_notify(env, h.source, env.rank, h.seq)
+            if san is not None:
+                san.acquire(("notify", h.source, env.rank, h.seq),
+                            env.rank)

@@ -47,9 +47,17 @@ class Mpi2sBackend(Backend):
         seq = self.svc.next_send_seq(self.env.rank, dest)
         op = self.comm._post_send((arr, count, dt), dest, tag=seq,
                                   pooled=True, channel=_CHANNEL)
-        return SendHandle(backend=self, dest=dest, seq=seq,
-                          nbytes=count * dt.size,
-                          payload=Request(op, "send"))
+        handle = SendHandle(backend=self, dest=dest, seq=seq,
+                            nbytes=count * dt.size,
+                            payload=Request(op, "send"))
+        san = self.env.engine.sanitizer
+        if san is not None:
+            rank = self.env.rank
+            san.publish(("post", rank, dest, seq), rank)
+            san.open_window(
+                ("send", id(handle)), rank, arr, 0, handle.nbytes, "read",
+                f"the posted send of message #{seq} to rank {dest}")
+        return handle
 
     def post_recv(self, source: int, rbuf, count: int) -> RecvHandle:
         arr = array_of(rbuf)
@@ -57,11 +65,29 @@ class Mpi2sBackend(Backend):
         seq = self.svc.next_recv_seq(source, self.env.rank)
         op = self.comm._post_recv((arr, count, dt), source, tag=seq,
                                   pooled=True, channel=_CHANNEL)
-        return RecvHandle(backend=self, source=source, seq=seq,
-                          nbytes=count * dt.size,
-                          payload=Request(op, "recv"))
+        handle = RecvHandle(backend=self, source=source, seq=seq,
+                            nbytes=count * dt.size,
+                            payload=Request(op, "recv"))
+        san = self.env.engine.sanitizer
+        if san is not None:
+            san.open_window(
+                ("recv", id(handle)), self.env.rank, arr, 0,
+                handle.nbytes, "write",
+                f"the delivery of message #{seq} from rank {source}")
+        return handle
 
     def sync(self, sends: list[SendHandle], recvs: list[RecvHandle]) -> None:
         requests = [h.payload for h in (*sends, *recvs)]
         if requests:
             self.comm.Waitall(requests)
+        san = self.env.engine.sanitizer
+        if san is not None:
+            rank = self.env.rank
+            for h in recvs:
+                # The completed receive carries the sender's post-time
+                # snapshot: deliveries order after the sender's history.
+                san.acquire(("post", h.source, rank, h.seq), rank)
+            for h in sends:
+                san.close_window(("send", id(h)), rank)
+            for h in recvs:
+                san.close_window(("recv", id(h)), rank)

@@ -67,9 +67,27 @@ class ShmemBackend(Backend):
             self.svc.stage(self.env.rank, dest, seq, commit)
         else:
             completion = self._typed_put(rbuf, src, dest)
-        return SendHandle(backend=self, dest=dest, seq=seq,
-                          nbytes=count * src.dtype.itemsize,
-                          payload=completion)
+        handle = SendHandle(backend=self, dest=dest, seq=seq,
+                            nbytes=count * src.dtype.itemsize,
+                            payload=completion)
+        san = self.env.engine.sanitizer
+        if san is not None:
+            rank = self.env.rank
+            # The put writes the destination PE's mirror directly; both
+            # that write and the source read stay live until the
+            # origin's quiet (same-origin puts to one address are
+            # unordered without it — the OpenSHMEM memory model).
+            san.open_window(
+                ("put", id(handle)), rank, rbuf.mirror_on(dest), 0,
+                handle.nbytes, "write",
+                f"the shmem put of message #{seq} into PE {dest}'s "
+                "symmetric buffer")
+            san.open_window(
+                ("put-src", id(handle)), rank, array_of(sbuf), 0,
+                handle.nbytes, "read",
+                f"the shmem put of message #{seq} to PE {dest} "
+                "(source read)")
+        return handle
 
     def post_recv(self, source: int, rbuf, count: int) -> RecvHandle:
         self.env.engine.check_peer_alive(source)
@@ -80,11 +98,23 @@ class ShmemBackend(Backend):
 
     def sync(self, sends: list[SendHandle], recvs: list[RecvHandle]) -> None:
         env = self.env
+        san = env.engine.sanitizer
         if sends:
             self.sh.quiet()
             notify_visible = env.now + self.sh._tp.wire_time(8)
             for h in sends:
+                if san is not None:
+                    # quiet completes this origin's puts; the notify
+                    # publishes the post-quiet snapshot the receiver
+                    # acquires below.
+                    san.close_window(("put", id(h)), env.rank)
+                    san.close_window(("put-src", id(h)), env.rank)
+                    san.publish(("notify", env.rank, h.dest, h.seq),
+                                env.rank)
                 self.svc.notify(env, env.rank, h.dest, h.seq,
                                 notify_visible)
         for h in recvs:
             self.svc.await_notify(env, h.source, env.rank, h.seq)
+            if san is not None:
+                san.acquire(("notify", h.source, env.rank, h.seq),
+                            env.rank)

@@ -15,7 +15,8 @@ A second console entry point, ``repro-lint`` (:func:`main_lint`), runs
 the full static verification pass (deadlock, stale-read and
 consolidation proofs — see ``docs/LINT.md``) over one or more files
 and renders text, JSON or SARIF 2.1.0; it exits 1 when any
-error-severity diagnostic is produced. ``--advise`` additionally runs
+error-severity diagnostic is produced (``--fail-on warning`` widens
+the gate to warnings). ``--advise`` additionally runs
 the CI1xx performance advisor, and ``--fix`` / ``--fix-dry-run`` run
 the proof-carrying auto-fix engine (every rewrite must re-verify
 CI0xx-clean on all lowering targets and must not regress the modeled
@@ -224,6 +225,12 @@ def main_lint(argv: list[str] | None = None) -> int:
     parser.add_argument("--fix-dry-run", action="store_true",
                         help="run the proof-carrying fix engine but "
                              "only report the ledger (implies --advise)")
+    parser.add_argument("--fail-on", choices=("error", "warning"),
+                        default="error",
+                        help="severity threshold for a non-zero exit: "
+                             "'error' (default) exits 1 on errors "
+                             "only; 'warning' also fails "
+                             "warning-severity findings (CI gating)")
     args = parser.parse_args(argv)
     if not args.inputs and not args.catalog:
         parser.print_usage(sys.stderr)
@@ -294,7 +301,10 @@ def main_lint(argv: list[str] | None = None) -> int:
                 body = f"{body}\n{_render_fix(fixes[report.path])}"
             chunks.append(f"{header}\n{body}")
         print("\n\n".join(chunks))
-    return 1 if any(r.errors for r in reports) else 0
+    failing = any(r.errors for r in reports)
+    if args.fail_on == "warning":
+        failing = failing or any(r.warnings for r in reports)
+    return 1 if failing else 0
 
 
 def _render_fix(result: FixResult) -> str:

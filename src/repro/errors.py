@@ -100,6 +100,33 @@ class RankFailedError(SimAbortError):
         self.detected_by = detected_by
 
 
+class RaceError(SimAbortError):
+    """The access sanitizer observed two conflicting, unordered accesses.
+
+    Raised by :class:`repro.sim.sanitizer.AccessSanitizer` (armed with
+    ``Engine(..., sanitize=True)``) when a byte range is touched by two
+    accesses, at least one a write, with no happens-before edge between
+    them — the dynamic counterpart of the static CI04x race findings.
+    The message carries both access descriptions and the overlapping
+    byte evidence; the structured fields repeat the same facts for the
+    differential tests.
+    """
+
+    def __init__(self, message: str, *, kind: str = "",
+                 ranks: tuple[int, ...] = (),
+                 labels: tuple[str, ...] = (),
+                 overlap_nbytes: int = 0):
+        super().__init__(message)
+        #: ``"write-write"`` or ``"read-write"``.
+        self.kind = kind
+        #: Ranks that performed the two accesses, first-recorded first.
+        self.ranks = tuple(ranks)
+        #: Human-readable descriptions of the two accesses.
+        self.labels = tuple(labels)
+        #: Size of the overlapping byte range.
+        self.overlap_nbytes = overlap_nbytes
+
+
 class SimProcessError(SimError):
     """A simulated process raised an exception; wraps the original.
 

@@ -159,27 +159,52 @@ def _butterfly_prog(env, target: str):
     return data.tolist()
 
 
+def _tally_checks(tally: dict | None, stats) -> None:
+    """Accumulate one run's sanitizer counters into ``tally``."""
+    if tally is not None:
+        tally["sanitizer_checks"] = (tally.get("sanitizer_checks", 0)
+                                     + stats.sanitizer_checks)
+        tally["runs"] = tally.get("runs", 0) + 1
+
+
 def _run_pattern(prog: Callable, nprocs: int, target: str,
-                 plan: FaultPlan, watchdog: Watchdog | None):
+                 plan: FaultPlan, watchdog: Watchdog | None,
+                 sanitize: bool = False, tally: dict | None = None):
     model = gemini_model()
-    eng = Engine(nprocs, faults=plan, watchdog=watchdog)
+    eng = Engine(nprocs, faults=plan, watchdog=watchdog,
+                 sanitize=sanitize)
 
     def main(env):
         mpi.init(env, model)  # fix the machine model for all targets
         return prog(env, target)
 
-    return eng.run(main).values
+    try:
+        return eng.run(main).values
+    finally:
+        _tally_checks(tally, eng.stats)
 
 
 def _run_wllsms(target: str, plan: FaultPlan,
-                watchdog: Watchdog | None):
+                watchdog: Watchdog | None,
+                sanitize: bool = False, tally: dict | None = None):
     """WL-LSMS quick mode — the paper's application, end to end."""
     from repro.apps.wllsms import AppConfig, run_app
     cfg = AppConfig(variant="directive", target=target, n_lsms=2,
                     group_size=4, t=32, tc=4, wl_steps=2,
                     model=gemini_model())
-    engine_cls = partial(Engine, faults=plan, watchdog=watchdog)
-    res = run_app(cfg, engine_cls=engine_cls)
+    engines: list[Engine] = []
+
+    def engine_cls(*args, **kwargs):
+        eng = Engine(*args, faults=plan, watchdog=watchdog,
+                     sanitize=sanitize, **kwargs)
+        engines.append(eng)
+        return eng
+
+    try:
+        res = run_app(cfg, engine_cls=engine_cls)
+    finally:
+        for eng in engines:
+            _tally_checks(tally, eng.stats)
     return [res.group_energies, res.wang_landau.ln_g.tolist()]
 
 
@@ -188,26 +213,32 @@ class FuzzCase:
     """One pattern the fuzzer knows how to run on any target."""
 
     name: str
-    run: Callable  # (target, plan, watchdog) -> comparable result
+    run: Callable  # (target, plan, watchdog, sanitize, tally) -> result
 
     def baseline(self, target: str,
-                 watchdog: Watchdog | None = FUZZ_WATCHDOG):
+                 watchdog: Watchdog | None = FUZZ_WATCHDOG,
+                 sanitize: bool = False, tally: dict | None = None):
         """The reference result for one target: an *unfaulted* run with
         immediate delivery. Deliberately not a neutral FaultPlan —
         deferred delivery must be compared against the semantics the
         translation claims, or an under-synchronizing plan would leave
         the same stale bytes in both runs and cancel out."""
-        return self.run(target, None, watchdog)
+        return self.run(target, None, watchdog, sanitize, tally)
 
 
 CASES = (
-    FuzzCase("ring", lambda t, p, w: _run_pattern(_ring_prog, 5, t, p, w)),
+    FuzzCase("ring",
+             lambda t, p, w, s=False, y=None:
+             _run_pattern(_ring_prog, 5, t, p, w, s, y)),
     FuzzCase("evenodd",
-             lambda t, p, w: _run_pattern(_evenodd_prog, 6, t, p, w)),
+             lambda t, p, w, s=False, y=None:
+             _run_pattern(_evenodd_prog, 6, t, p, w, s, y)),
     FuzzCase("halo2d",
-             lambda t, p, w: _run_pattern(_halo2d_prog, 6, t, p, w)),
+             lambda t, p, w, s=False, y=None:
+             _run_pattern(_halo2d_prog, 6, t, p, w, s, y)),
     FuzzCase("butterfly",
-             lambda t, p, w: _run_pattern(_butterfly_prog, 4, t, p, w)),
+             lambda t, p, w, s=False, y=None:
+             _run_pattern(_butterfly_prog, 4, t, p, w, s, y)),
     FuzzCase("wllsms", _run_wllsms),
 )
 
@@ -246,20 +277,24 @@ def _diff(expected, got) -> str | None:
 def fuzz_one(pattern: str, target: str, seed: int,
              plan: FaultPlan | None = None,
              watchdog: Watchdog | None = FUZZ_WATCHDOG,
-             baseline=None) -> FuzzFailure | None:
+             baseline=None, sanitize: bool = False,
+             tally: dict | None = None) -> FuzzFailure | None:
     """Run one (pattern, target, seed) triple; None means it passed.
 
     ``plan`` defaults to the stock jitter plan for ``seed`` — pass an
     explicit plan to replay a custom schedule. ``baseline`` short-cuts
-    recomputing the reference when sweeping many seeds.
+    recomputing the reference when sweeping many seeds. With
+    ``sanitize=True`` every run is executed under the access sanitizer:
+    a :class:`repro.errors.RaceError` is a failure like any divergence,
+    so a statically race-free pattern must also sanitize clean.
     """
     case = next(c for c in CASES if c.name == pattern)
     if plan is None:
         plan = FaultPlan.jitter(seed)
     if baseline is None:
-        baseline = case.baseline(target, watchdog)
+        baseline = case.baseline(target, watchdog, sanitize, tally)
     try:
-        got = case.run(target, plan, watchdog)
+        got = case.run(target, plan, watchdog, sanitize, tally)
     except Exception as exc:
         return FuzzFailure(pattern, target, seed,
                            f"raised {type(exc).__name__}: {exc}")
@@ -417,22 +452,28 @@ def static_twin_program(name: str):
 
 def fuzz(patterns=CASE_NAMES, targets=FUZZ_TARGETS, seeds=range(50),
          watchdog: Watchdog | None = FUZZ_WATCHDOG,
-         progress: Callable[[str], None] | None = None
-         ) -> list[FuzzFailure]:
+         progress: Callable[[str], None] | None = None,
+         sanitize: bool = False,
+         tally: dict | None = None) -> list[FuzzFailure]:
     """Sweep seeds over every (pattern, target); returns all failures.
 
     The baseline for each (pattern, target) is computed once and reused
-    across the whole seed sweep.
+    across the whole seed sweep. With ``sanitize=True`` every run also
+    arms the access sanitizer (differential soundness: a pattern the
+    static race pass accepts must never raise ``RaceError`` under any
+    schedule); ``tally`` accumulates ``sanitizer_checks`` across runs
+    for the CI stats artifact.
     """
     failures: list[FuzzFailure] = []
     for pattern in patterns:
         case = next(c for c in CASES if c.name == pattern)
         for target in targets:
-            baseline = case.baseline(target, watchdog)
+            baseline = case.baseline(target, watchdog, sanitize, tally)
             bad = 0
             for seed in seeds:
                 failure = fuzz_one(pattern, target, seed,
-                                   watchdog=watchdog, baseline=baseline)
+                                   watchdog=watchdog, baseline=baseline,
+                                   sanitize=sanitize, tally=tally)
                 if failure is not None:
                     failures.append(failure)
                     bad += 1

@@ -258,6 +258,13 @@ class Engine:
         run to the fault-tolerance runtime: per-target bounded-retry
         policies for dropped messages, deadline-based failure
         detection, and coordinated checkpointing at sync boundaries.
+    sanitize:
+        If true, arm the byte-interval access sanitizer
+        (:class:`repro.sim.sanitizer.AccessSanitizer`): the directive
+        backends record communication accesses with happens-before from
+        the executed synchronization, and two unordered conflicting
+        accesses abort the run with :class:`repro.errors.RaceError` —
+        the dynamic cross-check of the static CI04x race findings.
     """
 
     def __init__(self, nprocs: int, *, trace: bool = False,
@@ -266,7 +273,8 @@ class Engine:
                  faults: Any = None,
                  watchdog: Any = None,
                  profile: bool = False,
-                 recovery: Any = None):
+                 recovery: Any = None,
+                 sanitize: bool = False):
         if nprocs < 1:
             raise ValueError(f"nprocs must be >= 1, got {nprocs}")
         self.nprocs = nprocs
@@ -290,6 +298,13 @@ class Engine:
             self.profile: Any = Profile()
         else:
             self.profile = None
+        if sanitize:
+            from repro.sim.sanitizer import AccessSanitizer
+            #: The armed access sanitizer, consulted by the directive
+            #: backends (``None`` = not sanitizing).
+            self.sanitizer: Any = AccessSanitizer(self)
+        else:
+            self.sanitizer = None
         self.procs: list[Proc] = []
         #: Runnable ranks as a ``(virtual time, rank)`` min-heap. Keys are
         #: stable while a proc stays READY (only a RUNNING rank can move

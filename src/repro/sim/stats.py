@@ -51,6 +51,10 @@ class SimStats:
     #: Seed of the bound :class:`repro.faults.FaultPlan`, recorded so a
     #: failure report is replayable; ``None`` when no plan was bound.
     fault_seed: int | None = None
+    #: Pairwise access comparisons performed by the armed sanitizer
+    #: (``Engine(sanitize=True)``); zero means it never ran — a clean
+    #: sanitized run must show a positive count to prove coverage.
+    sanitizer_checks: int = 0
 
     # -- recovery counters (populated when a RecoveryContext is bound;
     # aggregated across restart attempts by repro.recovery.manager) ----
@@ -126,6 +130,8 @@ class SimStats:
         if self.fault_seed is not None:
             parts.append(f"fault_seed={self.fault_seed}")
             parts.append(f"faults={sum(self.faults.values())}")
+        if self.sanitizer_checks:
+            parts.append(f"sanitizer_checks={self.sanitizer_checks}")
         if (self.failures_detected or self.retries
                 or self.checkpoints_taken or self.restarts):
             parts.append(f"failures_detected={self.failures_detected}")

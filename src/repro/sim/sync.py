@@ -72,6 +72,12 @@ class Rendezvous:
             return env.now
         # Last to arrive: compute the release time and wake everyone.
         release = max(self._arrivals.values()) + self.cost_fn(len(self.members))
+        sanitizer = env.engine.sanitizer
+        if sanitizer is not None:
+            # A barrier orders everything across it for its members:
+            # join all member clocks (single-threaded, so mutating the
+            # blocked members' clocks here is race-free).
+            sanitizer.barrier_join(self.members)
         if profile is not None:
             # The episode's critical arriver: everyone else's wait ends
             # because of it (the cross-rank happens-before edge the

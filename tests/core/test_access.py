@@ -1,0 +1,100 @@
+"""Symbolic byte-interval derivation (the CI04x evidence substrate)."""
+
+from repro.core.analysis.access import (
+    ByteInterval,
+    buffer_interval,
+    element_size_of,
+    widened_interval,
+    write_interval,
+)
+from repro.core.pragma import parse_program
+
+DECLS = parse_program("""
+double a[16];
+float f[8];
+int n[4];
+double *p;
+""").decls
+
+
+class TestByteInterval:
+    def test_overlap_is_common_range(self):
+        got = ByteInterval(0, 64).overlap(ByteInterval(32, 128))
+        assert got == ByteInterval(32, 64)
+
+    def test_disjoint_is_none(self):
+        assert ByteInterval(0, 32).overlap(ByteInterval(32, 64)) is None
+        assert ByteInterval(64, 96).overlap(ByteInterval(0, 64)) is None
+
+    def test_unknown_extent_overlaps(self):
+        got = ByteInterval(0, None).overlap(ByteInterval(8, 16))
+        assert got == ByteInterval(8, 16)
+
+    def test_widened_is_sticky_through_overlap(self):
+        got = ByteInterval(0, 64, widened=True).overlap(ByteInterval(0, 8))
+        assert got is not None and got.widened
+
+    def test_describe_spells_bytes_and_widening(self):
+        assert ByteInterval(8, 24).describe() == "bytes [8, 24)"
+        assert ByteInterval(0, None).describe() == "bytes [0, ...)"
+        assert "widened" in ByteInterval(0, 8, widened=True).describe()
+
+
+class TestElementSize:
+    def test_declared_storage_size(self):
+        assert element_size_of(DECLS["a"]) == 8
+        assert element_size_of(DECLS["f"]) == 4
+        assert element_size_of(DECLS["n"]) == 4
+
+    def test_undeclared_defaults_to_one(self):
+        assert element_size_of(None) == 1
+
+
+class TestBufferInterval:
+    def test_plain_name_with_count(self):
+        got = buffer_interval("a", "4", DECLS, {})
+        assert got == ByteInterval(0, 32)
+
+    def test_subscript_offset(self):
+        got = buffer_interval("&a[2]", "4", DECLS, {})
+        assert got == ByteInterval(16, 48)
+
+    def test_variables_bind_in_offset_and_count(self):
+        got = buffer_interval("&a[p]", "n", DECLS, {"p": 1, "n": 2})
+        assert got == ByteInterval(8, 24)
+
+    def test_unevaluable_offset_widens_to_allocation(self):
+        got = buffer_interval("&a[loopvar]", "4", DECLS, {})
+        assert got == ByteInterval(0, 128, widened=True)
+
+    def test_missing_count_widens(self):
+        got = buffer_interval("a", None, DECLS, {})
+        assert got.widened and got == ByteInterval(0, 128, widened=True)
+
+    def test_pointer_widens_with_unknown_extent(self):
+        got = buffer_interval("p", None, DECLS, {})
+        assert got == ByteInterval(0, None, widened=True)
+
+    def test_oversized_count_clamped_to_allocation(self):
+        got = buffer_interval("&a[8]", "100", DECLS, {})
+        assert got == ByteInterval(64, 128)
+
+    def test_widened_interval_covers_declaration(self):
+        assert widened_interval(DECLS["f"]) == ByteInterval(
+            0, 32, widened=True)
+
+
+class TestWriteInterval:
+    def test_evaluable_index_pins_one_element(self):
+        assert write_interval("a", "3", DECLS, {}) == ByteInterval(24, 32)
+
+    def test_index_expression_uses_bindings(self):
+        got = write_interval("a", "rank+1", DECLS, {"rank": 2})
+        assert got == ByteInterval(24, 32)
+
+    def test_unevaluable_index_widens(self):
+        got = write_interval("a", "i", DECLS, {})
+        assert got == ByteInterval(0, 128, widened=True)
+
+    def test_out_of_range_index_clamped(self):
+        assert write_interval("a", "99", DECLS, {}) == ByteInterval(128, 128)

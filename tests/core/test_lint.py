@@ -179,3 +179,35 @@ class TestRenderers:
         report = lint_program(parse_program(CLEAN), nprocs=6)
         log = json.loads(render_sarif([report]))
         assert log["runs"][0]["results"] == []
+
+
+class TestSarifRuleRegistry:
+    def test_every_registered_rule_is_emitted(self):
+        from repro.core.analysis.codes import RULES
+        log = json.loads(render_sarif(
+            [lint_program(parse_program(CLEAN), nprocs=6)]))
+        rules = {r["id"]: r
+                 for r in log["runs"][0]["tool"]["driver"]["rules"]}
+        assert set(rules) == set(RULES)
+
+    def test_rules_carry_help_and_descriptions(self):
+        from repro.core.analysis.codes import RULES, help_uri
+        log = json.loads(render_sarif(
+            [lint_program(parse_program(CLEAN), nprocs=6)]))
+        levels = {"error": "error", "warning": "warning", "info": "note"}
+        for entry in log["runs"][0]["tool"]["driver"]["rules"]:
+            rule = RULES[entry["id"]]
+            assert entry["helpUri"] == help_uri(rule.code)
+            assert entry["name"] == rule.name
+            assert entry["shortDescription"]["text"] == rule.summary
+            level = entry["defaultConfiguration"]["level"]
+            assert level == levels[rule.severity]
+
+    def test_race_rules_present_with_error_level(self):
+        from repro.core.analysis.codes import RACE_CODES
+        log = json.loads(render_sarif(
+            [lint_program(parse_program(CLEAN), nprocs=6)]))
+        rules = {r["id"]: r
+                 for r in log["runs"][0]["tool"]["driver"]["rules"]}
+        for code in sorted(RACE_CODES):
+            assert rules[code]["defaultConfiguration"]["level"] == "error"

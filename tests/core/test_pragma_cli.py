@@ -261,3 +261,55 @@ def test_lint_fix_rewrites_file_in_place(slow_file, capsys):
     # the fixed file now lints clean of CI100 even with --advise
     assert main_lint([slow_file, "--advise"]) == 0
     assert "CI100" not in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# --fail-on: exit-code policy
+
+WARN_ONLY = """\
+double out[16];
+double in[16];
+int rank, nprocs;
+#pragma comm_parameters sender((rank+1)%nprocs) receiver((rank-1+nprocs)%nprocs)
+{
+#pragma comm_p2p sbuf(out) rbuf(in)
+  out[i] = 0.0;
+#pragma end_adjacent
+}
+"""
+
+
+@pytest.fixture
+def warn_only_file(tmp_path):
+    # The unevaluable write index widens the CI041 byte interval, so
+    # the race finding is demoted to a warning — and nothing else in
+    # the program is refutable.
+    f = tmp_path / "warn_only.c"
+    f.write_text(WARN_ONLY)
+    return str(f)
+
+
+def test_fail_on_error_is_the_default(ring_file, deadlock_file, capsys):
+    assert main_lint([ring_file, "--fail-on", "error"]) == 0
+    assert main_lint([deadlock_file, "--fail-on", "error"]) == 1
+    capsys.readouterr()
+
+
+def test_clean_file_passes_even_on_warning(ring_file, capsys):
+    assert main_lint([ring_file, "--fail-on", "warning"]) == 0
+    capsys.readouterr()
+
+
+def test_warnings_pass_by_default(warn_only_file, capsys):
+    assert main_lint([warn_only_file]) == 0
+    assert "warning [CI041]" in capsys.readouterr().out
+
+
+def test_fail_on_warning_fails_warning_only_report(warn_only_file, capsys):
+    assert main_lint([warn_only_file, "--fail-on", "warning"]) == 1
+    assert "warning [CI041]" in capsys.readouterr().out
+
+
+def test_fail_on_warning_still_fails_errors(deadlock_file, capsys):
+    assert main_lint([deadlock_file, "--fail-on", "warning"]) == 1
+    capsys.readouterr()

@@ -1,0 +1,84 @@
+"""The CI04x static race pass over the seeded counterexamples.
+
+``examples/pragmas/races/`` holds one minimized program per CI04x
+code; each must be refuted with byte-range evidence. The same files
+are the positive half of the differential cross-check in
+``tests/sim/test_sanitizer.py``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.analysis import lint_program
+from repro.core.analysis.codes import RACE_CODES
+from repro.core.pragma import parse_program
+
+RACES_DIR = (Path(__file__).resolve().parents[2]
+             / "examples" / "pragmas" / "races")
+
+#: file stem -> the CI04x code its directives must be refuted with.
+EXPECTED = {
+    "halo_corner_update": "CI040",
+    "send_reuse": "CI041",
+    "sendrecv_alias": "CI042",
+    "symheap_collision": "CI043",
+}
+
+
+def lint_example(stem):
+    source = (RACES_DIR / f"{stem}.c").read_text()
+    return lint_program(parse_program(source), nprocs=8,
+                        path=f"races/{stem}.c")
+
+
+class TestSeededRaces:
+    def test_every_race_code_has_a_seeded_example(self):
+        assert set(EXPECTED.values()) == set(RACE_CODES)
+        for stem in EXPECTED:
+            assert (RACES_DIR / f"{stem}.c").is_file()
+
+    @pytest.mark.parametrize("stem,code", sorted(EXPECTED.items()))
+    def test_example_is_refuted_with_its_code(self, stem, code):
+        report = lint_example(stem)
+        findings = [d for d in report.errors if d.code == code]
+        assert findings, report.render()
+
+    @pytest.mark.parametrize("stem", sorted(EXPECTED))
+    def test_evidence_carries_byte_ranges_and_ranks(self, stem):
+        report = lint_example(stem)
+        for d in report.errors:
+            if d.code in RACE_CODES:
+                assert "bytes [" in d.message
+                assert "rank" in d.message
+
+    def test_clean_ring_has_no_race_findings(self):
+        source = """
+double a[16]; double b[16];
+int rank, nprocs;
+#pragma comm_parameters sender((rank+1)%nprocs) receiver((rank-1+nprocs)%nprocs)
+{
+#pragma comm_p2p sbuf(a) rbuf(b)
+}
+"""
+        report = lint_program(parse_program(source), nprocs=8)
+        assert not [d for d in report.diagnostics if d.code in RACE_CODES]
+
+    def test_widened_write_demotes_to_warning(self):
+        # An unevaluable write index widens the byte interval, so the
+        # CI041 finding is a warning (possible race), not a proof.
+        source = """
+double out[16]; double in[16];
+int rank, nprocs;
+#pragma comm_parameters sender((rank+1)%nprocs) receiver((rank-1+nprocs)%nprocs)
+{
+#pragma comm_p2p sbuf(out) rbuf(in)
+  out[i] = 0.0;
+#pragma end_adjacent
+}
+"""
+        report = lint_program(parse_program(source), nprocs=8)
+        races = [d for d in report.diagnostics if d.code == "CI041"]
+        assert races and all(d.severity == "warning" for d in races)
+        assert not report.errors
+        assert all("widened" in d.message for d in races)
