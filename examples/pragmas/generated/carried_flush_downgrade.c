@@ -1,0 +1,27 @@
+/* repro-gen minimized repro: seed=44 mode=racy nprocs=5 kind=missed-race
+ *
+ * Two adjacent END_ADJ_PARAM_REGIONS regions deliver into the same
+ * buf5. The chain defers the first region's sync, so when the second
+ * region's directive posts, the first delivery is still in flight as
+ * *carried* communication. The dependent-buffer downgrade CI020
+ * promises must flush that carry before the aliasing directive posts
+ * (directives.py checks RegionState.carried, not just the innermost
+ * region's pending) — under the old runtime the carry was never
+ * checked and the two deliveries raced. Statically a warning-only
+ * program; dynamically it must sanitize clean.
+ */
+double buf2[8];
+double buf4[8];
+double buf5[4];
+#pragma comm_parameters place_sync(END_ADJ_PARAM_REGIONS)
+{
+    #pragma comm_p2p sender((rank+1)%nprocs) receiver((rank-1+nprocs)%nprocs) sbuf(buf2) rbuf(buf5) target(TARGET_COMM_MPI_1SIDE)
+    {
+    }
+}
+#pragma comm_parameters place_sync(END_ADJ_PARAM_REGIONS)
+{
+    #pragma comm_p2p sender((rank-1+nprocs)%nprocs) receiver((rank+1)%nprocs) sbuf(buf4) rbuf(buf5) target(TARGET_COMM_MPI_2SIDE)
+    {
+    }
+}

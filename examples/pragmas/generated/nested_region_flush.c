@@ -1,0 +1,21 @@
+/* repro-gen minimized repro: seed=69 mode=racy nprocs=2 kind=missed-race
+ *
+ * A nested comm_parameters region whose directive delivers into the
+ * same buf1 as the still-pending directive of the ENCLOSING region.
+ * The dependent-buffer flush must scan every region on the stack, not
+ * only the innermost pending set (directives.py) — under the old
+ * runtime the outer delivery was invisible to the aliasing check and
+ * the two deliveries raced. Statically a warning-only program;
+ * dynamically it must sanitize clean.
+ */
+double buf0[16];
+double buf1[12];
+double buf2[12];
+#pragma comm_parameters
+{
+    #pragma comm_p2p sender(rank^1) receiver(rank^1) sbuf(buf2) rbuf(buf1)
+    #pragma comm_parameters
+    {
+        #pragma comm_p2p sender((rank+1)%nprocs) receiver((rank-1+nprocs)%nprocs) sbuf(buf0) rbuf(buf1)
+    }
+}

@@ -1,0 +1,14 @@
+/* repro-gen minimized repro: seed=1 mode=racy nprocs=3 kind=missed-race
+ * (found under --weaken-oracle ignore-races)
+ *
+ * Two standalone directives deliver into the same buf7: a pairwise
+ * exchange and an even/odd neighbor send. Their windows overlap on
+ * every receiving rank, so the static race pass must prove CI040 —
+ * this file is the expected-findings regression for the planted
+ * "shared-rbuf" generator defect.
+ */
+double buf2[8];
+double buf6[6];
+double buf7[8];
+#pragma comm_p2p sender(rank-1) receiver(rank+1) sendwhen(rank%2==0 && rank+1<nprocs) receivewhen(rank%2==1) sbuf(buf2) rbuf(buf7) target(TARGET_COMM_MPI_2SIDE)
+#pragma comm_p2p sender(rank^1) receiver(rank^1) sendwhen((rank^1)<nprocs) receivewhen((rank^1)<nprocs) sbuf(buf6) rbuf(buf7)

@@ -1,0 +1,14 @@
+/* repro-gen minimized repro: seed=13 mode=racy nprocs=4 kind=missed-race
+ * (found under --weaken-oracle ignore-races)
+ *
+ * A neighbor shift and a stride-2 shift both deliver into buf5 under
+ * the SHMEM sweep: puts from two different origins land in the same
+ * symmetric allocation with no ordering between them, the CI043
+ * symmetric-heap collision. Expected-findings regression for the
+ * planted "shared-rbuf" generator defect on the one-sided path.
+ */
+double buf0[6];
+double buf4[8];
+double buf5[12];
+#pragma comm_p2p sender(rank-1) receiver(rank+1) sendwhen(rank%2==0 && rank+1<nprocs) receivewhen(rank%2==1) sbuf(buf0) rbuf(buf5)
+#pragma comm_p2p sender(rank-2) receiver(rank+2) sendwhen(rank+2<nprocs) receivewhen(rank>=2) sbuf(buf4) rbuf(buf5)

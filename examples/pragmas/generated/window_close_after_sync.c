@@ -1,0 +1,21 @@
+/* repro-gen minimized repro: seed=1 mode=racy nprocs=3 kind=missed-race
+ *
+ * Pins the CI04x window rule "a handle's access window closes AFTER
+ * its guaranteeing sync returns" (races.py, end = sync.index + 1).
+ * The standalone pairwise put (SHMEM sweep) starts at a vector-clock
+ * index equal to the region sync that closes the mpi2s delivery into
+ * the same buf7: under the old exclusive-end rule the windows were
+ * adjacent instead of overlapping and the race was missed statically
+ * while the access sanitizer observed it dynamically.
+ */
+double buf0[12];
+double buf1[12];
+double buf2[8];
+double buf6[6];
+double buf7[8];
+#pragma comm_parameters
+{
+    #pragma comm_p2p sender(rank-1) receiver(rank+1) sendwhen(rank%2==0 && rank+1<nprocs) receivewhen(rank%2==1) sbuf(buf2) rbuf(buf7) target(TARGET_COMM_MPI_2SIDE)
+    #pragma comm_p2p sender((rank+1)%nprocs) receiver((rank-1+nprocs)%nprocs) sbuf(buf0) rbuf(buf1)
+}
+#pragma comm_p2p sender(rank^1) receiver(rank^1) sendwhen((rank^1)<nprocs) receivewhen((rank^1)<nprocs) sbuf(buf6) rbuf(buf7)

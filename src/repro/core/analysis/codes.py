@@ -67,6 +67,12 @@ RULES: dict[str, Rule] = {r.code: r for r in (
     Rule("CI006", "mismatched-sender", "warning",
          "a receiver's sender clause names a different rank than the "
          "one that actually sends to it"),
+    Rule("CI007", "mismatched-lowering", "error",
+         "positionally matched send and receive halves lower to "
+         "different targets; no backend delivers across lowerings, so "
+         "the receiver's synchronization can never complete",
+         "give both directives the same target clause (or drop both "
+         "target clauses so the default lowering applies)"),
     Rule("CI010", "stale-read-overlap", "error",
          "the overlap body references a buffer that is still in flight",
          "move the access after the synchronization point, or drop the "
@@ -151,7 +157,8 @@ RULES: dict[str, Rule] = {r.code: r for r in (
 )}
 
 #: Codes whose findings prove a hang: the program cannot terminate.
-DEADLOCK_CODES: frozenset[str] = frozenset({"CI001", "CI002", "CI003"})
+DEADLOCK_CODES: frozenset[str] = frozenset({"CI001", "CI002", "CI003",
+                                            "CI007"})
 
 #: Codes whose findings prove a stale read: data consumed unguaranteed.
 STALE_READ_CODES: frozenset[str] = frozenset({"CI010", "CI011", "CI012"})

@@ -21,7 +21,10 @@ feed:
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass, field
+from typing import Any
 
 #: Event kinds.
 POST_SEND = "post_send"
@@ -81,6 +84,13 @@ class Handle:
     sync: Event | None = None
     #: The matched opposite half on the peer rank, if any.
     matched: "Handle | None" = None
+    #: The positionally paired half whose lowering target disagrees
+    #: (CI007): the shared sequence counters pair them, but no backend
+    #: delivers across lowerings, so they never match.
+    mislowered: "Handle | None" = None
+    #: For sends: the paired destination-buffer expression (the rbuf the
+    #: runtime zips with this sbuf), for delivery-site byte intervals.
+    dest_expr: str = ""
     #: id() of the enclosing region node; None for standalone p2p.
     region_key: int | None = None
 
@@ -189,6 +199,95 @@ def vector_clocks(graph: HBGraph) -> dict[Event, list[int]]:
                 changed = True
             progress[tidx] = i
     return done
+
+
+# ---------------------------------------------------------------------------
+# Content-hash keyed unroll cache
+#
+# One symbolic unroll — the per-rank tracers plus the assembled
+# happens-before graph — is pure in (source text, nprocs, extra_vars,
+# target, weakening, sync-plan shape). The verify, race and batch-lint
+# passes all consume the same unroll, and batch linting thousands of
+# generated programs (repro.gen) re-verifies identical shrunk
+# candidates constantly; caching by content hash means each distinct
+# (program, nprocs, target) pays the graph cost once instead of once
+# per pass.
+
+
+@dataclass
+class CachedUnroll:
+    """One memoized symbolic unroll: tracers + graph (either may be
+    ``None``-ish only in the nothing-to-unroll case, where ``graph`` is
+    ``None`` and ``tracers`` is the empty-handled tracer list)."""
+
+    tracers: list[Any]
+    graph: "HBGraph | None"
+
+
+class GraphCache:
+    """Bounded LRU of :class:`CachedUnroll` keyed by content hash."""
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._store: OrderedDict[str, CachedUnroll] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def get(self, key: str) -> CachedUnroll | None:
+        """The cached unroll for ``key``, refreshing its LRU slot."""
+        entry = self._store.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._store.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: str, value: CachedUnroll) -> None:
+        """Store ``value``, evicting the least recently used entry."""
+        self._store[key] = value
+        self._store.move_to_end(key)
+        while len(self._store) > self.maxsize:
+            self._store.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> dict[str, int]:
+        """Counters for tooling (the ``repro-gen`` stats artifact)."""
+        return {"entries": len(self._store), "hits": self.hits,
+                "misses": self.misses}
+
+
+#: The process-wide unroll cache :func:`repro.core.analysis.verify.
+#: verify_program` consults (pass ``cache=False`` there to bypass).
+GRAPH_CACHE = GraphCache()
+
+
+def unroll_key(source: str, nprocs: int, target: str,
+               extra_vars: dict[str, int] | None,
+               weakening: str | None,
+               plan_fingerprint: tuple[tuple[int, str], ...]) -> str:
+    """Content hash identifying one symbolic unroll.
+
+    Everything the unroll is a pure function of participates: the
+    printed source (the parse/print fixpoint makes it canonical), the
+    world size, extra variable bindings, the default lowering target,
+    the applied weakening, and the sync-plan shape (line/position pairs
+    — a caller-mutated plan changes the fingerprint).
+    """
+    h = hashlib.sha256()
+    h.update(source.encode())
+    h.update(repr((nprocs, target, weakening,
+                   tuple(sorted((extra_vars or {}).items())),
+                   plan_fingerprint)).encode())
+    return h.hexdigest()
 
 
 def find_cycle(graph: HBGraph, done: set[Event]) -> list[Event]:

@@ -32,7 +32,7 @@ from repro.core.analysis.dataflow import (
 from repro.core.analysis.infer import infer_count_static
 from repro.core.analysis.overlap import overlap_legal
 from repro.core.analysis.syncopt import SyncPlan, plan_synchronization
-from repro.core.analysis.verify import verify_program
+from repro.core.analysis.verify import verify_all_targets
 from repro.core.clauses import Target
 from repro.core.ir import P2PNode, Program
 from repro.errors import ReproError, VerificationError
@@ -261,10 +261,11 @@ def _verify_all_targets(program: Program, nprocs: int,
     per_target: dict[tuple[str, int, int | None, str],
                      tuple[Diagnostic, list[str]]] = {}
     order: list[tuple[str, int, int | None, str]] = []
+    verdicts = verify_all_targets(program, nprocs=nprocs,
+                                  extra_vars=extra_vars, plan=plan,
+                                  targets=swept)
     for target in swept:
-        verdict = verify_program(program, nprocs=nprocs, target=target,
-                                 extra_vars=extra_vars, plan=plan,
-                                 report_unrollable=False)
+        verdict = verdicts[target]
         for d in verdict.diagnostics:
             key = (d.code, d.line, d.directive, d.message)
             if key not in per_target:

@@ -16,11 +16,19 @@ original on the same ``(nprocs, target, netmodel)`` triple.
 Compute statements
 ------------------
 
-Raw code is not executed (it is C text), with one modeled exception:
-a line containing ``compute_us(expr)`` charges ``expr`` microseconds of
-computation to the executing rank via ``env.compute``. This is how the
-pessimized examples (``examples/pragmas/slow/``) express overlap-able
-work so the advisor's savings become visible in simulation.
+Raw code is mostly not executed (it is C text), with two modeled
+exceptions:
+
+* a line containing ``compute_us(expr)`` charges ``expr`` microseconds
+  of computation to the executing rank via ``env.compute`` — how the
+  pessimized examples (``examples/pragmas/slow/``) express overlap-able
+  work so the advisor's savings become visible in simulation;
+* a plain element assignment ``name[idx] = expr;`` whose index and
+  right-hand side both evaluate in the clause-expression language is
+  *performed* on the materialized buffer (and recorded by the access
+  sanitizer when armed). Generated programs use this to seed each rank
+  with distinct data, which is what makes the differential oracle's
+  bit-for-bit payload comparison across lowering targets meaningful.
 """
 
 from __future__ import annotations
@@ -54,16 +62,19 @@ from repro.sim import Engine
 from repro.sim.process import Env
 from repro.sim.stats import SimStats
 
-__all__ = ["ProgramSimError", "SimOutcome", "simulate_program"]
+__all__ = ["ProgramSimError", "SimOutcome", "simulate_program",
+           "simulate_all_targets"]
 
 #: ``compute_us(<expr>)`` in raw code charges modeled microseconds.
 _COMPUTE = re.compile(r"\bcompute_us\s*\(([^()]*)\)")
 
 #: ``name[idx] = ...`` (plain or compound) in raw code — the write
 #: sites the access sanitizer records (mirrors the static verifier's
-#: assignment scan; ``==``/``<=``/``>=``/``!=`` are rejected).
+#: assignment scan; ``==``/``<=``/``>=``/``!=`` are rejected). The
+#: compound operator, when present, is captured so plain ``=`` stores
+#: can additionally be performed on the materialized buffer.
 _ASSIGN = re.compile(
-    r"\b([A-Za-z_]\w*)\s*\[([^\][]*)\]\s*(?:[+\-*/%&|^]|<<|>>)?=(?!=)")
+    r"\b([A-Za-z_]\w*)\s*\[([^\][]*)\]\s*([+\-*/%&|^]|<<|>>)?=(?!=)")
 
 
 class ProgramSimError(ReproError):
@@ -85,6 +96,15 @@ class SimOutcome:
     #: Engine statistics of the run (message counts, and — when
     #: ``sanitize=True`` — the ``sanitizer_checks`` pair count).
     stats: SimStats | None = None
+    #: Final per-rank buffer contents (``capture=True`` only): one
+    #: ``{buffer name: element list}`` dict per rank. This is the
+    #: bit-for-bit payload the differential oracle compares across
+    #: lowering targets.
+    payloads: tuple[dict[str, list[float]], ...] | None = None
+    #: Race reports observed in collect mode (``sanitize="collect"``):
+    #: the run finishes and every conflicting access pair is recorded
+    #: instead of aborting on the first.
+    races: tuple[str, ...] = ()
 
 
 def simulate_program(program: Program, nprocs: int = 8, *,
@@ -93,7 +113,9 @@ def simulate_program(program: Program, nprocs: int = 8, *,
                      model: MachineModel | None = None,
                      max_time: float | None = 10.0,
                      profile: bool = False,
-                     sanitize: bool = False) -> SimOutcome:
+                     sanitize: "bool | str" = False,
+                     faults: Any = None,
+                     capture: bool = False) -> SimOutcome:
     """Run ``program`` on ``nprocs`` simulated ranks and time it.
 
     ``target`` is the default lowering for directives without an
@@ -115,16 +137,28 @@ def simulate_program(program: Program, nprocs: int = 8, *,
     is armed and raw-code buffer assignments are recorded as point
     writes, so a program the static race pass refutes (CI04x) aborts
     here with :class:`repro.errors.RaceError` — the differential
-    cross-check the race examples exercise.
+    cross-check the race examples exercise. ``sanitize="collect"``
+    arms the sanitizer in *collect* mode instead: the run completes
+    and every observed race report is returned on
+    :attr:`SimOutcome.races` (the differential oracle's precision
+    measurement needs the full list, not the first abort).
+
+    ``faults`` applies a :class:`repro.faults.plan.FaultPlan` —
+    adversarial delivery timing for the generated-program fuzz arm.
+    With ``capture=True`` the final contents of every materialized
+    buffer are returned on :attr:`SimOutcome.payloads`, one dict per
+    rank, for bit-for-bit comparison across lowering targets.
     """
     default_target = Target.parse(target)
     machine = model if model is not None else gemini_model()
     order, symmetric = _plan_buffers(program, default_target)
     extras = dict(extra_vars or {})
     engine = Engine(nprocs, max_time=max_time, profile=profile,
-                    sanitize=sanitize)
+                    sanitize=bool(sanitize), faults=faults)
+    if sanitize == "collect" and engine.sanitizer is not None:
+        engine.sanitizer.collect = True
 
-    def main(env: Env) -> None:
+    def main(env: Env) -> dict[str, list[float]] | None:
         mpi.init(env, machine)  # fix the machine model for all targets
         buffers = _allocate(env, order, symmetric)
         variables: dict[str, Any] = {"nprocs": env.size,
@@ -133,12 +167,38 @@ def simulate_program(program: Program, nprocs: int = 8, *,
         _Executor(env, buffers, variables, default_target).run(
             program.nodes)
         comm_flush(env)
+        if not capture:
+            return None
+        return {name: np.asarray(
+            buf.data if hasattr(buf, "data") else buf
+        ).reshape(-1).tolist() for name, buf in buffers.items()}
 
     result = engine.run(main)
     times = tuple(result.finish_times)
+    races: tuple[str, ...] = ()
+    if engine.sanitizer is not None and engine.sanitizer.collect:
+        races = tuple(str(r) for r in engine.sanitizer.races)
     return SimOutcome(nprocs=nprocs, target=default_target.value,
                       modeled_time=max(times), finish_times=times,
-                      profile=result.profile, stats=engine.stats)
+                      profile=result.profile, stats=engine.stats,
+                      payloads=(tuple(result.values) if capture
+                                else None),
+                      races=races)
+
+
+def simulate_all_targets(program: Program, nprocs: int = 8, *,
+                         targets: "list[Target] | None" = None,
+                         **kwargs: Any) -> dict[str, SimOutcome]:
+    """Batch entry point: run the program once per lowering target.
+
+    ``kwargs`` are forwarded to :func:`simulate_program`; the result is
+    keyed by target keyword. A directive's explicit ``target`` clause
+    still wins inside each run, exactly as in the verifier sweep.
+    """
+    swept = list(targets) if targets else list(Target)
+    return {t.value: simulate_program(program, nprocs, target=t,
+                                      **kwargs)
+            for t in swept}
 
 
 # ---------------------------------------------------------------------------
@@ -250,17 +310,44 @@ class _Executor:
                 self._p2p(node, region_clauses)
 
     def _raw(self, node: RawCode) -> None:
-        for line in node.lines:
+        sanitizer = self.env.engine.sanitizer
+        for offset, line in enumerate(node.lines):
             for match in _COMPUTE.finditer(line):
                 micros = exprs.evaluate(match.group(1), self.variables)
                 self.env.compute(float(micros) * 1e-6)
-        sanitizer = self.env.engine.sanitizer
-        if sanitizer is not None:
-            for offset, line in enumerate(node.lines):
-                for match in _ASSIGN.finditer(line):
-                    self._raw_write(sanitizer, match.group(1),
-                                    match.group(2).strip(),
+            for match in _ASSIGN.finditer(line):
+                name = match.group(1)
+                index = match.group(2).strip()
+                if sanitizer is not None:
+                    self._raw_write(sanitizer, name, index,
                                     node.line + offset)
+                if match.group(3) is None:
+                    rhs = line[match.end():]
+                    end = rhs.find(";")
+                    self._raw_store(name, index,
+                                    rhs[:end] if end != -1 else rhs)
+
+    def _raw_store(self, name: str, index: str, rhs: str) -> None:
+        """Perform an evaluable plain assignment on the real buffer.
+
+        Anything outside the clause-expression language (function
+        calls, unknown names, non-integer indices) is silently left as
+        C text, exactly as before — only the evaluable stores that seed
+        generated programs with rank-distinct data take effect.
+        """
+        buf = self.buffers.get(name)
+        if buf is None:
+            return
+        try:
+            idx = exprs.evaluate(index, self.variables)
+            value = exprs.evaluate(rhs.strip(), self.variables)
+            if isinstance(idx, bool) or not isinstance(idx, int):
+                return
+            arr = np.asarray(buf.data if hasattr(buf, "data") else buf)
+            if 0 <= idx < arr.size:
+                arr[idx] = value
+        except (ReproError, TypeError, ValueError):
+            return
 
     def _raw_write(self, sanitizer: Any, name: str, index: str,
                    line: int) -> None:

@@ -42,6 +42,7 @@ from repro.core.analysis.access import (
     write_interval,
 )
 from repro.core.analysis.codes import Diagnostic, make
+from repro.core.analysis.independence import base_identifier
 from repro.core.analysis.infer import infer_count_static
 from repro.core.clauses import Target
 from repro.core.ir import Program
@@ -51,6 +52,7 @@ from repro.errors import ReproError
 _OPEN = 1 << 30
 
 _SHMEM = Target.SHMEM.value
+_PUT_LIKE = frozenset({Target.SHMEM.value, Target.MPI_1SIDE.value})
 
 
 class RankTrace(Protocol):
@@ -79,10 +81,14 @@ class _Access:
     #: Origin rank of a transfer (sender) / writer rank for raw code.
     origin: int | None = None
     #: Origin-trace indices of the transfer's post and flushing sync,
-    #: for the same-origin SHMEM ordering rule.
+    #: for the same-origin put ordering rule.
     origin_post: int | None = None
     origin_sync: int | None = None
     shmem: bool = False
+    #: True for put-based lowerings (SHMEM, MPI 1-sided): the delivery
+    #: is performed by the origin's epoch, so the origin's flush/quiet
+    #: orders it before anything the origin posts later.
+    put_like: bool = False
 
 
 def _count_exprs(program: Program) -> dict[int, str | None]:
@@ -109,6 +115,7 @@ def _collect(program: Program, tracers: Sequence[RankTrace],
              ) -> dict[tuple[int, str], list[_Access]]:
     """All accesses, grouped by (owner rank, buffer base name)."""
     counts = _count_exprs(program)
+    vars_of = {t.rank: t.variables for t in tracers}
     groups: dict[tuple[int, str], list[_Access]] = {}
 
     def add(acc: _Access) -> None:
@@ -120,8 +127,19 @@ def _collect(program: Program, tracers: Sequence[RankTrace],
             name = next(iter(h.names))
             span = buffer_interval(h.expr, counts.get(h.directive),
                                    program.decls, tracer.variables)
-            end = h.sync.index if h.sync is not None else _OPEN
+            # The handle is complete only when its guaranteeing sync
+            # *returns*: a cross-rank access ordered after every event
+            # before the sync but not after the sync itself (its
+            # vector-clock start equals the sync index — e.g. a SHMEM
+            # put landing concurrently with the receiver's Waitall)
+            # still conflicts with the in-flight transfer, so the
+            # window closes after the sync event, not before it.
+            # Same-rank accesses are unaffected (no two events share a
+            # trace index); this mirrors the dynamic sanitizer's
+            # close-epoch rule exactly.
+            end = h.sync.index + 1 if h.sync is not None else _OPEN
             shmem = h.target == _SHMEM
+            put_like = h.target in _PUT_LIKE
             if h.kind == "send":
                 add(_Access(
                     kind="read", comm=True, start=h.post.index,
@@ -132,7 +150,32 @@ def _collect(program: Program, tracers: Sequence[RankTrace],
                     origin=rank, origin_post=h.post.index,
                     origin_sync=(h.sync.index if h.sync is not None
                                  else None),
-                    shmem=shmem))
+                    shmem=shmem, put_like=put_like))
+                if shmem and h.matched is None and h.dest_expr:
+                    # An unmatched SHMEM put still delivers: the typed
+                    # put writes the destination PE's symmetric mirror
+                    # without any receiver participation, so the write
+                    # lands on the peer's timeline from the first peer
+                    # event not happening before the put onward — and
+                    # with no receiving sync, the window never closes.
+                    vc = clocks.get(h.post)
+                    add(_Access(
+                        kind="write", comm=True,
+                        start=(vc[h.peer] if vc is not None else 0),
+                        end=_OPEN,
+                        span=buffer_interval(
+                            h.dest_expr, counts.get(h.directive),
+                            program.decls, tracer.variables),
+                        owner=h.peer,
+                        name=base_identifier(h.dest_expr),
+                        line=h.post.line, directive=h.directive,
+                        desc=(f"the unreceived put delivered by the "
+                              f"directive at line {h.directive} from "
+                              f"rank {rank}"),
+                        origin=rank, origin_post=h.post.index,
+                        origin_sync=(h.sync.index
+                                     if h.sync is not None else None),
+                        shmem=True, put_like=True))
                 continue
             if h.matched is None:
                 continue  # nothing is ever delivered (CI002/CI003)
@@ -143,6 +186,16 @@ def _collect(program: Program, tracers: Sequence[RankTrace],
                 # the origin's put onward.
                 vc = clocks.get(h.matched.post)
                 start = vc[rank] if vc is not None else 0
+                # And it lands where the *origin* aims it: the shmem
+                # put writes the symmetric buffer named by the sender's
+                # rbuf operand, not the buffer this receive posted
+                # (they differ when mismatched directives pair up).
+                if h.matched.dest_expr:
+                    name = base_identifier(h.matched.dest_expr)
+                    span = buffer_interval(
+                        h.matched.dest_expr,
+                        counts.get(h.matched.directive), program.decls,
+                        vars_of.get(h.matched.rank, tracer.variables))
             add(_Access(
                 kind="write", comm=True, start=start, end=end,
                 span=span, owner=rank, name=name, line=h.post.line,
@@ -155,7 +208,7 @@ def _collect(program: Program, tracers: Sequence[RankTrace],
                 origin_post=h.matched.post.index,
                 origin_sync=(h.matched.sync.index
                              if h.matched.sync is not None else None),
-                shmem=shmem))
+                shmem=shmem, put_like=put_like))
         for event in tracer.trace:
             for wname, idx_expr in sorted(event.writes):
                 add(_Access(
@@ -172,9 +225,16 @@ def _collect(program: Program, tracers: Sequence[RankTrace],
 
 
 def _same_origin_ordered(a: _Access, b: _Access) -> bool:
-    """True for two same-origin SHMEM deliveries ordered by the
-    origin's flushing quiet (put, quiet, put never reorders)."""
-    if not (a.shmem and b.shmem and a.comm and b.comm):
+    """True for two same-origin put deliveries ordered by the origin's
+    flushing sync (put, flush/quiet, put never reorders).
+
+    The delivery of a put-based lowering (SHMEM *or* MPI 1-sided) is
+    performed by the origin's access epoch: the origin's quiet/flush
+    completes it remotely before anything the origin posts afterwards,
+    regardless of which put-based target each transfer uses. Two-sided
+    deliveries are receiver-driven (the Waitall on the receiver closes
+    them), so they never qualify."""
+    if not (a.put_like and b.put_like and a.comm and b.comm):
         return False
     if a.origin is None or a.origin != b.origin:
         return False

@@ -40,7 +40,7 @@ from repro.core.analysis.codes import Diagnostic, make
 from repro.core.analysis.independence import base_identifier
 from repro.core.analysis.races import race_diagnostics
 from repro.core.analysis.syncopt import SyncPlan, plan_synchronization
-from repro.core.clauses import Target
+from repro.core.clauses import SyncPlacement, Target
 from repro.core.ir import (
     ClauseExprs,
     Node,
@@ -144,6 +144,9 @@ class _RankTracer:
         self.handles: list[hb.Handle] = []
         self.pending: list[hb.Handle] = []
         self.downgrades: list[_Downgrade] = []
+        #: The placement policy deferring the current carry, mirroring
+        #: :class:`repro.core.region.RegionState.carry_mode`.
+        self.carry_mode: SyncPlacement | None = None
         self._skipped_first_sync = False
         self._enclosing: list[int] = []
 
@@ -189,8 +192,14 @@ class _RankTracer:
     def run(self, nodes: list[Node]) -> None:
         """Execute the whole program on this rank."""
         self._walk(nodes, region=None, region_clauses=None)
-        # Anything still pending at program end is never synchronized
-        # (e.g. a plan mutation removed the covering point).
+        # The runtime flushes any carried synchronization when the rank
+        # finishes (the trailing comm_flush of
+        # :func:`repro.core.analysis.progsim.simulate_program`); a
+        # terminal BEGIN_NEXT/END_ADJ carry completes there, not at its
+        # region's end.
+        if self.pending:
+            last = self.trace[-1].line if self.trace else 0
+            self._emit_sync(last + 1)
 
     def _walk(self, nodes: list[Node], region: ParamRegionNode | None,
               region_clauses: ClauseExprs | None) -> None:
@@ -198,11 +207,26 @@ class _RankTracer:
             if isinstance(node, RawCode):
                 self._scan_uses(node)
             elif isinstance(node, ParamRegionNode):
-                if (id(node), "begin") in self.plan_points:
-                    self._emit_sync(self.plan_points[(id(node), "begin")])
+                # Mirror RegionState.on_region_enter/on_region_exit:
+                # a carried sync drains at the entry of the region that
+                # ends its deferral, and a non-default placement defers
+                # this region's own pending instead of flushing it.
+                placement = node.place_sync
+                if self.carry_mode is SyncPlacement.BEGIN_NEXT_PARAM_REGION:
+                    self._emit_sync(node.line)
+                    self.carry_mode = None
+                elif (self.carry_mode
+                      is SyncPlacement.END_ADJ_PARAM_REGIONS
+                      and placement
+                      is not SyncPlacement.END_ADJ_PARAM_REGIONS):
+                    self._emit_sync(node.line)
+                    self.carry_mode = None
                 self._walk(node.body, node, node.clauses)
-                if (id(node), "end") in self.plan_points:
-                    self._emit_sync(self.plan_points[(id(node), "end")])
+                if placement is SyncPlacement.END_PARAM_REGION:
+                    self._emit_sync(node.line)
+                    self.carry_mode = None
+                else:
+                    self.carry_mode = placement
             elif isinstance(node, P2PNode):
                 self._directive(node, region, region_clauses)
 
@@ -241,15 +265,21 @@ class _RankTracer:
             # synchronization first — the plan is downgraded, never
             # miscompiled.
             live_names = _live_names(clauses, sends_here, recvs_here)
-            if not standalone and any(
-                    live_names & h.names for h in self.pending):
+            if any(live_names & h.names for h in self.pending):
+                # The runtime performs this flush for *every* directive
+                # whose buffers alias pending communication — a
+                # standalone comm_p2p drains carried sync too, it just
+                # keeps its own handles in its own set afterwards.
+                here = id(region) if region is not None else None
                 cross = any(live_names & h.names
-                            and h.region_key != id(region)
+                            and h.region_key != here
                             for h in self.pending)
                 self.downgrades.append(_Downgrade(
                     node.line, live_names, cross))
                 self._emit_sync(node.line)
-                pending_box = self.pending
+                self.carry_mode = None
+                if not standalone:
+                    pending_box = self.pending
             # Receives before sends, as the runtime posts them (so
             # one-sided exposure precedes the matching put).
             if recvs_here and 0 <= src < self.nprocs:
@@ -259,11 +289,16 @@ class _RankTracer:
                                                  base_identifier(rb)}),
                                              target, region, rb))
             if sends_here and 0 <= dst < self.nprocs:
-                for sb in clauses.sbuf:
+                for i, sb in enumerate(clauses.sbuf):
+                    # The runtime zips sbuf with rbuf: send i delivers
+                    # into the i-th receive buffer on the destination.
+                    dest = (clauses.rbuf[i]
+                            if i < len(clauses.rbuf) else "")
                     posted.append(self._post("send", node, dst,
                                              frozenset({
                                                  base_identifier(sb)}),
-                                             target, region, sb))
+                                             target, region, sb,
+                                             dest_expr=dest))
             pending_box.extend(posted)
 
         self._enclosing.append(node.line)
@@ -281,7 +316,7 @@ class _RankTracer:
     def _post(self, kind: str, node: P2PNode, peer: int,
               names: frozenset[str], target: Target,
               region: ParamRegionNode | None,
-              expr: str = "") -> hb.Handle:
+              expr: str = "", dest_expr: str = "") -> hb.Handle:
         event = self._event(hb.POST_SEND if kind == "send"
                             else hb.POST_RECV,
                             node.line, directive=node.line, peer=peer,
@@ -289,6 +324,7 @@ class _RankTracer:
         handle = hb.Handle(kind=kind, rank=self.rank, peer=peer,
                            post=event, directive=node.line, names=names,
                            target=target.value, expr=expr,
+                           dest_expr=dest_expr,
                            region_key=(id(region) if region is not None
                                        else None))
         self.handles.append(handle)
@@ -359,6 +395,15 @@ def _match(tracers: list[_RankTracer]) -> None:
     for pair, slist in sends.items():
         rlist = recvs.get(pair, [])
         for s, r in zip(slist, rlist):
+            if s.target != r.target:
+                # The shared sequence counters pair these halves, but
+                # no backend delivers across lowerings: a SHMEM put
+                # never satisfies an MPI_Irecv, a two-sided Isend never
+                # produces a one-sided notify. The pairing is a
+                # lowering error (CI007), not a match.
+                s.mislowered = r
+                r.mislowered = s
+                continue
             s.matched = r
             r.matched = s
 
@@ -375,6 +420,17 @@ def _build_graph(tracers: list[_RankTracer], nprocs: int) -> hb.HBGraph:
                     # The put itself needs the target's exposure epoch.
                     if h.matched is not None:
                         graph.add_dep(h.post, h.matched.post)
+                    elif h.mislowered is not None:
+                        graph.add_missing(h.post, "CI007", (
+                            f"one-sided put from rank {h.rank} to rank "
+                            f"{h.peer} (directive at line "
+                            f"{h.directive}, target {h.target}) is "
+                            f"paired with a receive lowered to "
+                            f"{h.mislowered.target} (directive at line "
+                            f"{h.mislowered.directive}); no backend "
+                            "delivers across lowerings, so no exposure "
+                            "epoch ever reaches the put"),
+                            directive=h.directive)
                     else:
                         graph.add_missing(h.post, "CI003", (
                             f"one-sided put from rank {h.rank} to rank "
@@ -389,12 +445,23 @@ def _build_graph(tracers: list[_RankTracer], nprocs: int) -> hb.HBGraph:
             if h.sync is None:
                 continue
             if h.matched is None:
-                graph.add_missing(h.sync, "CI002", (
-                    f"synchronization at line {h.sync.line} on rank "
-                    f"{h.rank} waits for a message from sender "
-                    f"{h.peer} to receiver {h.rank} (directive at line "
-                    f"{h.directive}) that is never sent"),
-                    directive=h.directive)
+                if h.mislowered is not None:
+                    graph.add_missing(h.sync, "CI007", (
+                        f"synchronization at line {h.sync.line} on "
+                        f"rank {h.rank} waits for a message from rank "
+                        f"{h.peer} lowered to {h.mislowered.target} "
+                        f"(directive at line "
+                        f"{h.mislowered.directive}), but this receive "
+                        f"is lowered to {h.target} (directive at line "
+                        f"{h.directive}); no backend delivers across "
+                        "lowerings"), directive=h.directive)
+                else:
+                    graph.add_missing(h.sync, "CI002", (
+                        f"synchronization at line {h.sync.line} on "
+                        f"rank {h.rank} waits for a message from "
+                        f"sender {h.peer} to receiver {h.rank} "
+                        f"(directive at line {h.directive}) that is "
+                        "never sent"), directive=h.directive)
             elif not one_sided:
                 graph.add_dep(h.sync, h.matched.post)
             elif h.matched.sync is None:
@@ -551,12 +618,92 @@ def _plural(items: list[int] | list[str]) -> str:
 # Entry point
 
 
+def _plan_fingerprint(plan: SyncPlan) -> tuple[tuple[int, str], ...]:
+    """Cache-key shape of a sync plan: its (line, position) points."""
+    return tuple(sorted((p.node.line, p.position) for p in plan.points))
+
+
+def _unroll(program: Program, nprocs: int, target: Target,
+            variables_base: dict[str, int], plan: SyncPlan,
+            weakening: str | None) -> hb.CachedUnroll:
+    """Symbolically execute the program on every rank and assemble the
+    cross-rank happens-before graph (``graph=None`` when nothing was
+    posted anywhere)."""
+    rbuf_names = frozenset(
+        base_identifier(e) for node in program.all_p2p()
+        for e in node.clauses.rbuf)
+    buffer_names = frozenset(program.decls) | rbuf_names | frozenset(
+        base_identifier(e) for node in program.all_p2p()
+        for e in node.clauses.sbuf)
+    plan_points = _plan_point_map(plan)
+    tracers: list[_RankTracer] = []
+    for rank in range(nprocs):
+        variables = dict(variables_base)
+        variables["rank"] = rank
+        tracer = _RankTracer(rank, nprocs, variables, target,
+                             plan_points, rbuf_names, weakening,
+                             buffer_names)
+        tracer.run(program.nodes)
+        tracers.append(tracer)
+    if not any(t.handles for t in tracers):
+        return hb.CachedUnroll(tracers=list(tracers), graph=None)
+    _match(tracers)
+    return hb.CachedUnroll(tracers=list(tracers),
+                           graph=_build_graph(tracers, nprocs))
+
+
+def undefined_payload_buffers(
+        program: Program, nprocs: int,
+        target: Target | str = Target.MPI_2SIDE,
+        extra_vars: dict[str, int] | None = None
+        ) -> frozenset[tuple[int, str]]:
+    """``(rank, buffer)`` pairs whose final contents the directive
+    contract leaves undefined under one default target.
+
+    A send with no matching receive is never guaranteed by any
+    synchronization: a SHMEM put lands its bytes anyway, a two-sided
+    Isend never does, and the deferred-delivery fault mode legitimately
+    parks them forever. Bit-for-bit payload comparisons (across
+    lowerings, or across adversarial schedules) must exclude these
+    buffers — their contents are lowering- and schedule-defined, not
+    program-defined.
+    """
+    target = Target.parse(target)
+    plan = plan_synchronization(program)
+    variables_base: dict[str, int] = {"nprocs": nprocs, "size": nprocs}
+    if extra_vars:
+        variables_base.update(extra_vars)
+    key = hb.unroll_key(program.to_source(), nprocs, target.value,
+                        extra_vars, None, _plan_fingerprint(plan))
+    unroll = hb.GRAPH_CACHE.get(key)
+    if unroll is None:
+        unroll = _unroll(program, nprocs, target, variables_base, plan,
+                         None)
+        hb.GRAPH_CACHE.put(key, unroll)
+    out: set[tuple[int, str]] = set()
+    for tracer in unroll.tracers:
+        for h in tracer.handles:
+            if h.kind != "send" or not h.dest_expr:
+                continue
+            if h.matched is None:
+                out.add((h.peer, base_identifier(h.dest_expr)))
+            elif h.matched.expr != h.dest_expr:
+                # The pairing disagrees on the delivery site: a put
+                # writes where the *sender* aims, a two-sided receive
+                # where the *receiver* posted. Both destinations are
+                # lowering-defined, not program-defined.
+                out.add((h.peer, base_identifier(h.dest_expr)))
+                out.add((h.peer, base_identifier(h.matched.expr)))
+    return frozenset(out)
+
+
 def verify_program(program: Program, nprocs: int = 8,
                    target: Target | str = Target.MPI_2SIDE,
                    extra_vars: dict[str, int] | None = None,
                    plan: SyncPlan | None = None,
                    weakening: str | None = None,
-                   report_unrollable: bool = True) -> VerifyReport:
+                   report_unrollable: bool = True,
+                   cache: bool = True) -> VerifyReport:
     """Statically verify a parsed program for one default target.
 
     Unrolls every directive over ``nprocs`` ranks (a directive's own
@@ -565,6 +712,13 @@ def verify_program(program: Program, nprocs: int = 8,
     checks deadlock freedom, stale-read freedom, and consolidation
     safety. ``weakening`` applies one of :data:`WEAKENINGS` to every
     synchronization, mirroring the dynamic fuzzer's adversarial plans.
+
+    With ``cache=True`` (the default) the symbolic unroll — tracers
+    plus happens-before graph — is memoized in
+    :data:`repro.core.analysis.hb.GRAPH_CACHE`, keyed by the content
+    hash of (printed source, nprocs, extra_vars, target, weakening,
+    plan shape): the verify and race passes of a batch lint share one
+    graph per (program, nprocs, target) instead of rebuilding it.
     """
     target = Target.parse(target)
     if weakening is not None and weakening not in WEAKENINGS:
@@ -578,34 +732,28 @@ def verify_program(program: Program, nprocs: int = 8,
     if extra_vars:
         variables_base.update(extra_vars)
 
-    rbuf_names = frozenset(
-        base_identifier(e) for node in program.all_p2p()
-        for e in node.clauses.rbuf)
-    buffer_names = frozenset(program.decls) | rbuf_names | frozenset(
-        base_identifier(e) for node in program.all_p2p()
-        for e in node.clauses.sbuf)
-    plan_points = _plan_point_map(plan)
-
     if report_unrollable:
         report.diagnostics.extend(
             _unrollable_diagnostics(program, variables_base, target))
 
-    tracers: list[_RankTracer] = []
-    for rank in range(nprocs):
-        variables = dict(variables_base)
-        variables["rank"] = rank
-        tracer = _RankTracer(rank, nprocs, variables, target,
-                             plan_points, rbuf_names, weakening,
-                             buffer_names)
-        tracer.run(program.nodes)
-        tracers.append(tracer)
-
-    if not any(t.handles for t in tracers):
+    unroll: hb.CachedUnroll | None = None
+    key = ""
+    if cache:
+        key = hb.unroll_key(program.to_source(), nprocs, target.value,
+                            extra_vars, weakening,
+                            _plan_fingerprint(plan))
+        unroll = hb.GRAPH_CACHE.get(key)
+    if unroll is None:
+        unroll = _unroll(program, nprocs, target, variables_base, plan,
+                         weakening)
+        if cache:
+            hb.GRAPH_CACHE.put(key, unroll)
+    tracers: list[_RankTracer] = list(unroll.tracers)
+    if unroll.graph is None:
         report.graph = None
         return report
 
-    _match(tracers)
-    graph = _build_graph(tracers, nprocs)
+    graph = unroll.graph
     report.graph = graph
     report.tracers = tracers
     loop_varying = _loop_varying_lines(program)
@@ -622,6 +770,29 @@ def verify_program(program: Program, nprocs: int = 8,
             program, tracers, graph, target, loop_varying))
     report.diagnostics.sort(key=lambda d: d.sort_key())
     return report
+
+
+def verify_all_targets(program: Program, nprocs: int = 8,
+                       extra_vars: dict[str, int] | None = None,
+                       plan: SyncPlan | None = None,
+                       targets: "list[Target] | None" = None,
+                       weakening: str | None = None,
+                       report_unrollable: bool = False,
+                       cache: bool = True) -> dict[Target, VerifyReport]:
+    """Batch entry point: one :class:`VerifyReport` per lowering target.
+
+    The sync plan is computed once and shared across the sweep; the
+    unroll cache makes re-sweeps of the same source (the differential
+    oracle, the fix engine's proof gate, batch lints) near-free.
+    """
+    if plan is None:
+        plan = plan_synchronization(program)
+    swept = list(targets) if targets else list(Target)
+    return {target: verify_program(
+        program, nprocs=nprocs, target=target, extra_vars=extra_vars,
+        plan=plan, weakening=weakening,
+        report_unrollable=report_unrollable, cache=cache)
+        for target in swept}
 
 
 #: Names the unroller itself binds; anything else is a program value.

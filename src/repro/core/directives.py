@@ -154,6 +154,21 @@ class CommP2P:
             local_arrays.extend(bufmod.array_of(b) for b in sbufs)
         if recvs_here:
             local_arrays.extend(bufmod.array_of(b) for b in rbufs)
+        # All unsynchronized communication on this rank is pending, not
+        # just the innermost region's: carried sync from earlier
+        # regions (place_sync deferral) and enclosing regions of a
+        # nested chain hold live handles too. The downgrade CI020
+        # promises must flush every aliasing set, or the deferred
+        # delivery races with this directive's transfer.
+        state = RegionState.of(env)
+        if state.carried.overlaps(local_arrays):
+            env.trace("dir.dependent_flush")
+            state.flush_carry(env)
+        for enclosing in state.stack:
+            if (enclosing.pending is not pending
+                    and enclosing.pending.overlaps(local_arrays)):
+                env.trace("dir.dependent_flush")
+                enclosing.pending.sync(env)
         if pending.overlaps(local_arrays):
             env.trace("dir.dependent_flush")
             pending.sync(env)

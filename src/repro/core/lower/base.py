@@ -66,14 +66,36 @@ class Backend(abc.ABC):
         from ``source``. Non-blocking."""
 
     @abc.abstractmethod
+    def sync_publish(self, sends: list[SendHandle]) -> None:
+        """Phase 1 of a consolidated sync: complete outgoing transfers
+        (flush/quiet) and publish their notifies.
+
+        Must never block on a *peer's* synchronization — a consolidated
+        sync spanning several backends publishes every backend's
+        notifies first, so no rank can wait in phase 2 for a notify
+        another rank would only publish after its own phase-2 wait.
+        The static verifier's deadlock model relies on this order (a
+        one-sided sync "flushes outgoing puts and notifies before
+        waiting on incoming notifies")."""
+
+    @abc.abstractmethod
+    def sync_wait(self, sends: list[SendHandle],
+                  recvs: list[RecvHandle]) -> None:
+        """Phase 2 of a consolidated sync: block until every given
+        handle's transfer is complete on this rank."""
+
     def sync(self, sends: list[SendHandle], recvs: list[RecvHandle]) -> None:
         """One consolidated synchronization covering all given handles.
 
         This is the call the directive translation reduces adjacent
         communication to (Section III-A: "synchronization is
         consolidated and reduced in most cases to one call at the end
-        of all the adjacent communication").
+        of all the adjacent communication"). Both phases back to back;
+        a multi-backend consolidated sync interleaves them instead
+        (see :meth:`repro.core.region.PendingComm.sync`).
         """
+        self.sync_publish(sends)
+        self.sync_wait(sends, recvs)
 
 
 def get_backend(env: "Env", target: Target) -> Backend:

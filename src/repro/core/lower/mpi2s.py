@@ -76,7 +76,14 @@ class Mpi2sBackend(Backend):
                 f"the delivery of message #{seq} from rank {source}")
         return handle
 
-    def sync(self, sends: list[SendHandle], recvs: list[RecvHandle]) -> None:
+    def sync_publish(self, sends: list[SendHandle]) -> None:
+        # Two-sided transfers are fully launched at post time; there is
+        # nothing a peer could be waiting on that this phase must
+        # publish (receivers need the Isend *post*, not its completion).
+        del sends
+
+    def sync_wait(self, sends: list[SendHandle],
+                  recvs: list[RecvHandle]) -> None:
         requests = [h.payload for h in (*sends, *recvs)]
         if requests:
             self.comm.Waitall(requests)

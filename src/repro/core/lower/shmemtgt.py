@@ -96,7 +96,7 @@ class ShmemBackend(Backend):
         return RecvHandle(backend=self, source=source, seq=seq,
                           nbytes=count * arr.dtype.itemsize)
 
-    def sync(self, sends: list[SendHandle], recvs: list[RecvHandle]) -> None:
+    def sync_publish(self, sends: list[SendHandle]) -> None:
         env = self.env
         san = env.engine.sanitizer
         if sends:
@@ -113,6 +113,11 @@ class ShmemBackend(Backend):
                                 env.rank)
                 self.svc.notify(env, env.rank, h.dest, h.seq,
                                 notify_visible)
+
+    def sync_wait(self, sends: list[SendHandle],
+                  recvs: list[RecvHandle]) -> None:
+        env = self.env
+        san = env.engine.sanitizer
         for h in recvs:
             self.svc.await_notify(env, h.source, env.rank, h.seq)
             if san is not None:

@@ -33,6 +33,14 @@ _CLAUSE_NAMES = {
 
 _PARAMETERS_ONLY = {"place_sync", "max_comm_iter"}
 
+#: Clauses whose argument, when written as an integer literal, must be
+#: strictly positive: a ``count(0)`` transfer moves nothing and a
+#: ``max_comm_iter(0)`` region iterates never — both are degenerate
+#: programs the random generator exposed, and both are authoring
+#: mistakes better rejected at parse time (with a source location)
+#: than crashed on downstream.
+_POSITIVE_LITERAL = {"count", "max_comm_iter"}
+
 
 class _Scanner:
     """Character scanner with line tracking."""
@@ -197,6 +205,15 @@ def _store_clause(out: ClauseExprs, name: str, args: str, kind: str,
         if not args:
             raise PragmaSyntaxError(
                 f"clause {name!r} needs an expression", line=line)
+        if name in _POSITIVE_LITERAL:
+            try:
+                literal = int(args)
+            except ValueError:
+                literal = None
+            if literal is not None and literal <= 0:
+                raise PragmaSyntaxError(
+                    f"clause {name}({args}) must be a positive count",
+                    line=line)
         out.exprs[name] = args
 
 

@@ -97,8 +97,15 @@ class PendingComm:
         n_ops = len(self.sends) + len(self.recvs)
         env.trace("dir.sync", ops=n_ops, backends=len(by_backend))
         sync_t0 = env.now
+        # Two-phase across backends: publish every backend's outgoing
+        # completions and notifies first, then block. Interleaving the
+        # phases per backend can deadlock a consolidated sync that
+        # spans targets — one rank waits for a notify its peer would
+        # only publish after the peer's own receive-wait.
+        for backend, sends, _recvs in by_backend.values():
+            backend.sync_publish(sends)
         for backend, sends, recvs in by_backend.values():
-            backend.sync(sends, recvs)
+            backend.sync_wait(sends, recvs)
         if profile is not None:
             # The handle identity gives the critical-path extraction
             # its cross-rank happens-before edges (sync -> delivery).

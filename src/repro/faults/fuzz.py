@@ -304,6 +304,84 @@ def fuzz_one(pattern: str, target: str, seed: int,
     return FuzzFailure(pattern, target, seed, detail)
 
 
+def fuzz_program(program, nprocs: int = 8, *, target: str,
+                 seeds=range(10),
+                 extra_vars: dict[str, int] | None = None,
+                 baseline=None, name: str = "generated",
+                 tally: dict | None = None,
+                 ignore=frozenset()) -> list[FuzzFailure]:
+    """Payload-differential fuzz of one parsed directive *program*.
+
+    The generated-program twin of :func:`fuzz`: instead of a hand-coded
+    pattern, the program simulator replays the IR
+    (:func:`repro.core.analysis.progsim.simulate_program`) with
+    ``capture=True``, and the captured per-rank buffer contents of each
+    jittered schedule are compared bit-for-bit against the unfaulted
+    baseline. ``baseline`` short-cuts recomputation when the caller
+    already holds the reference payloads (the differential oracle runs
+    the unfaulted capture anyway for its cross-target check).
+
+    ``ignore`` is a set of ``(rank, buffer name)`` pairs excluded from
+    the comparison — buffers whose final contents the directive
+    contract leaves undefined (unreceived deliveries; see
+    :func:`repro.core.analysis.verify.undefined_payload_buffers`).
+    """
+    from repro.core.analysis.progsim import simulate_program
+
+    if baseline is None:
+        baseline = simulate_program(
+            program, nprocs, target=target, extra_vars=extra_vars,
+            capture=True).payloads
+    baseline = mask_payloads(baseline, ignore)
+    failures: list[FuzzFailure] = []
+    for seed in seeds:
+        try:
+            outcome = simulate_program(
+                program, nprocs, target=target, extra_vars=extra_vars,
+                capture=True, faults=FaultPlan.jitter(seed))
+        except Exception as exc:
+            failures.append(FuzzFailure(
+                name, target, seed,
+                f"raised {type(exc).__name__}: {exc}"))
+            continue
+        if tally is not None and outcome.stats is not None:
+            _tally_checks(tally, outcome.stats)
+        detail = _diff_payloads(baseline,
+                                mask_payloads(outcome.payloads, ignore))
+        if detail is not None:
+            failures.append(FuzzFailure(name, target, seed, detail))
+    return failures
+
+
+def mask_payloads(payloads, ignore):
+    """Drop ``(rank, buffer)`` entries from a per-rank payload tuple.
+
+    The masked buffers are contract-undefined (no synchronization ever
+    guarantees their delivery), so bit-for-bit comparisons must not
+    key on them.
+    """
+    if payloads is None or not ignore:
+        return payloads
+    return tuple(
+        {buf: vals for buf, vals in bufs.items()
+         if (rank, buf) not in ignore}
+        for rank, bufs in enumerate(payloads))
+
+
+def _diff_payloads(expected, got) -> str | None:
+    """None when the per-rank payload dicts are bit-identical."""
+    if expected == got:
+        return None
+    for rank, (e, g) in enumerate(zip(expected or (), got or ())):
+        if e == g:
+            continue
+        for buf in sorted(set(e) | set(g)):
+            if e.get(buf) != g.get(buf):
+                return (f"rank {rank} buffer {buf!r}: expected "
+                        f"{e.get(buf)!r}, got {g.get(buf)!r}")
+    return f"expected {expected!r}, got {got!r}"
+
+
 # -- sync-plan weakenings (shared with the static verifier) ----------------
 #
 # The static verifier (repro.core.analysis.verify) applies the same

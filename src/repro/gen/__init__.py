@@ -1,0 +1,37 @@
+"""Randomized directive-program generation and differential testing.
+
+The generator (:mod:`repro.gen.generator`) emits seed-reproducible
+random-but-well-formed pragma programs; the oracle
+(:mod:`repro.gen.oracle`) cross-checks the static verifier against the
+dynamic simulator/sanitizer on each one; the minimizer
+(:mod:`repro.gen.minimize`) shrinks any disagreement to a small
+stand-alone repro. ``repro-gen`` (:mod:`repro.gen.cli`) drives the
+whole pipeline from the command line and in CI.
+"""
+
+from repro.gen.generator import (
+    MODES,
+    GeneratedProgram,
+    generate,
+    generate_many,
+)
+from repro.gen.minimize import MinimizeResult, minimize_source
+from repro.gen.oracle import (
+    Disagreement,
+    OracleConfig,
+    OracleResult,
+    check_program,
+)
+
+__all__ = [
+    "MODES",
+    "GeneratedProgram",
+    "generate",
+    "generate_many",
+    "MinimizeResult",
+    "minimize_source",
+    "Disagreement",
+    "OracleConfig",
+    "OracleResult",
+    "check_program",
+]

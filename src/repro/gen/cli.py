@@ -1,0 +1,247 @@
+"""``repro-gen`` — generate, differentially test, and minimize.
+
+The command drives the whole :mod:`repro.gen` pipeline::
+
+    repro-gen --seeds 1000 --diff --stats diffgen.json
+    repro-gen --seed 44 --mode racy --emit --out /tmp/corpus
+    repro-gen --seeds 200 --diff --weaken-oracle ignore-races \
+              --expect-disagreements --minimize
+
+Exit status: 0 on success; 1 when the differential run found an
+unexplained disagreement (or, under ``--expect-disagreements``, when
+it found *none* — the CI proof that an injected analyzer weakening is
+caught); 2 on usage errors.
+
+Every sampling cap is logged: nothing is silently truncated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import asdict
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.analysis import hb
+from repro.core.clauses import Target
+from repro.gen.generator import MODES, GeneratedProgram, generate_many
+from repro.gen.minimize import minimize_source
+from repro.gen.oracle import (
+    WEAKENINGS,
+    Disagreement,
+    OracleConfig,
+    check_program,
+)
+
+__all__ = ["main", "build_parser"]
+
+#: Short target aliases accepted on the command line.
+_TARGET_ALIASES = {
+    "mpi1s": Target.MPI_1SIDE,
+    "mpi2s": Target.MPI_2SIDE,
+    "shmem": Target.SHMEM,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-gen`` argument parser (exposed for the docs/tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-gen",
+        description="Generate random directive programs and "
+                    "differentially test the toolchain on them.")
+    sel = parser.add_argument_group("program selection")
+    sel.add_argument("--seeds", type=int, default=None, metavar="N",
+                     help="generate seeds 0..N-1")
+    sel.add_argument("--seed", type=int, nargs="+", default=None,
+                     metavar="S", help="generate these specific seeds")
+    sel.add_argument("--mode", choices=MODES + ("mix",), default="mix",
+                     help="constraint mode (default: mix)")
+    sel.add_argument("--nprocs", type=int, default=None,
+                     help="force a world size (default: per-seed)")
+    run = parser.add_argument_group("differential run")
+    run.add_argument("--diff", action="store_true",
+                     help="run the static/dynamic oracle on each program")
+    run.add_argument("--targets", default=None, metavar="T[,T...]",
+                     help="lowering targets to sweep (mpi1s, mpi2s, "
+                          "shmem or full keywords; default: all)")
+    run.add_argument("--fuzz-seeds", type=int, default=2, metavar="N",
+                     help="jittered schedules per clean target "
+                          "(default: 2; 0 disables)")
+    run.add_argument("--fix-sample", type=int, default=0, metavar="N",
+                     help="run the fix-soundness arm on every Nth "
+                          "program (default: 0 = off)")
+    run.add_argument("--max-time", type=float, default=5.0,
+                     help="virtual-time cap per dynamic run (default: 5)")
+    run.add_argument("--weaken-oracle", choices=sorted(WEAKENINGS),
+                     default=None,
+                     help="deliberately weaken the static side "
+                          "(test-only; proves regressions are caught)")
+    run.add_argument("--expect-disagreements", action="store_true",
+                     help="invert the exit status: fail when the run "
+                          "finds NO disagreement")
+    out = parser.add_argument_group("output")
+    out.add_argument("--minimize", action="store_true",
+                     help="delta-minimize each disagreeing program")
+    out.add_argument("--emit", action="store_true",
+                     help="write every generated source to --out")
+    out.add_argument("--out", type=Path, default=None, metavar="DIR",
+                     help="directory for emitted/minimized .c files")
+    out.add_argument("--stats", type=Path, default=None, metavar="FILE",
+                     help="write a run-statistics JSON artifact")
+    out.add_argument("--quiet", action="store_true",
+                     help="suppress per-program progress lines")
+    return parser
+
+
+def _parse_targets(spec: str | None) -> tuple[Target, ...]:
+    if spec is None:
+        return tuple(Target)
+    out = []
+    for word in spec.split(","):
+        word = word.strip()
+        if not word:
+            continue
+        out.append(_TARGET_ALIASES.get(word.lower(), None)
+                   or Target.parse(word))
+    if not out:
+        raise SystemExit(2)
+    return tuple(out)
+
+
+def _programs(ns: argparse.Namespace) -> list[GeneratedProgram]:
+    seeds: Iterable[int]
+    if ns.seed is not None:
+        seeds = ns.seed
+    else:
+        seeds = range(ns.seeds if ns.seeds is not None else 20)
+    return list(generate_many(seeds, mode=ns.mode, nprocs=ns.nprocs))
+
+
+def _minimize_one(gp: GeneratedProgram, disagreement: Disagreement,
+                  config: OracleConfig, out_dir: Path,
+                  quiet: bool) -> dict[str, object]:
+    """Shrink one disagreeing program and write the repro file."""
+    kind = disagreement.kind
+
+    def still_disagrees(source: str) -> bool:
+        probe = GeneratedProgram(seed=gp.seed, mode=gp.mode,
+                                 nprocs=gp.nprocs, source=source,
+                                 planted=gp.planted)
+        result = check_program(probe, config)
+        return any(d.kind == kind for d in result.disagreements)
+
+    shrunk = minimize_source(gp.source, still_disagrees)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"seed{gp.seed}_{kind.replace('-', '_')}.c"
+    header = (f"/* repro-gen minimized repro: seed={gp.seed} "
+              f"mode={gp.mode} nprocs={gp.nprocs} kind={kind} */\n")
+    path.write_text(header + shrunk.source)
+    if not quiet:
+        print(f"  minimized {shrunk.initial_statements} -> "
+              f"{shrunk.final_statements} statements: {path}")
+    return {"seed": gp.seed, "kind": kind, "file": str(path),
+            "initial_statements": shrunk.initial_statements,
+            "final_statements": shrunk.final_statements}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit status."""
+    ns = build_parser().parse_args(argv)
+    try:
+        targets = _parse_targets(ns.targets)
+    except Exception as exc:
+        print(f"repro-gen: {exc}", file=sys.stderr)
+        return 2
+    programs = _programs(ns)
+    out_dir = ns.out or Path("examples/pragmas/generated")
+
+    if ns.emit:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for gp in programs:
+            path = out_dir / f"seed{gp.seed}_{gp.mode}.c"
+            path.write_text(gp.source)
+            if not ns.quiet:
+                print(f"wrote {path}  ({gp.describe()})")
+
+    if not ns.diff:
+        if not ns.emit:
+            for gp in programs:
+                print(gp.describe())
+        return 0
+
+    config = OracleConfig(targets=targets, fuzz_seeds=ns.fuzz_seeds,
+                          weaken=ns.weaken_oracle,
+                          max_time=ns.max_time)
+    fix_config = OracleConfig(targets=targets,
+                              fuzz_seeds=ns.fuzz_seeds,
+                              weaken=ns.weaken_oracle,
+                              max_time=ns.max_time, fix_check=True)
+    if ns.fix_sample > 0:
+        sampled = len(programs[::ns.fix_sample])
+        print(f"fix-soundness arm sampled on {sampled}/{len(programs)} "
+              f"programs (every {ns.fix_sample}th; the rest skip "
+              f"check (d))")
+
+    checks = 0
+    explained: list[str] = []
+    disagreements: list[Disagreement] = []
+    minimized: list[dict[str, object]] = []
+    mode_counts: dict[str, int] = {}
+    for index, gp in enumerate(programs):
+        mode_counts[gp.mode] = mode_counts.get(gp.mode, 0) + 1
+        use = (fix_config if ns.fix_sample > 0
+               and index % ns.fix_sample == 0 else config)
+        result = check_program(gp, use)
+        checks += result.checks
+        explained.extend(result.explained)
+        if not result.ok:
+            for d in result.disagreements:
+                print(d)
+            disagreements.extend(result.disagreements)
+            if ns.minimize:
+                seen_kinds = set()
+                for d in result.disagreements:
+                    if d.kind in seen_kinds:
+                        continue
+                    seen_kinds.add(d.kind)
+                    minimized.append(_minimize_one(
+                        gp, d, use, out_dir, ns.quiet))
+        elif not ns.quiet and (index + 1) % 100 == 0:
+            print(f"  {index + 1}/{len(programs)} programs checked, "
+                  f"{checks} oracle checks, "
+                  f"{len(disagreements)} disagreements")
+
+    summary = (f"{len(programs)} programs, {checks} oracle checks, "
+               f"{len(disagreements)} disagreements "
+               f"({len(explained)} explained divergences)")
+    print(summary)
+    if ns.stats is not None:
+        stats = {
+            "programs": len(programs),
+            "modes": mode_counts,
+            "targets": [t.value for t in targets],
+            "oracle_checks": checks,
+            "disagreements": [asdict(d) for d in disagreements],
+            "explained": explained,
+            "minimized": minimized,
+            "weaken": ns.weaken_oracle,
+            "hb_cache": hb.GRAPH_CACHE.stats(),
+        }
+        ns.stats.parent.mkdir(parents=True, exist_ok=True)
+        ns.stats.write_text(json.dumps(stats, indent=2) + "\n")
+        print(f"stats written to {ns.stats}")
+
+    if ns.expect_disagreements:
+        if not disagreements:
+            print("repro-gen: expected disagreements but found none "
+                  "(the weakened oracle failed to catch anything)",
+                  file=sys.stderr)
+            return 1
+        return 0
+    return 1 if disagreements else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

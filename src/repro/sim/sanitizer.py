@@ -103,6 +103,13 @@ class AccessSanitizer:
     def __init__(self, engine: Any) -> None:
         self.engine = engine
         self.nprocs: int = engine.nprocs
+        #: Collect mode: when True, :meth:`_race` records the
+        #: :class:`~repro.errors.RaceError` on :attr:`races` and the
+        #: run continues — the differential oracle wants every race in
+        #: the schedule, not an abort at the first one.
+        self.collect = False
+        #: Race reports accumulated in collect mode, in detection order.
+        self.races: list[RaceError] = []
         #: Per-rank vector clocks; ``vc[r][r]`` is rank r's own epoch.
         self._vc: dict[int, list[int]] = {}
         #: Every recorded access, open windows included.
@@ -225,7 +232,7 @@ class AccessSanitizer:
                 else "read-write")
         olo = max(first.lo, second.lo)
         ohi = min(first.hi, second.hi)
-        raise RaceError(
+        error = RaceError(
             f"access sanitizer: {kind} race — {second.label} (rank "
             f"{second.rank}, {second.kind} of bytes [{second.rel_lo}, "
             f"{second.rel_hi})) is unordered against {first.label} "
@@ -235,3 +242,7 @@ class AccessSanitizer:
             kind=kind, ranks=(first.rank, second.rank),
             labels=(first.label, second.label),
             overlap_nbytes=ohi - olo)
+        if self.collect:
+            self.races.append(error)
+            return
+        raise error

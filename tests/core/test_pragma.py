@@ -182,6 +182,46 @@ class TestParserListings:
         with pytest.raises(PragmaSyntaxError, match="duplicate"):
             parse_program(src)
 
+    def test_zero_count_rejected(self):
+        src = "#pragma comm_p2p sender(0) receiver(1) sbuf(a) rbuf(b) count(0)"
+        with pytest.raises(PragmaSyntaxError, match="positive"):
+            parse_program(src)
+
+    def test_negative_count_rejected(self):
+        src = "#pragma comm_p2p sender(0) receiver(1) sbuf(a) rbuf(b) count(-2)"
+        with pytest.raises(PragmaSyntaxError, match="positive"):
+            parse_program(src)
+
+    def test_symbolic_count_still_allowed(self):
+        src = ("double a[4]; double b[4];\n"
+               "#pragma comm_p2p sender(0) receiver(1) sbuf(a) rbuf(b) "
+               "count(n)")
+        prog = parse_program(src)
+        assert prog.all_p2p()[0].clauses.exprs["count"] == "n"
+
+    def test_zero_max_comm_iter_rejected(self):
+        src = ("#pragma comm_parameters max_comm_iter(0)\n"
+               "{\n"
+               "#pragma comm_p2p sender(0) receiver(1) sbuf(a) rbuf(b)\n"
+               "}")
+        with pytest.raises(PragmaSyntaxError, match="positive"):
+            parse_program(src)
+
+    def test_empty_buffer_list_reports_line(self):
+        src = ("double a[4];\n"
+               "\n"
+               "#pragma comm_p2p sender(0) receiver(1) sbuf(a) rbuf(a,)")
+        with pytest.raises(PragmaSyntaxError,
+                           match="empty buffer name") as exc:
+            parse_program(src)
+        assert exc.value.line == 3
+
+    def test_duplicate_clause_reports_line(self):
+        src = "\n#pragma comm_p2p sender(0) sender(1)"
+        with pytest.raises(PragmaSyntaxError, match="duplicate") as exc:
+            parse_program(src)
+        assert exc.value.line == 2
+
     def test_other_pragmas_pass_through(self):
         src = """
         #pragma omp parallel for

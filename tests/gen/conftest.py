@@ -1,0 +1,27 @@
+"""Shared fixtures for the generator/oracle test suite."""
+
+import pytest
+
+from repro.gen.generator import generate
+from repro.gen.oracle import OracleConfig, check_program
+
+#: Quick oracle profile for tests: no jittered reruns, no fix arm.
+QUICK = OracleConfig(fuzz_seeds=0)
+
+
+@pytest.fixture(scope="session")
+def weakened_catch():
+    """A ``(GeneratedProgram, OracleResult)`` pair where weakening the
+    static side with ``ignore-races`` produces a disagreement the
+    unweakened oracle does not — the seeded analyzer-regression the
+    acceptance criteria require the pipeline to catch.
+    """
+    weak = OracleConfig(fuzz_seeds=0, weaken="ignore-races")
+    for seed in range(40):
+        gp = generate(seed, "racy")
+        weakened = check_program(gp, weak)
+        if not weakened.ok:
+            assert check_program(gp, QUICK).ok, (
+                f"seed {seed} must be clean under the honest oracle")
+            return gp, weakened
+    pytest.fail("no racy seed in 0..39 tripped the weakened oracle")

@@ -1,0 +1,77 @@
+"""``repro-gen`` command-line behavior: exit codes, stats artifact,
+emit mode, and the weakened-oracle acceptance path (catch + minimize
+to a tiny repro).
+"""
+
+import json
+
+from repro.gen.cli import build_parser, main
+from repro.gen.generator import generate
+
+
+def test_parser_defaults():
+    ns = build_parser().parse_args([])
+    assert ns.mode == "mix" and not ns.diff and ns.fuzz_seeds == 2
+
+
+def test_list_mode_exit_zero(capsys):
+    assert main(["--seed", "1", "2", "--mode", "clean"]) == 0
+    out = capsys.readouterr().out
+    assert "seed=1" in out and "seed=2" in out
+
+
+def test_bad_target_is_usage_error(capsys):
+    assert main(["--seed", "1", "--diff", "--targets", "bogus"]) == 2
+
+
+def test_emit_writes_sources(tmp_path):
+    rc = main(["--seed", "3", "--mode", "clean", "--emit",
+               "--out", str(tmp_path), "--quiet"])
+    assert rc == 0
+    path = tmp_path / "seed3_clean.c"
+    assert path.read_text() == generate(3, "clean").source
+
+
+def test_clean_diff_exit_zero_with_stats(tmp_path, capsys):
+    stats_file = tmp_path / "stats.json"
+    rc = main(["--seed", "0", "--mode", "clean", "--diff",
+               "--fuzz-seeds", "0", "--stats", str(stats_file),
+               "--quiet"])
+    assert rc == 0
+    stats = json.loads(stats_file.read_text())
+    assert stats["programs"] == 1
+    assert stats["disagreements"] == []
+    assert stats["oracle_checks"] > 0
+    assert "hb_cache" in stats
+    assert "0 disagreements" in capsys.readouterr().out
+
+
+def test_expect_disagreements_inverts_exit(capsys):
+    rc = main(["--seed", "0", "--mode", "clean", "--diff",
+               "--fuzz-seeds", "0", "--expect-disagreements",
+               "--quiet"])
+    assert rc == 1
+    assert "expected disagreements" in capsys.readouterr().err
+
+
+def test_weakened_run_is_caught_and_minimized(tmp_path, capsys,
+                                              weakened_catch):
+    """Acceptance bar end-to-end: a deliberately weakened static side
+    disagrees with the dynamic side, and the repro auto-minimizes to
+    at most 10 statements."""
+    gp, _weakened = weakened_catch
+    stats_file = tmp_path / "stats.json"
+    rc = main(["--seed", str(gp.seed), "--mode", "racy", "--diff",
+               "--fuzz-seeds", "0", "--weaken-oracle", "ignore-races",
+               "--expect-disagreements", "--minimize",
+               "--out", str(tmp_path), "--stats", str(stats_file),
+               "--quiet"])
+    assert rc == 0, capsys.readouterr().err
+    stats = json.loads(stats_file.read_text())
+    assert stats["weaken"] == "ignore-races"
+    assert stats["minimized"], "the disagreeing program must minimize"
+    for entry in stats["minimized"]:
+        assert entry["final_statements"] <= 10, entry
+        repro = tmp_path / str(entry["file"]).rsplit("/", 1)[-1]
+        assert repro.exists()
+        assert f"seed={gp.seed}" in repro.read_text()
