@@ -1,0 +1,183 @@
+"""Lint-farm bench: sharded + memoized lint throughput vs sequential.
+
+Lints a generated corpus (default: 1000 programs, ~4000 work units at
+three targets) three ways through :mod:`repro.lintserve` and writes
+``BENCH_lint.json``, gated by ``check_perf_regression.py``:
+
+* **sequential** — the classic one-process path (``--jobs 1``, no
+  cache); its per-unit wall times seed the pool model below.
+* **sharded cold** — ``--jobs 8`` over a real ``ProcessPoolExecutor``
+  with an empty ``--cache-dir`` (every unit executes *and* is stored).
+* **warm** — the same invocation again: every unit must come from the
+  cache (hit rate 1.0) and the rerun must cost a small fraction of the
+  cold run.
+
+Wall-clock numbers are recorded honestly for the host they ran on —
+including ``cpu_count``, because a 1-core container cannot *show* a
+parallel speedup no matter how well the pool shards. The **gated**
+speedup is therefore modeled, the same convention every other bench
+here follows (deterministic modeled quantities, never raw host
+wall-clock): measured per-unit wall times are LPT-packed into ``jobs``
+worker bins, the serial remainder (scheduling + merge, measured as
+sequential wall minus summed unit wall) stays serial, and
+
+    speedup_modeled = sequential_wall / (lpt_makespan + serial_rest)
+
+which is what an unloaded ``jobs``-core host would see. Byte-identity
+of the three runs' JSON and SARIF output is asserted and recorded.
+
+Run:  PYTHONPATH=src python benchmarks/bench_lint.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.core.pragma.__main__ import render_reports
+from repro.gen.generator import generate_many
+from repro.lintserve import ResultCache, lint_sources
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_OUT = os.path.join(_ROOT, "BENCH_lint.json")
+
+FILES = 1000
+JOBS = 8
+NPROCS = 8
+
+
+def _corpus(files: int) -> list[tuple[str, str]]:
+    """(path, source) pairs; paths are display names, never opened."""
+    return [(f"corpus/seed{gp.seed}_{gp.mode}.c", gp.source)
+            for gp in generate_many(range(files), mode="mix")]
+
+
+def _lpt_makespan(walls: list[float], jobs: int) -> float:
+    """Longest-processing-time packing of unit costs into worker bins."""
+    bins = [0.0] * max(1, jobs)
+    for wall in sorted(walls, reverse=True):
+        bins[bins.index(min(bins))] += wall
+    return max(bins)
+
+
+def _render(reports) -> tuple[str, str]:
+    return (render_reports(reports, "json"),
+            render_reports(reports, "sarif"))
+
+
+def run_bench(files: int, jobs: int) -> dict:
+    sources = _corpus(files)
+    print(f"corpus: {len(sources)} generated programs")
+
+    t0 = time.perf_counter()
+    seq_reports, seq_stats = lint_sources(sources, nprocs=NPROCS)
+    seq_wall = time.perf_counter() - t0
+    seq_json, seq_sarif = _render(seq_reports)
+    print(f"sequential:   {seq_wall:8.2f}s  "
+          f"({len(sources) / seq_wall:6.1f} files/s, "
+          f"{seq_stats.units_total} units)")
+
+    cache_dir = tempfile.mkdtemp(prefix="bench-lint-cache-")
+    try:
+        t0 = time.perf_counter()
+        cold_reports, cold_stats = lint_sources(
+            sources, nprocs=NPROCS, jobs=jobs,
+            cache=ResultCache(cache_dir))
+        cold_wall = time.perf_counter() - t0
+        cold_json, cold_sarif = _render(cold_reports)
+        print(f"sharded cold: {cold_wall:8.2f}s  "
+              f"(--jobs {jobs}, {cold_stats.units_executed} executed, "
+              f"{cold_stats.units_from_cache} cached)")
+
+        t0 = time.perf_counter()
+        warm_reports, warm_stats = lint_sources(
+            sources, nprocs=NPROCS, jobs=jobs,
+            cache=ResultCache(cache_dir))
+        warm_wall = time.perf_counter() - t0
+        warm_json, warm_sarif = _render(warm_reports)
+        fraction = warm_wall / cold_wall if cold_wall else 0.0
+        print(f"warm rerun:   {warm_wall:8.2f}s  "
+              f"(hit rate {warm_stats.hit_rate:.0%}, "
+              f"{fraction:.1%} of cold)")
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    unit_walls = [wall for _, wall in seq_stats.unit_walls]
+    sum_units = sum(unit_walls)
+    lpt = _lpt_makespan(unit_walls, jobs)
+    serial_rest = max(0.0, seq_wall - sum_units)
+    speedup_modeled = seq_wall / (lpt + serial_rest)
+    print(f"modeled pool: LPT makespan {lpt:.2f}s + serial "
+          f"{serial_rest:.2f}s -> {speedup_modeled:.2f}x speedup "
+          f"at {jobs} workers (host has {os.cpu_count()} core(s))")
+
+    json_identical = seq_json == cold_json == warm_json
+    sarif_identical = seq_sarif == cold_sarif == warm_sarif
+    print(f"byte-identity: json={json_identical} "
+          f"sarif={sarif_identical}")
+
+    return {
+        "benchmark": "lintserve",
+        "files": len(sources),
+        "jobs": jobs,
+        "nprocs": NPROCS,
+        "cpu_count": os.cpu_count(),
+        "units_total": seq_stats.units_total,
+        "sequential": {
+            "wall_s": round(seq_wall, 3),
+            "files_per_s": round(len(sources) / seq_wall, 2),
+        },
+        "sharded_cold": {
+            "wall_s": round(cold_wall, 3),
+            "units_executed": cold_stats.units_executed,
+            "stores": (cold_stats.cache or {}).get("stores"),
+        },
+        "warm": {
+            "wall_s": round(warm_wall, 3),
+            "fraction_of_cold": round(fraction, 4),
+            "hit_rate": round(warm_stats.hit_rate, 4),
+            "units_executed": warm_stats.units_executed,
+        },
+        "modeled": {
+            "sum_unit_wall_s": round(sum_units, 3),
+            "lpt_makespan_s": round(lpt, 3),
+            "serial_rest_s": round(serial_rest, 3),
+            "speedup_modeled": round(speedup_modeled, 3),
+            "files_per_s_modeled": round(
+                len(sources) / (lpt + serial_rest), 2),
+            "note": "LPT packing of measured per-unit walls into "
+                    "`jobs` bins + the serial remainder; the gated "
+                    "speedup an unloaded jobs-core host would see",
+        },
+        "identical": {"json": json_identical, "sarif": sarif_identical},
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--files", type=int, default=FILES,
+                        help="corpus size (default: %(default)s)")
+    parser.add_argument("--jobs", type=int, default=JOBS,
+                        help="pool width (default: %(default)s)")
+    parser.add_argument("--out", default=_OUT,
+                        help="output JSON path (default: %(default)s)")
+    args = parser.parse_args(argv)
+    report = run_bench(args.files, args.jobs)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

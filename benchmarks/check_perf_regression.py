@@ -1,13 +1,17 @@
 """Compare fresh bench JSON against the committed baselines (CI gate).
 
 The perf-regression CI job reruns ``bench_engine_scaling.py --quick``,
-``bench_advisor.py`` and ``bench_recovery.py`` on the checkout and
-feeds the new JSON here next to the committed ``BENCH_engine.json`` /
-``BENCH_advisor.json`` / ``BENCH_recovery.json``.
+``bench_advisor.py``, ``bench_recovery.py`` and ``bench_lint.py`` on
+the checkout and feeds the new JSON here next to the committed
+``BENCH_engine.json`` / ``BENCH_advisor.json`` /
+``BENCH_recovery.json`` / ``BENCH_lint.json``.
 Only *deterministic modeled* quantities are gated — virtual makespans,
-scheduler heap operations, advisor savings/speedups and per-target
-modeled times — never host wall-clock, which shared CI runners cannot
-reproduce. On an unmodified checkout every gated value matches the
+scheduler heap operations, advisor savings/speedups, per-target
+modeled times and the lint farm's modeled pool speedup — never raw
+host wall-clock, which shared CI runners cannot reproduce. The two
+lint wall-clock *ratios* that are gated (warm/cold fraction, a
+sequential-throughput floor) compare same-host runs and carry generous
+absolute bounds, so runner speed cannot trip them. On an unmodified checkout every gated value matches the
 baseline exactly (the simulator is deterministic); the tolerance exists
 so legitimate model recalibrations inside the band don't block a PR.
 
@@ -168,6 +172,57 @@ def check_recovery(baseline: dict, new: dict, checker: Checker) -> None:
                           base[field], entry[field])
 
 
+#: Sequential lint throughput floor (files/s) used to cap the
+#: baseline: the gate compares against ``min(baseline, floor)`` so a
+#: slower CI runner never trips it, while a real order-of-magnitude
+#: lint slowdown still does.
+LINT_FILES_PER_S_FLOOR = 12.0
+
+#: Warm-rerun ceiling as a fraction of the cold sharded run. The
+#: acceptance bar is < 0.10; the gate compares against
+#: ``max(baseline, 0.08)`` so with the default 25% tolerance the
+#: effective bound is exactly 0.10 even when the baseline is tiny.
+LINT_WARM_FRACTION_BASE = 0.08
+
+#: Absolute floor for the modeled --jobs 8 pool speedup.
+LINT_SPEEDUP_FLOOR = 4.0
+
+
+def check_lint(baseline: dict, new: dict, checker: Checker) -> None:
+    """Gate the lint-farm bench: byte-identity of the three paths and
+    warm-cache completeness must hold exactly; the modeled pool
+    speedup must stay ≥4x and within tolerance of the baseline; the
+    wall-clock ratios get runner-proof absolute bounds (see the
+    module constants)."""
+    checker.equal("lint files", baseline["files"], new["files"])
+    checker.equal("lint jobs", baseline["jobs"], new["jobs"])
+    checker.equal("lint units_total", baseline["units_total"],
+                  new["units_total"])
+    for fmt in ("json", "sarif"):
+        checker.equal(f"lint identical[{fmt}]", True,
+                      new["identical"][fmt])
+    checker.equal("lint warm hit_rate", 1.0, new["warm"]["hit_rate"])
+    checker.equal("lint warm units_executed", 0,
+                  new["warm"]["units_executed"])
+    speedup = new["modeled"]["speedup_modeled"]
+    checker.no_decrease("lint modeled speedup",
+                        baseline["modeled"]["speedup_modeled"], speedup)
+    checker.checked += 1
+    if speedup < LINT_SPEEDUP_FLOOR:
+        checker._fail(f"lint modeled speedup: {speedup} below the "
+                      f"{LINT_SPEEDUP_FLOOR}x floor")
+    checker.no_decrease(
+        "lint sequential files_per_s",
+        min(baseline["sequential"]["files_per_s"],
+            LINT_FILES_PER_S_FLOOR),
+        new["sequential"]["files_per_s"])
+    checker.no_increase(
+        "lint warm fraction_of_cold",
+        max(baseline["warm"]["fraction_of_cold"],
+            LINT_WARM_FRACTION_BASE),
+        new["warm"]["fraction_of_cold"])
+
+
 def _load(path: str) -> dict:
     with open(path, "r", encoding="utf-8") as fh:
         data = json.load(fh)
@@ -183,6 +238,8 @@ def main(argv=None) -> int:
     parser.add_argument("--advisor-new")
     parser.add_argument("--recovery-baseline")
     parser.add_argument("--recovery-new")
+    parser.add_argument("--lint-baseline")
+    parser.add_argument("--lint-new")
     parser.add_argument("--tolerance", type=float,
                         default=DEFAULT_TOLERANCE,
                         help="allowed relative degradation "
@@ -203,9 +260,13 @@ def main(argv=None) -> int:
         check_recovery(_load(args.recovery_baseline),
                        _load(args.recovery_new), checker)
         ran = True
+    if args.lint_baseline and args.lint_new:
+        check_lint(_load(args.lint_baseline),
+                   _load(args.lint_new), checker)
+        ran = True
     if not ran:
-        parser.error("nothing to compare: pass --engine-*, --advisor-* "
-                     "and/or --recovery-* baseline/new pairs")
+        parser.error("nothing to compare: pass --engine-*, --advisor-*, "
+                     "--recovery-* and/or --lint-* baseline/new pairs")
 
     if checker.failures:
         print(f"\n{len(checker.failures)} regression(s) in "

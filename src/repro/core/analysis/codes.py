@@ -247,6 +247,39 @@ class Diagnostic:
         return out
 
 
+def diagnostic_from_dict(data: dict[str, object]) -> Diagnostic:
+    """Rebuild a :class:`Diagnostic` from :meth:`Diagnostic.as_dict`.
+
+    Exact inverse of the JSON form: optional fields absent from the
+    dict restore their dataclass defaults, so a diagnostic survives a
+    JSON round trip bit-for-bit. The sharded lint service
+    (:mod:`repro.lintserve`) depends on this to keep parallel and
+    memoized reports byte-identical to the sequential path.
+    """
+    line = data["line"]
+    if not isinstance(line, int):
+        raise TypeError(f"diagnostic line must be an int, got {line!r}")
+    directive = data.get("directive")
+    if directive is not None and not isinstance(directive, int):
+        raise TypeError(f"diagnostic directive must be an int, "
+                        f"got {directive!r}")
+    target = data.get("target")
+    saving = data.get("estimated_saving_s")
+    if saving is not None and not isinstance(saving, (int, float)):
+        raise TypeError(f"estimated_saving_s must be a number, "
+                        f"got {saving!r}")
+    return Diagnostic(
+        severity=str(data["severity"]),
+        line=line,
+        message=str(data["message"]),
+        code=str(data.get("code", "")),
+        directive=directive,
+        target=str(target) if target is not None else None,
+        fixit=str(data.get("fixit", "")),
+        saving_s=float(saving) if saving is not None else None,
+    )
+
+
 def make(code: str, line: int, message: str, *,
          directive: int | None = None, target: str | None = None,
          fixit: str | None = None,

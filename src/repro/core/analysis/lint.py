@@ -211,12 +211,49 @@ def lint_program(program: Program, nprocs: int = 8,
     (:mod:`repro.core.analysis.advisor`), whose CI1xx warnings carry a
     net-model estimated saving for the first swept target under
     ``model`` (default: the calibrated Gemini model).
+
+    The pass is assembled from independently runnable units —
+    :func:`structure_report`, one :func:`verify_target_diagnostics`
+    per swept target, :func:`advise_diagnostics` — merged by
+    :func:`collapse_across_targets` + :func:`finalize_report`. The
+    sharded lint service (:mod:`repro.lintserve`) runs the same units
+    in worker processes and merges them with the same functions, which
+    is what makes its output byte-identical to this sequential path.
+    """
+    swept = list(targets) if targets else list(Target)
+    plan = plan_synchronization(program)
+    report = structure_report(program, nprocs, extra_vars, path,
+                              targets=swept, plan=plan)
+    per_target = {t.value: verify_target_diagnostics(
+        program, nprocs, extra_vars, t, plan=plan) for t in swept}
+    collapsed = collapse_across_targets(
+        per_target, [t.value for t in swept])
+    advisories = (advise_diagnostics(program, nprocs, extra_vars,
+                                     swept, model)
+                  if advise else [])
+    return finalize_report(report, collapsed, advisories)
+
+
+def structure_report(program: Program, nprocs: int = 8,
+                     extra_vars: dict[str, int] | None = None,
+                     path: str = "", *,
+                     targets: list[Target] | None = None,
+                     plan: SyncPlan | None = None) -> LintReport:
+    """The target-independent lint unit.
+
+    Headline numbers (directive/region counts, sync-plan
+    consolidation), CI021 forced-split findings, and the per-directive
+    checks (clause completeness, count inference, pattern
+    classification, SPMD matching, overlap legality). Everything here
+    is a pure function of (program, nprocs, extra_vars) — no lowering
+    target participates — so the sharded driver runs it once per file.
     """
     swept = list(targets) if targets else list(Target)
     report = LintReport(path=path, targets=[t.value for t in swept])
     report.n_directives = len(program.all_p2p())
     report.n_regions = len(program.regions())
-    plan = plan_synchronization(program)
+    if plan is None:
+        plan = plan_synchronization(program)
     report.sync_calls = plan.total_sync_calls
     report.sync_reduction = plan.reduction_factor(program)
 
@@ -231,50 +268,65 @@ def lint_program(program: Program, nprocs: int = 8,
 
     for node in program.all_p2p():
         _lint_directive(program, node, nprocs, extra_vars, report)
-
-    report.diagnostics.extend(
-        _verify_all_targets(program, nprocs, extra_vars, plan, swept))
-    if advise:
-        from repro.core.analysis.advisor import advise_program
-        from repro.core.clauses import DEFAULT_TARGET
-        advise_target = (DEFAULT_TARGET if DEFAULT_TARGET in swept
-                         else swept[0])
-        report.diagnostics.extend(
-            f.diagnostic for f in advise_program(
-                program, nprocs, target=advise_target,
-                extra_vars=extra_vars, model=model))
-    _suppress_shadowed(report)
-    report.diagnostics.sort(key=lambda d: d.sort_key())
     return report
 
 
-def _verify_all_targets(program: Program, nprocs: int,
-                        extra_vars: dict[str, int] | None,
-                        plan: SyncPlan,
-                        swept: list[Target]) -> list[Diagnostic]:
-    """Run the whole-program verifier once per swept lowering target.
+def verify_target_diagnostics(program: Program, nprocs: int,
+                              extra_vars: dict[str, int] | None,
+                              target: Target, *,
+                              plan: SyncPlan | None = None
+                              ) -> list[Diagnostic]:
+    """One lowering target's whole-program verifier unit.
+
+    The smallest shardable verification quantum: a pure function of
+    (program, nprocs, extra_vars, target). The returned diagnostics
+    carry no ``target`` tag yet — :func:`collapse_across_targets`
+    assigns tags when the per-target lists are merged.
+    """
+    verdicts = verify_all_targets(program, nprocs=nprocs,
+                                  extra_vars=extra_vars, plan=plan,
+                                  targets=[target])
+    return list(verdicts[target].diagnostics)
+
+
+def advise_diagnostics(program: Program, nprocs: int,
+                       extra_vars: dict[str, int] | None,
+                       swept: list[Target],
+                       model: Any = None) -> list[Diagnostic]:
+    """The performance-advisor unit (CI1xx warnings with savings)."""
+    from repro.core.analysis.advisor import advise_program
+    from repro.core.clauses import DEFAULT_TARGET
+    advise_target = (DEFAULT_TARGET if DEFAULT_TARGET in swept
+                     else swept[0])
+    return [f.diagnostic for f in advise_program(
+        program, nprocs, target=advise_target,
+        extra_vars=extra_vars, model=model)]
+
+
+def collapse_across_targets(per_target: dict[str, list[Diagnostic]],
+                            swept: list[str]) -> list[Diagnostic]:
+    """Merge per-target verifier findings into tagged diagnostics.
 
     A finding produced with the same (code, line, directive, message)
     on every swept target is target-independent: collapse to
-    ``target="*"``.
+    ``target="*"``. ``per_target`` maps target *values* to the
+    diagnostics of that target's verify unit; ``swept`` fixes the
+    iteration order (first-seen order decides output order, exactly as
+    the sequential sweep produced it).
     """
-    per_target: dict[tuple[str, int, int | None, str],
-                     tuple[Diagnostic, list[str]]] = {}
+    grouped: dict[tuple[str, int, int | None, str],
+                  tuple[Diagnostic, list[str]]] = {}
     order: list[tuple[str, int, int | None, str]] = []
-    verdicts = verify_all_targets(program, nprocs=nprocs,
-                                  extra_vars=extra_vars, plan=plan,
-                                  targets=swept)
     for target in swept:
-        verdict = verdicts[target]
-        for d in verdict.diagnostics:
+        for d in per_target.get(target, []):
             key = (d.code, d.line, d.directive, d.message)
-            if key not in per_target:
-                per_target[key] = (d, [])
+            if key not in grouped:
+                grouped[key] = (d, [])
                 order.append(key)
-            per_target[key][1].append(target.value)
+            grouped[key][1].append(target)
     out: list[Diagnostic] = []
     for key in order:
-        d, targets = per_target[key]
+        d, targets = grouped[key]
         if len(targets) == len(swept):
             out.append(Diagnostic(
                 severity=d.severity, line=d.line, message=d.message,
@@ -287,6 +339,23 @@ def _verify_all_targets(program: Program, nprocs: int,
                     message=d.message, code=d.code,
                     directive=d.directive, target=t, fixit=d.fixit))
     return out
+
+
+def finalize_report(report: LintReport,
+                    verifier: list[Diagnostic],
+                    advisories: list[Diagnostic]) -> LintReport:
+    """Merge unit outputs into the final report (in place).
+
+    Appends the collapsed verifier findings and the advisories to the
+    structure report, drops shadowed findings, and sorts — the last
+    word on report ordering, shared by the sequential and sharded
+    paths.
+    """
+    report.diagnostics.extend(verifier)
+    report.diagnostics.extend(advisories)
+    _suppress_shadowed(report)
+    report.diagnostics.sort(key=lambda d: d.sort_key())
+    return report
 
 
 def _suppress_shadowed(report: LintReport) -> None:

@@ -191,6 +191,29 @@ def _catalog_reports(nprocs: int, extra_vars: dict[str, int],
     return reports
 
 
+def render_reports(reports: list[LintReport], fmt: str,
+                   fixes: dict[str, FixResult] | None = None) -> str:
+    """Render lint reports exactly as the CLI prints them.
+
+    The single formatting authority for the sequential path, the
+    sharded ``--jobs`` path and the daemon: all three emit this
+    string (trailing newline included), which is what "byte-identical
+    output" means mechanically.
+    """
+    if fmt == "json":
+        return render_json(reports, fixes=fixes or None) + "\n"
+    if fmt == "sarif":
+        return render_sarif(reports) + "\n"
+    chunks = []
+    for report in reports:
+        header = f"== {report.path}" if report.path else "== <input>"
+        body = report.render()
+        if fixes and report.path in fixes:
+            body = f"{body}\n{_render_fix(fixes[report.path])}"
+        chunks.append(f"{header}\n{body}")
+    return "\n\n".join(chunks) + "\n"
+
+
 def main_lint(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
@@ -231,7 +254,36 @@ def main_lint(argv: list[str] | None = None) -> int:
                              "'error' (default) exits 1 on errors "
                              "only; 'warning' also fails "
                              "warning-severity findings (CI gating)")
+    service = parser.add_argument_group(
+        "sharded lint service (repro.lintserve; docs/LINTSERVE.md)")
+    service.add_argument("--jobs", type=int, default=None, metavar="N",
+                         help="fan (file x target) analysis units over "
+                              "N worker processes; output stays "
+                              "byte-identical to the sequential path")
+    service.add_argument("--cache-dir", metavar="DIR", default=None,
+                         help="memoize unit results on disk (keyed by "
+                              "content hash + analysis-version salt); "
+                              "re-lints of unchanged files cost one "
+                              "hash lookup")
+    service.add_argument("--stats-out", metavar="FILE", default=None,
+                         help="write scheduler/cache statistics JSON "
+                              "(units, hit rate, wall times)")
+    service.add_argument("--serve", action="store_true",
+                         help="run as a warm daemon answering lint "
+                              "requests over --socket until a "
+                              "shutdown request arrives")
+    service.add_argument("--socket", metavar="PATH", default=None,
+                         help="unix socket path: with --serve, where "
+                              "to listen; otherwise, send this "
+                              "invocation to the daemon listening "
+                              "there instead of linting locally")
+    service.add_argument("--shutdown", action="store_true",
+                         help="ask the daemon at --socket to exit")
     args = parser.parse_args(argv)
+    if args.serve or args.shutdown:
+        return _daemon_main(args, parser)
+    if args.socket is not None:
+        return _client_main(args, parser)
     if not args.inputs and not args.catalog:
         parser.print_usage(sys.stderr)
         print("repro-lint: error: no inputs (give files or --catalog)",
@@ -245,6 +297,8 @@ def main_lint(argv: list[str] | None = None) -> int:
     do_fix = args.fix or args.fix_dry_run
     advise = args.advise or do_fix
     targets = [_TARGETS[args.target]] if args.target else None
+    if args.jobs is not None or args.cache_dir is not None:
+        return _service_main(args, extra_vars, targets, advise, do_fix)
 
     reports: list[LintReport] = []
     fixes: dict[str, FixResult] = {}
@@ -288,23 +342,166 @@ def main_lint(argv: list[str] | None = None) -> int:
             args.nprocs, extra_vars, targets=targets, advise=advise,
             fixes=fixes if do_fix else None))
 
-    if args.format == "json":
-        print(render_json(reports, fixes=fixes or None))
-    elif args.format == "sarif":
-        print(render_sarif(reports))
-    else:
-        chunks = []
-        for report in reports:
-            header = f"== {report.path}" if report.path else "== <input>"
-            body = report.render()
-            if report.path in fixes:
-                body = f"{body}\n{_render_fix(fixes[report.path])}"
-            chunks.append(f"{header}\n{body}")
-        print("\n\n".join(chunks))
+    sys.stdout.write(render_reports(reports, args.format,
+                                    fixes=fixes or None))
+    return _aggregate_exit(reports, args.fail_on)
+
+
+def _aggregate_exit(reports: list[LintReport], fail_on: str) -> int:
+    """The merged run's exit status under ``--fail-on``.
+
+    One aggregation point for every path — sequential, sharded,
+    daemon: a single error-severity finding in *any* report (any
+    shard) fails the whole run.
+    """
     failing = any(r.errors for r in reports)
-    if args.fail_on == "warning":
+    if fail_on == "warning":
         failing = failing or any(r.warnings for r in reports)
     return 1 if failing else 0
+
+
+def _service_main(args: "argparse.Namespace",
+                  extra_vars: dict[str, int],
+                  targets: "list[Target] | None",
+                  advise: bool, do_fix: bool) -> int:
+    """The ``--jobs`` / ``--cache-dir`` path: sharded + memoized lint.
+
+    Semantics match the sequential loop exactly (missing file: exit 2
+    before any output; parse error: CI000 report; same render, same
+    exit aggregation) — only the execution strategy differs.
+    """
+    from repro.lintserve import ResultCache, lint_sources
+
+    sources: list[tuple[str, str]] = []
+    for path in args.inputs:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                sources.append((path, fh.read()))
+        except OSError as exc:
+            print(f"repro-lint: error: {exc}", file=sys.stderr)
+            return 2
+    cache = (ResultCache(args.cache_dir)
+             if args.cache_dir is not None else None)
+    jobs = args.jobs if args.jobs is not None else 1
+    reports, stats = lint_sources(
+        sources, nprocs=args.nprocs, extra_vars=extra_vars or None,
+        targets=targets, advise=advise, jobs=jobs, cache=cache)
+
+    fixes: dict[str, FixResult] = {}
+    if do_fix:
+        for path, source in sources:
+            try:
+                parse_program(source)
+            except ReproError:
+                continue  # the report already carries CI000
+            result = fix_source(source, nprocs=args.nprocs,
+                                extra_vars=extra_vars or None)
+            fixes[path] = result
+            if args.fix and result.changed:
+                try:
+                    with open(path, "w", encoding="utf-8") as fh:
+                        fh.write(result.source)
+                except OSError as exc:
+                    print(f"repro-lint: error: {exc}", file=sys.stderr)
+                    return 2
+                print(f"repro-lint: fixed {path} "
+                      f"({len(result.accepted)} rewrite(s) proven)",
+                      file=sys.stderr)
+    if args.catalog:
+        reports.extend(_catalog_reports(
+            args.nprocs, extra_vars, targets=targets, advise=advise,
+            fixes=fixes if do_fix else None))
+
+    print(f"repro-lint: {stats.units_total} unit(s): "
+          f"{stats.units_from_cache} cached, "
+          f"{stats.units_executed} executed with --jobs {jobs} "
+          f"in {stats.wall_s:.2f}s "
+          f"(hit rate {stats.hit_rate:.0%})", file=sys.stderr)
+    if args.stats_out is not None:
+        import json as _json
+        payload = stats.as_dict()
+        if cache is not None:
+            payload["salt"] = cache.salt
+        with open(args.stats_out, "w", encoding="utf-8") as fh:
+            _json.dump(payload, fh, indent=2)
+            fh.write("\n")
+    sys.stdout.write(render_reports(reports, args.format,
+                                    fixes=fixes or None))
+    return _aggregate_exit(reports, args.fail_on)
+
+
+def _daemon_main(args: "argparse.Namespace",
+                 parser: argparse.ArgumentParser) -> int:
+    """``--serve`` / ``--shutdown``: run or stop the lint daemon."""
+    from repro.lintserve import LintDaemon, request_over_socket
+
+    if args.socket is None:
+        parser.error("--serve/--shutdown require --socket PATH")
+    if args.shutdown:
+        try:
+            response = request_over_socket(args.socket,
+                                           {"op": "shutdown"})
+        except OSError as exc:
+            print(f"repro-lint: error: cannot reach daemon at "
+                  f"{args.socket}: {exc}", file=sys.stderr)
+            return 2
+        return 0 if response.get("ok") else 2
+    daemon = LintDaemon(args.socket,
+                        jobs=args.jobs if args.jobs else 1,
+                        cache_dir=args.cache_dir)
+    print(f"repro-lint: serving on {args.socket} "
+          f"(jobs={daemon.jobs}, cache={daemon.cache.root})",
+          file=sys.stderr)
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _client_main(args: "argparse.Namespace",
+                 parser: argparse.ArgumentParser) -> int:
+    """``--socket`` without ``--serve``: lint via the warm daemon."""
+    import os
+
+    from repro.lintserve import LintRequest, request_over_socket
+
+    if args.fix or args.fix_dry_run:
+        print("repro-lint: error: --fix/--fix-dry-run are not "
+              "supported over the daemon (run them locally)",
+              file=sys.stderr)
+        return 2
+    if not args.inputs and not args.catalog:
+        parser.print_usage(sys.stderr)
+        print("repro-lint: error: no inputs (give files or --catalog)",
+              file=sys.stderr)
+        return 2
+    try:
+        extra_vars = _parse_vars(args.var)
+    except ValueError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+    request = LintRequest(
+        inputs=list(args.inputs), cwd=os.getcwd(),
+        nprocs=args.nprocs, vars=extra_vars,
+        target=(_TARGETS[args.target].value
+                if args.target else None),
+        advise=args.advise, catalog=args.catalog, format=args.format,
+        fail_on=args.fail_on)
+    try:
+        response = request_over_socket(args.socket, request.as_dict())
+    except OSError as exc:
+        print(f"repro-lint: error: cannot reach daemon at "
+              f"{args.socket}: {exc}", file=sys.stderr)
+        return 2
+    if not response.get("ok"):
+        print(f"repro-lint: daemon error: {response.get('error')}",
+              file=sys.stderr)
+        return 2
+    if response.get("error"):
+        print(response["error"], file=sys.stderr)
+    sys.stdout.write(response.get("output", ""))
+    return int(response.get("exit_code", 2))
 
 
 def _render_fix(result: FixResult) -> str:

@@ -1,0 +1,287 @@
+"""Warm lint daemon over a unix socket (``repro-lint --serve``).
+
+Process startup — interpreter boot, importing the analysis stack,
+hashing the analysis salt — dominates an editor-triggered or
+CI-step-triggered lint of a few files. The daemon pays those costs
+once: it binds a unix domain socket, keeps a warm worker pool and a
+result cache (on-disk when ``--cache-dir`` is given, in-memory
+otherwise), and answers lint requests until told to shut down.
+
+Protocol (newline-delimited JSON, one request per connection)::
+
+    -> {"op": "ping"}
+    <- {"ok": true, "pid": 1234}
+
+    -> {"op": "lint", "inputs": ["/abs/a.c"], "nprocs": 8,
+        "vars": {"px": 3}, "target": null, "advise": false,
+        "catalog": false, "format": "json", "fail_on": "error"}
+    <- {"ok": true, "exit_code": 0, "output": "...", "error": "",
+        "stats": {...}}
+
+    -> {"op": "stats"}
+    <- {"ok": true, "stats": {...cumulative cache counters...}}
+
+    -> {"op": "shutdown"}
+    <- {"ok": true}
+
+``output`` is byte-identical to what ``repro-lint`` would print for
+the same request (the daemon runs the same scheduler/merge path), and
+``exit_code`` follows the same ``--fail-on`` aggregation, so a client
+can transparently substitute the daemon for a local run. The CLI
+client lives in :func:`repro.core.pragma.__main__.main_lint`
+(``repro-lint --socket PATH ...``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+from concurrent.futures import Executor, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.core.clauses import Target
+from repro.lintserve.cache import MemoryCache, ResultCache
+from repro.lintserve.scheduler import lint_sources
+
+__all__ = ["LintDaemon", "LintRequest", "execute_request",
+           "request_over_socket"]
+
+#: recv buffer size for the line reader.
+_BUFSIZE = 65536
+
+
+@dataclass
+class LintRequest:
+    """One lint invocation, as carried over the wire.
+
+    ``inputs`` are kept exactly as the client typed them — they name
+    the reports in the output, and byte-identity with a local run
+    demands the original spelling. Relative paths are resolved
+    against ``cwd`` (the client's working directory) at read time.
+    """
+
+    inputs: list[str] = field(default_factory=list)
+    cwd: str = ""
+    nprocs: int = 8
+    vars: dict[str, int] = field(default_factory=dict)
+    target: str | None = None
+    advise: bool = False
+    catalog: bool = False
+    format: str = "text"
+    fail_on: str = "error"
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LintRequest":
+        """Decode one wire request (tolerant of missing fields)."""
+        return cls(
+            inputs=[str(p) for p in data.get("inputs", [])],
+            cwd=str(data.get("cwd", "")),
+            nprocs=int(data.get("nprocs", 8)),
+            vars={str(k): int(v)
+                  for k, v in data.get("vars", {}).items()},
+            target=data.get("target"),
+            advise=bool(data.get("advise", False)),
+            catalog=bool(data.get("catalog", False)),
+            format=str(data.get("format", "text")),
+            fail_on=str(data.get("fail_on", "error")),
+        )
+
+    def as_dict(self) -> dict:
+        """The wire form (an ``op: lint`` request)."""
+        return {"op": "lint", "inputs": list(self.inputs),
+                "cwd": self.cwd,
+                "nprocs": self.nprocs, "vars": dict(self.vars),
+                "target": self.target, "advise": self.advise,
+                "catalog": self.catalog, "format": self.format,
+                "fail_on": self.fail_on}
+
+
+def execute_request(request: LintRequest, *, jobs: int = 1,
+                    cache: ResultCache | None = None,
+                    executor: Executor | None = None) -> dict:
+    """Run one lint request end to end → response dict.
+
+    Shared by the daemon and the in-process ``--jobs/--cache-dir``
+    CLI path; mirrors the sequential CLI's semantics exactly: missing
+    files exit 2 before any report output, ``--fail-on`` aggregates
+    over *all* merged reports (one error in any shard fails the run).
+    """
+    # Imported here: the CLI module imports this module back (lazily)
+    # for --serve, and entry-point import order must stay acyclic.
+    from repro.core.pragma.__main__ import (
+        _catalog_reports,
+        render_reports,
+    )
+
+    targets = [Target.parse(request.target)] if request.target else None
+    sources: list[tuple[str, str]] = []
+    for path in request.inputs:
+        resolved = path
+        if request.cwd and not os.path.isabs(path):
+            resolved = os.path.join(request.cwd, path)
+        try:
+            with open(resolved, encoding="utf-8") as fh:
+                sources.append((path, fh.read()))
+        except OSError as exc:
+            return {"ok": True, "exit_code": 2, "output": "",
+                    "error": f"repro-lint: error: {exc}", "stats": {}}
+
+    reports, stats = lint_sources(
+        sources, nprocs=request.nprocs,
+        extra_vars=request.vars or None, targets=targets,
+        advise=request.advise, jobs=jobs, cache=cache,
+        executor=executor)
+    if request.catalog:
+        reports.extend(_catalog_reports(
+            request.nprocs, request.vars, targets=targets,
+            advise=request.advise))
+
+    output = render_reports(reports, request.format)
+    failing = any(r.errors for r in reports)
+    if request.fail_on == "warning":
+        failing = failing or any(r.warnings for r in reports)
+    return {"ok": True, "exit_code": 1 if failing else 0,
+            "output": output, "error": "", "stats": stats.as_dict()}
+
+
+class LintDaemon:
+    """The ``--serve`` loop: warm pool + cache behind a unix socket."""
+
+    def __init__(self, socket_path: str | Path, *, jobs: int = 1,
+                 cache_dir: str | Path | None = None) -> None:
+        self.socket_path = Path(socket_path)
+        self.jobs = max(1, jobs)
+        self.cache: ResultCache = (ResultCache(cache_dir)
+                                   if cache_dir is not None
+                                   else MemoryCache())
+        self.requests_served = 0
+        self._executor: Executor | None = None
+
+    def _pool(self) -> Executor | None:
+        """The warm worker pool (spun up on first use)."""
+        if self.jobs <= 1:
+            return None
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._executor
+
+    def handle(self, request: dict) -> tuple[dict, bool]:
+        """Dispatch one decoded request → (response, keep_serving)."""
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "pid": os.getpid(),
+                    "requests_served": self.requests_served}, True
+        if op == "stats":
+            return {"ok": True, "stats": {
+                "requests_served": self.requests_served,
+                "jobs": self.jobs,
+                "cache": self.cache.stats(),
+            }}, True
+        if op == "shutdown":
+            return {"ok": True}, False
+        if op == "lint":
+            try:
+                response = execute_request(
+                    LintRequest.from_dict(request), jobs=self.jobs,
+                    cache=self.cache, executor=self._pool())
+            except Exception as exc:  # surface, don't kill the daemon
+                return {"ok": False,
+                        "error": f"{type(exc).__name__}: {exc}"}, True
+            self.requests_served += 1
+            return response, True
+        return {"ok": False, "error": f"unknown op {op!r}"}, True
+
+    def serve_forever(self,
+                      on_ready: Callable[[], None] | None = None
+                      ) -> None:
+        """Bind the socket and answer requests until shutdown."""
+        if self.socket_path.exists():
+            # A stale socket from a dead daemon blocks bind(); a live
+            # one must not be hijacked.
+            probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                probe.connect(str(self.socket_path))
+            except OSError:
+                self.socket_path.unlink()
+            else:
+                probe.close()
+                raise RuntimeError(
+                    f"a daemon is already serving {self.socket_path}")
+        server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            server.bind(str(self.socket_path))
+            server.listen(8)
+            if on_ready is not None:
+                on_ready()
+            serving = True
+            while serving:
+                conn, _ = server.accept()
+                with conn:
+                    line = _read_line(conn)
+                    if not line:
+                        continue
+                    try:
+                        request = json.loads(line)
+                    except json.JSONDecodeError as exc:
+                        _send(conn, {"ok": False,
+                                     "error": f"bad request: {exc}"})
+                        continue
+                    response, serving = self.handle(request)
+                    _send(conn, response)
+        finally:
+            server.close()
+            try:
+                self.socket_path.unlink()
+            except OSError:
+                pass
+            if self._executor is not None:
+                self._executor.shutdown()
+                self._executor = None
+
+
+def _read_line(conn: socket.socket) -> bytes:
+    """Read up to the first newline (requests are one JSON line)."""
+    chunks = []
+    while True:
+        data = conn.recv(_BUFSIZE)
+        if not data:
+            break
+        chunks.append(data)
+        if b"\n" in data:
+            break
+    return b"".join(chunks).split(b"\n", 1)[0]
+
+
+def _send(conn: socket.socket, response: dict) -> None:
+    conn.sendall(json.dumps(response).encode() + b"\n")
+
+
+def request_over_socket(socket_path: str | Path,
+                        request: dict,
+                        timeout: float = 300.0) -> dict:
+    """Send one request to a running daemon and decode the response."""
+    client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    client.settimeout(timeout)
+    with client:
+        client.connect(str(socket_path))
+        client.sendall(json.dumps(request).encode() + b"\n")
+        chunks = []
+        while True:
+            data = client.recv(_BUFSIZE)
+            if not data:
+                break
+            chunks.append(data)
+            if b"\n" in data:
+                break
+    payload = b"".join(chunks).split(b"\n", 1)[0]
+    if not payload:
+        raise ConnectionError(
+            f"empty response from daemon at {socket_path}")
+    response = json.loads(payload)
+    if not isinstance(response, dict):
+        raise ConnectionError(
+            f"malformed response from daemon at {socket_path}")
+    return response

@@ -1,0 +1,127 @@
+"""Seed striping, pooled oracle checks and shard-stats merging.
+
+The CI lint-farm satellite: ``--shard I/N`` must partition the seed
+range exactly, the ``--jobs``/``--cache-dir`` paths must reproduce the
+sequential sweep's verdicts, and ``--merge-stats`` must reassemble the
+full-run totals from per-shard artifacts (refusing incomplete
+coverage, failing on any shard's disagreement).
+"""
+
+import json
+
+import pytest
+
+from repro.gen.cli import _parse_shard, build_parser, main
+
+
+def _stats(tmp_path, name, argv):
+    out = tmp_path / name
+    rc = main(argv + ["--stats", str(out), "--quiet"])
+    return rc, json.loads(out.read_text())
+
+
+def test_parse_shard():
+    assert _parse_shard(None) is None
+    assert _parse_shard("2/4") == (2, 4)
+    for bad in ("4/4", "-1/4", "nope", "1", "1/0"):
+        with pytest.raises(ValueError):
+            _parse_shard(bad)
+
+
+def test_bad_shard_is_usage_error(capsys):
+    assert main(["--seeds", "4", "--shard", "9/4", "--diff"]) == 2
+    assert "--shard" in capsys.readouterr().err
+
+
+def test_shards_partition_the_seed_range(capsys):
+    seen = []
+    for i in range(3):
+        main(["--seeds", "10", "--shard", f"{i}/3", "--mode", "clean"])
+        out = capsys.readouterr().out
+        seen.extend(int(line.split("seed=")[1].split()[0])
+                    for line in out.splitlines() if "seed=" in line)
+    assert sorted(seen) == list(range(10))
+
+
+def test_jobs_and_cache_reproduce_sequential(tmp_path, capsys):
+    base = ["--seeds", "6", "--diff", "--fuzz-seeds", "0"]
+    cache = str(tmp_path / "cache")
+    rc0, seq = _stats(tmp_path, "seq.json", base)
+    rc1, par = _stats(tmp_path, "par.json", base + ["--jobs", "2"])
+    rc2, cold = _stats(tmp_path, "cold.json",
+                       base + ["--cache-dir", cache])
+    rc3, warm = _stats(tmp_path, "warm.json",
+                       base + ["--cache-dir", cache])
+    capsys.readouterr()
+    assert rc0 == rc1 == rc2 == rc3 == 0
+    for run in (par, cold, warm):
+        assert run["oracle_checks"] == seq["oracle_checks"]
+        assert run["disagreements"] == seq["disagreements"] == []
+        assert sorted(run["explained"]) == sorted(seq["explained"])
+    assert cold["cache"]["misses"] == 6 and cold["cache"]["hits"] == 0
+    assert warm["cache"]["hits"] == 6 and warm["cache"]["misses"] == 0
+
+
+def test_merge_reassembles_the_full_run(tmp_path, capsys):
+    base = ["--seeds", "9", "--diff", "--fuzz-seeds", "0"]
+    _, full = _stats(tmp_path, "full.json", base)
+    inputs = []
+    for i in range(3):
+        _stats(tmp_path, f"s{i}.json", base + ["--shard", f"{i}/3"])
+        inputs.append(str(tmp_path / f"s{i}.json"))
+    merged_path = tmp_path / "merged.json"
+    rc = main(["--merge-stats", str(merged_path), "--stats-in"]
+              + inputs)
+    capsys.readouterr()
+    assert rc == 0
+    merged = json.loads(merged_path.read_text())
+    assert merged["programs"] == full["programs"] == 9
+    assert merged["oracle_checks"] == full["oracle_checks"]
+    assert sorted(merged["modes"].items()) == \
+        sorted(full["modes"].items())
+    assert merged["disagreements"] == []
+    assert [s["shard"] for s in merged["shards"]] == \
+        ["0/3", "1/3", "2/3"]
+
+
+def test_merge_refuses_incomplete_coverage(tmp_path, capsys):
+    for i in (0, 2):
+        _stats(tmp_path, f"s{i}.json",
+               ["--seeds", "6", "--shard", f"{i}/3", "--diff",
+                "--fuzz-seeds", "0"])
+    rc = main(["--merge-stats", str(tmp_path / "m.json"), "--stats-in",
+               str(tmp_path / "s0.json"), str(tmp_path / "s2.json")])
+    assert rc == 2
+    assert "coverage" in capsys.readouterr().err
+
+
+def test_merge_fails_on_any_shard_disagreement(tmp_path, capsys):
+    shards = []
+    for i, disagreements in enumerate(([], [{"seed": 3, "mode": "racy",
+                                             "kind": "missed-race",
+                                             "target": "t",
+                                             "detail": "x"}])):
+        path = tmp_path / f"s{i}.json"
+        path.write_text(json.dumps({
+            "programs": 2, "shard": f"{i}/2", "modes": {"racy": 2},
+            "targets": ["t"], "oracle_checks": 4,
+            "disagreements": disagreements, "explained": [],
+            "minimized": [], "weaken": None}))
+        shards.append(str(path))
+    rc = main(["--merge-stats", str(tmp_path / "m.json"),
+               "--stats-in"] + shards)
+    capsys.readouterr()
+    assert rc == 1
+    merged = json.loads((tmp_path / "m.json").read_text())
+    assert len(merged["disagreements"]) == 1
+
+
+def test_merge_requires_inputs(capsys):
+    assert main(["--merge-stats", "/tmp/nope.json"]) == 2
+    assert "--stats-in" in capsys.readouterr().err
+
+
+def test_parser_has_service_flags():
+    ns = build_parser().parse_args(
+        ["--jobs", "4", "--shard", "1/4", "--cache-dir", "/tmp/c"])
+    assert ns.jobs == 4 and ns.shard == "1/4"

@@ -1,0 +1,1 @@
+"""Tests for the sharded, memoized lint service (repro.lintserve)."""

@@ -1,0 +1,88 @@
+"""Cache keying and the on-disk result store.
+
+The keying invariants are what make memoization *safe*: the display
+path must not participate (rename hits), every analysis input must
+(edit misses), and the analysis-version salt must (toolchain edit
+invalidates everything).
+"""
+
+import json
+
+from repro.core.clauses import Target
+from repro.lintserve import (
+    MemoryCache,
+    ResultCache,
+    UnitSpec,
+    analysis_salt,
+    unit_key,
+)
+
+SRC = "double buf[8];\n"
+
+
+def _spec(path="a.c", source=SRC, nprocs=8, target=""):
+    return UnitSpec(path=path, kind="structure", target=target,
+                    source=source, nprocs=nprocs, extra_vars=(),
+                    swept=tuple(t.value for t in Target))
+
+
+def test_rename_hits_edit_misses():
+    a, b = _spec(path="a.c"), _spec(path="b/renamed.c")
+    assert a.payload() == b.payload()
+    assert unit_key("structure", a.payload()) == \
+        unit_key("structure", b.payload())
+    edited = _spec(source=SRC + "\n")
+    assert unit_key("structure", a.payload()) != \
+        unit_key("structure", edited.payload())
+
+
+def test_every_analysis_input_participates():
+    base = unit_key("structure", _spec().payload())
+    assert unit_key("structure", _spec(nprocs=4).payload()) != base
+    assert unit_key("verify", _spec().payload()) != base
+
+
+def test_salt_participates():
+    payload = _spec().payload()
+    assert unit_key("structure", payload, salt="v1") != \
+        unit_key("structure", payload, salt="v2")
+    # The default salt is the real analysis digest, stable in-process.
+    assert unit_key("structure", payload) == \
+        unit_key("structure", payload, salt=analysis_salt())
+
+
+def test_disk_roundtrip_and_counters(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = cache.key("structure", _spec().payload())
+    assert cache.get(key) is None
+    cache.put(key, {"n": 1})
+    assert cache.get(key) == {"n": 1}
+    assert (cache.hits, cache.misses, cache.stores) == (1, 1, 1)
+    assert cache.hit_rate == 0.5
+    stats = cache.stats()
+    assert stats["hits"] == 1 and stats["root"] == str(tmp_path)
+    # A second cache over the same root sees the entry (persistence).
+    assert ResultCache(tmp_path).get(key) == {"n": 1}
+
+
+def test_corrupt_entry_is_a_miss_and_deleted(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = cache.key("structure", _spec().payload())
+    cache.put(key, {"n": 1})
+    path = cache._path(key)
+    path.write_text("{truncated")
+    assert cache.get(key) is None
+    assert not path.exists()
+    # Non-dict JSON is equally rejected.
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps([1, 2]))
+    assert cache.get(key) is None
+
+
+def test_memory_cache_counters():
+    cache = MemoryCache()
+    key = cache.key("diffgen", ("src", 8))
+    assert cache.get(key) is None
+    cache.put(key, {"ok": True})
+    assert cache.get(key) == {"ok": True}
+    assert (cache.hits, cache.misses) == (1, 1)

@@ -1,0 +1,99 @@
+"""The warm unix-socket daemon: protocol, equivalence, lifecycle."""
+
+import threading
+
+import pytest
+
+from repro.core.pragma.__main__ import main_lint
+from repro.lintserve import LintDaemon, LintRequest, request_over_socket
+
+
+@pytest.fixture
+def ring_file(tmp_path):
+    f = tmp_path / "ring.c"
+    f.write_text(
+        "double buf1[100];\n"
+        "double buf2[100];\n"
+        "int rank, nprocs;\n"
+        "#pragma comm_p2p sender((rank-1+nprocs)%nprocs) "
+        "receiver((rank+1)%nprocs) sbuf(buf1) rbuf(buf2)\n")
+    return str(f)
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    sock = str(tmp_path / "lintd.sock")
+    d = LintDaemon(sock)
+    ready = threading.Event()
+    thread = threading.Thread(target=d.serve_forever, daemon=True,
+                              kwargs={"on_ready": ready.set})
+    thread.start()
+    assert ready.wait(timeout=10), "daemon never bound its socket"
+    yield sock
+    try:
+        request_over_socket(sock, {"op": "shutdown"}, timeout=10)
+    except OSError:
+        pass
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+
+
+def test_ping_stats_and_unknown_op(daemon):
+    pong = request_over_socket(daemon, {"op": "ping"})
+    assert pong["ok"] and pong["requests_served"] == 0
+    stats = request_over_socket(daemon, {"op": "stats"})
+    assert stats["ok"] and stats["stats"]["cache"]["root"] == "<memory>"
+    bad = request_over_socket(daemon, {"op": "frobnicate"})
+    assert not bad["ok"] and "unknown op" in bad["error"]
+
+
+def test_daemon_output_matches_local_run(daemon, ring_file, capsys):
+    local_rc = main_lint([ring_file, "--format", "json"])
+    local_out = capsys.readouterr().out
+    request = LintRequest(inputs=[ring_file], format="json")
+    response = request_over_socket(daemon, request.as_dict())
+    assert response["ok"]
+    assert response["exit_code"] == local_rc == 0
+    assert response["output"] == local_out
+    # Second identical request is served from the daemon's warm cache.
+    again = request_over_socket(daemon, request.as_dict())
+    assert again["output"] == local_out
+    assert again["stats"]["units_executed"] == 0
+
+
+def test_client_cli_round_trip(daemon, ring_file, capsys):
+    local_rc = main_lint([ring_file])
+    local_out = capsys.readouterr().out
+    rc = main_lint([ring_file, "--socket", daemon])
+    assert rc == local_rc
+    assert capsys.readouterr().out == local_out
+
+
+def test_relative_paths_resolve_against_client_cwd(daemon, ring_file,
+                                                   tmp_path,
+                                                   monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    rc = main_lint(["ring.c", "--socket", daemon])
+    out = capsys.readouterr().out
+    assert rc == 0
+    # The report names the path exactly as typed, not resolved.
+    assert out.startswith("== ring.c\n")
+
+
+def test_missing_file_is_exit_2(daemon):
+    request = LintRequest(inputs=["/nonexistent/nope.c"])
+    response = request_over_socket(daemon, request.as_dict())
+    assert response["exit_code"] == 2
+    assert "error" in response["error"]
+
+
+def test_second_daemon_on_live_socket_refuses(daemon):
+    with pytest.raises(RuntimeError, match="already serving"):
+        LintDaemon(daemon).serve_forever()
+
+
+def test_client_without_daemon_is_exit_2(tmp_path, capsys):
+    rc = main_lint(["whatever.c",
+                    "--socket", str(tmp_path / "dead.sock")])
+    assert rc == 2
+    assert "error" in capsys.readouterr().err

@@ -1,0 +1,86 @@
+"""Byte-identity of the sequential, sharded and memoized lint paths.
+
+The service's core contract: ``--jobs 8`` and a warm ``--cache-dir``
+rerun must render exactly the bytes the sequential path renders — over
+the whole examples tree, including the seeded race counterexamples
+(``races/``) and the minimized generated corpus (``generated/``). Plus
+the incremental contract: editing one file re-executes exactly that
+file's units.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.pragma.__main__ import main_lint
+from repro.lintserve import ResultCache, lint_sources
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples" / "pragmas"
+
+
+@pytest.fixture(scope="module")
+def example_files():
+    files = sorted(str(p) for p in EXAMPLES.rglob("*.c"))
+    assert any("/races/" in f for f in files)
+    assert any("/generated/" in f for f in files)
+    return files
+
+
+def _run(argv, capsys):
+    rc = main_lint(argv)
+    return rc, capsys.readouterr().out
+
+
+@pytest.mark.parametrize("fmt", ["json", "sarif"])
+def test_parallel_and_cached_output_identical(example_files, tmp_path,
+                                              capsys, fmt):
+    base = example_files + ["--format", fmt]
+    rc0, sequential = _run(base, capsys)
+    rc1, parallel = _run(base + ["--jobs", "8"], capsys)
+    cached = base + ["--jobs", "2", "--cache-dir", str(tmp_path / fmt)]
+    rc2, cold = _run(cached, capsys)
+    rc3, warm = _run(cached, capsys)
+    assert rc0 == rc1 == rc2 == rc3 == 1  # bad/ + races/ carry errors
+    assert sequential == parallel == cold == warm
+
+
+def test_warm_run_is_fully_memoized(example_files, tmp_path, capsys):
+    argv = example_files + ["--cache-dir", str(tmp_path),
+                            "--stats-out", str(tmp_path / "stats.json")]
+    main_lint(argv)
+    capsys.readouterr()
+    main_lint(argv)
+    capsys.readouterr()
+    import json
+    stats = json.loads((tmp_path / "stats.json").read_text())
+    assert stats["units_executed"] == 0
+    assert stats["hit_rate"] == 1.0
+    assert stats["units_total"] == len(example_files) * 4
+
+
+def test_editing_one_file_relints_exactly_its_units(tmp_path):
+    sources = [("a.c", "double a[8];\n"), ("b.c", "double b[8];\n"),
+               ("c.c", "double c[8];\n")]
+    cache = ResultCache(tmp_path)
+    _, cold = lint_sources(sources, cache=cache)
+    assert cold.units_executed == cold.units_total == 12
+
+    edited = list(sources)
+    edited[1] = ("b.c", "double b[16];\n")
+    _, warm = lint_sources(edited, cache=ResultCache(tmp_path))
+    # 4 units per file at the default three-target sweep: exactly
+    # b.c's structure unit + its three verify units re-execute.
+    assert warm.units_executed == 4
+    assert warm.units_from_cache == 8
+
+    _, again = lint_sources(edited, cache=ResultCache(tmp_path))
+    assert again.units_executed == 0
+
+
+def test_rename_does_not_invalidate(tmp_path):
+    sources = [("old.c", "double a[8];\n")]
+    lint_sources(sources, cache=ResultCache(tmp_path))
+    reports, stats = lint_sources([("new/dir.c", "double a[8];\n")],
+                                  cache=ResultCache(tmp_path))
+    assert stats.units_executed == 0
+    assert reports[0].path == "new/dir.c"

@@ -1,0 +1,61 @@
+"""Exit-code aggregation across the parallel/cached lint paths.
+
+A single error in any shard must fail the merged run with exit 1, and
+``--fail-on warning`` must widen aggregation over *all* merged
+reports — same semantics as the sequential path, asserted here on the
+``--jobs``/``--cache-dir`` code path.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.pragma.__main__ import main_lint
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples" / "pragmas"
+CLEAN = str(EXAMPLES / "ring.c")
+RACY = str(EXAMPLES / "races" / "send_reuse.c")
+SLOW = str(EXAMPLES / "slow" / "early_sync.c")
+
+
+def test_clean_files_exit_zero(capsys):
+    assert main_lint([CLEAN, "--jobs", "2"]) == 0
+    capsys.readouterr()
+
+
+def test_one_bad_shard_fails_the_merged_run(capsys):
+    # The error sits in one unit of one file among several clean
+    # shards; the aggregated exit must still be 1.
+    assert main_lint([CLEAN, RACY, CLEAN, "--jobs", "2"]) == 1
+    assert "CI041" in capsys.readouterr().out
+
+
+def test_fail_on_warning_widens_across_shards(tmp_path, capsys):
+    cache = ["--cache-dir", str(tmp_path)]
+    assert main_lint([CLEAN, SLOW, "--advise"] + cache) == 0
+    capsys.readouterr()
+    # Warm path must aggregate identically from cached units.
+    assert main_lint([CLEAN, SLOW, "--advise",
+                      "--fail-on", "warning"] + cache) == 1
+    assert "CI10" in capsys.readouterr().out
+
+
+def test_parse_error_fails_through_the_pool(tmp_path, capsys):
+    broken = tmp_path / "broken.c"
+    broken.write_text("#pragma comm_p2p sender(0) sender(1)\n")
+    assert main_lint([CLEAN, str(broken), "--jobs", "2"]) == 1
+    assert "CI000" in capsys.readouterr().out
+
+
+def test_missing_file_is_usage_error(tmp_path, capsys):
+    rc = main_lint([CLEAN, "/nonexistent/nope.c", "--jobs", "2",
+                    "--cache-dir", str(tmp_path)])
+    assert rc == 2
+    assert "error" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("extra", [[], ["--jobs", "2"]])
+def test_sequential_and_parallel_agree_on_rc(extra, capsys):
+    for argv, want in (([CLEAN], 0), ([RACY], 1), ([CLEAN, RACY], 1)):
+        assert main_lint(argv + extra) == want
+        capsys.readouterr()
